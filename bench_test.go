@@ -1,0 +1,423 @@
+// Benchmarks regenerating the workload of every table and figure in the
+// paper's evaluation (§4). Each Benchmark* family corresponds to one
+// artifact; the omsbench command runs the same experiments end to end
+// and prints the full tables (see DESIGN.md §4 for the index).
+//
+// The benchmark sizes are scaled down so `go test -bench=.` completes in
+// minutes; the shapes (who wins, by what factor) match the full-scale
+// runs recorded in EXPERIMENTS.md.
+package oms_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"oms"
+	"oms/internal/bench"
+	"oms/internal/metrics"
+)
+
+const benchScale = 0.02
+
+func instance(b *testing.B, name string) *oms.Graph {
+	b.Helper()
+	ins, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ins.BuildCached(benchScale)
+}
+
+func benchTopo(r int32) *oms.Topology {
+	return oms.MustTopology(fmt.Sprintf("4:16:%d", r), "1:10:100")
+}
+
+// BenchmarkTable1Instances measures the synthetic stand-in generators:
+// one representative instance per family of Table 1.
+func BenchmarkTable1Instances(b *testing.B) {
+	for _, name := range []string{"Dubcova1", "hcircuit", "coAuthorsDBLP", "web-Google", "italy-osm", "Ljournal-2008", "rgg21"} {
+		ins, err := bench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := ins.Build(benchScale)
+				if g.NumNodes() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2aMapping is the workload behind Figure 2a: process
+// mapping quality (J, reported as a custom metric) and time per
+// algorithm at S = 4:16:16 (k = 1024).
+func BenchmarkFig2aMapping(b *testing.B) {
+	g := instance(b, "web-Google")
+	top := benchTopo(16)
+	k := top.Spec.K()
+	run := func(b *testing.B, f func(seed uint64) *oms.Result) {
+		var j float64
+		for i := 0; i < b.N; i++ {
+			res := f(uint64(i))
+			j = res.MappingCost(g, top)
+		}
+		b.ReportMetric(j, "J")
+	}
+	b.Run("OMS", func(b *testing.B) {
+		run(b, func(seed uint64) *oms.Result {
+			res, err := oms.MapGraph(g, top, oms.Options{Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	b.Run("Fennel", func(b *testing.B) {
+		run(b, func(seed uint64) *oms.Result {
+			res, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	b.Run("Hashing", func(b *testing.B) {
+		run(b, func(seed uint64) *oms.Result {
+			res, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	b.Run("Multilevel", func(b *testing.B) {
+		run(b, func(seed uint64) *oms.Result {
+			res, err := oms.PartitionMultilevel(g, k, oms.MultilevelOptions{Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+	b.Run("OfflineMap", func(b *testing.B) {
+		run(b, func(seed uint64) *oms.Result {
+			res, err := oms.MapOffline(g, top, oms.OfflineMapOptions{Seed: seed, SwapRounds: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		})
+	})
+}
+
+// BenchmarkFig2bEdgeCut is the workload behind Figure 2b: plain k-way
+// partitioning quality (edge-cut as a custom metric) at k = 1024.
+func BenchmarkFig2bEdgeCut(b *testing.B) {
+	g := instance(b, "web-Google")
+	const k = 1024
+	cases := []struct {
+		name string
+		f    func(seed uint64) (*oms.Result, error)
+	}{
+		{"nh-OMS", func(seed uint64) (*oms.Result, error) {
+			return oms.PartitionGraph(g, k, oms.Options{Seed: seed})
+		}},
+		{"Fennel", func(seed uint64) (*oms.Result, error) {
+			return oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Seed: seed})
+		}},
+		{"LDG", func(seed uint64) (*oms.Result, error) {
+			return oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerLDG, oms.Options{Seed: seed})
+		}},
+		{"Hashing", func(seed uint64) (*oms.Result, error) {
+			return oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{Seed: seed})
+		}},
+		{"Multilevel", func(seed uint64) (*oms.Result, error) {
+			return oms.PartitionMultilevel(g, k, oms.MultilevelOptions{Seed: seed})
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				res, err := c.f(uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut(g)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkFig2cRuntime is the workload behind Figure 2c: pure streaming
+// throughput per algorithm at a large k (the paper's regime where the
+// O(m + nk) flat scan separates from the O((m+nb) log k) tree walk).
+// The ns/op column is the figure.
+func BenchmarkFig2cRuntime(b *testing.B) {
+	g := instance(b, "soc-LiveJournal1")
+	const k = 4096
+	top := benchTopo(64)
+	b.Run("Hashing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nh-OMS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionGraph(g, k, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OMS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.MapGraph(g, top, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fennel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Multilevel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionMultilevel(g, k, oms.MultilevelOptions{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig2dProfiles covers Figures 2d-2f: the performance-profile
+// computation over a sweep's per-instance values (the analysis step that
+// turns measurements into the plotted curves).
+func BenchmarkFig2dProfiles(b *testing.B) {
+	// Synthetic sweep values: 4 algorithms x 512 (instance, k) points.
+	values := make(map[string][]float64, 4)
+	for a, name := range []string{"Hashing", "OMS", "Fennel", "KaMinPar*"} {
+		vs := make([]float64, 512)
+		for i := range vs {
+			vs[i] = float64((i*31+a*17)%1000 + 1)
+		}
+		values[name] = vs
+	}
+	taus := metrics.DefaultTaus(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := metrics.PerformanceProfile(values, taus)
+		if len(p.Fraction) != 4 {
+			b.Fatal("wrong profile")
+		}
+	}
+}
+
+// BenchmarkTable2Scalability is the thread sweep of Table 2: one
+// sub-benchmark per thread count for the parallel streaming algorithms
+// at k = 8192 on a large instance. ns/op across sub-benchmarks gives the
+// speedup column.
+func BenchmarkTable2Scalability(b *testing.B) {
+	g := instance(b, "soc-orkut-dir")
+	k := int32(8192)
+	if int64(k) > int64(g.NumNodes())/4 {
+		k = g.NumNodes() / 4
+	}
+	top := benchTopo(k / 64)
+	threads := []int{1, 2, 4, 8, 16, 32}
+	for _, th := range threads {
+		if th > runtime.GOMAXPROCS(0) {
+			break
+		}
+		b.Run(fmt.Sprintf("OMS/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oms.MapGraph(g, top, oms.Options{Threads: th, Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nh-OMS/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oms.PartitionGraph(g, k, oms.Options{Threads: th, Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Fennel/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Threads: th, Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Hashing/threads-%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{Threads: th, Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3PerGraphScaling is Figure 3: per-graph scaling of OMS on
+// the three highlighted instances at 1 thread vs all cores.
+func BenchmarkFig3PerGraphScaling(b *testing.B) {
+	maxTh := runtime.GOMAXPROCS(0)
+	for _, name := range []string{"soc-orkut-dir", "HV15R", "soc-LiveJournal1"} {
+		g := instance(b, name)
+		k := int32(8192)
+		if int64(k) > int64(g.NumNodes())/4 {
+			k = g.NumNodes() / 4
+		}
+		r := k / 64
+		if r < 2 {
+			r = 2
+		}
+		top := benchTopo(r)
+		for _, th := range []int{1, maxTh} {
+			b.Run(fmt.Sprintf("%s/threads-%d", name, th), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := oms.MapGraph(g, top, oms.Options{Threads: th, Seed: uint64(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTuningScorer is the scorer-coupling ablation (§4 tuning:
+// Fennel vs LDG inside the multi-section).
+func BenchmarkTuningScorer(b *testing.B) {
+	g := instance(b, "coAuthorsDBLP")
+	top := benchTopo(16)
+	for _, c := range []struct {
+		name   string
+		scorer oms.Scorer
+	}{{"Fennel", oms.ScorerFennel}, {"LDG", oms.ScorerLDG}} {
+		b.Run(c.name, func(b *testing.B) {
+			var j float64
+			for i := 0; i < b.N; i++ {
+				res, err := oms.MapGraph(g, top, oms.Options{Scorer: c.scorer, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				j = res.MappingCost(g, top)
+			}
+			b.ReportMetric(j, "J")
+		})
+	}
+}
+
+// BenchmarkTuningAlpha is the adapted-vs-vanilla alpha ablation.
+func BenchmarkTuningAlpha(b *testing.B) {
+	g := instance(b, "coAuthorsDBLP")
+	top := benchTopo(16)
+	for _, c := range []struct {
+		name    string
+		vanilla bool
+	}{{"adapted", false}, {"vanilla", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			var j float64
+			for i := 0; i < b.N; i++ {
+				res, err := oms.MapGraph(g, top, oms.Options{VanillaAlpha: c.vanilla, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				j = res.MappingCost(g, top)
+			}
+			b.ReportMetric(j, "J")
+		})
+	}
+}
+
+// BenchmarkTuningBase is the artificial-hierarchy base ablation (b = 2
+// vs the tuned 4 vs 8).
+func BenchmarkTuningBase(b *testing.B) {
+	g := instance(b, "web-Google")
+	const k = 1024
+	for _, base := range []int32{2, 4, 8} {
+		b.Run(fmt.Sprintf("base-%d", base), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				res, err := oms.PartitionGraph(g, k, oms.Options{Base: base, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.EdgeCut(g)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkTuningHybrid is the hashed-bottom-layers sweep (§3.2 hybrid
+// mapping, Theorem 3).
+func BenchmarkTuningHybrid(b *testing.B) {
+	g := instance(b, "web-Google")
+	top := benchTopo(16)
+	for h := 0; h <= 3; h++ {
+		b.Run(fmt.Sprintf("h-%d", h), func(b *testing.B) {
+			var j float64
+			for i := 0; i < b.N; i++ {
+				res, err := oms.MapGraph(g, top, oms.Options{HashLayers: h, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				j = res.MappingCost(g, top)
+			}
+			b.ReportMetric(j, "J")
+		})
+	}
+}
+
+// BenchmarkMemoryFootprint is the §4.1 memory comparison: allocations of
+// one full streaming pass (B/op and allocs/op with -benchmem are the
+// artifact) against the in-memory comparator.
+func BenchmarkMemoryFootprint(b *testing.B) {
+	g := instance(b, "soc-LiveJournal1")
+	const k = 4096
+	top := benchTopo(64)
+	b.Run("OMS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.MapGraph(g, top, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fennel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Hashing", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Multilevel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := oms.PartitionMultilevel(g, k, oms.MultilevelOptions{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Command omsbench regenerates the tables and figures of the paper's
+// evaluation on synthetic Table 1 stand-ins.
+//
+// Experiments:
+//
+//	table1   print the instance registry with generated sizes
+//	fig2     the state-of-the-art sweep: figures 2a-2f
+//	table2   the scalability thread sweep (Table 2)
+//	fig3     per-graph scalability (Figures 3a-3f)
+//	tuning   the four parameter-tuning ablations of §4
+//	memory   the memory-requirements paragraph of §4.1
+//	order    stream-order sensitivity ablation (extension)
+//	all      everything above
+//
+// Examples:
+//
+//	omsbench -exp fig2 -scale 0.05 -reps 3
+//	omsbench -exp table2 -scale 0.02 -threads 1,2,4,8
+//	omsbench -exp all -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"oms/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig2", "experiment: table1 | fig2 | table2 | fig3 | tuning | memory | order | all")
+		scale    = flag.Float64("scale", 0.05, "instance scale (1.0 = paper sizes)")
+		reps     = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
+		rsFlag   = flag.String("rs", "16,32,64,128", "hierarchy sweep: r values for S=4:16:r (k=64r)")
+		thFlag   = flag.String("threads", "", "thread sweep for table2/fig3 (default 1,2,4,... up to GOMAXPROCS)")
+		insFlag  = flag.String("instances", "", "comma-separated instance subset (default all of Table 1)")
+		k        = flag.Int("k", 8192, "block count for table2/fig3/memory")
+		intmap   = flag.Bool("intmap", false, "include the sequential offline mapper (IntMap role) in fig2")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:         *scale,
+		Reps:          *reps,
+		Seed:          *seed,
+		IncludeIntMap: *intmap,
+	}
+	if *rsFlag != "" {
+		for _, s := range strings.Split(*rsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -rs entry %q", s))
+			}
+			cfg.Rs = append(cfg.Rs, int32(v))
+		}
+	}
+	if *thFlag != "" {
+		for _, s := range strings.Split(*thFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -threads entry %q", s))
+			}
+			cfg.ThreadSweep = append(cfg.ThreadSweep, v)
+		}
+	}
+	if *insFlag != "" {
+		names := strings.Split(*insFlag, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		ins, err := bench.Subset(names)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Instances = ins
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	var tables []*bench.Table
+	run := func(name string) {
+		switch name {
+		case "table1":
+			tables = append(tables, instanceTable(cfg))
+		case "fig2":
+			s, err := bench.RunStateOfTheArt(cfg, progressWriter(progress))
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, s.Fig2a(), s.Fig2b(), s.Fig2c(), s.Fig2d(), s.Fig2e(), s.Fig2f())
+		case "table2", "fig3":
+			scfg := cfg
+			if scfg.Instances == nil {
+				scfg.Instances = bench.ScalabilitySet()
+			}
+			res, err := bench.RunScalability(scfg, int32(*k), progressWriter(progress))
+			if err != nil {
+				fatal(err)
+			}
+			if name == "table2" {
+				tables = append(tables, res.Table2())
+			} else {
+				for _, gname := range res.Fig3Graphs() {
+					su, rt := res.Fig3(gname)
+					tables = append(tables, su, rt)
+				}
+			}
+		case "tuning":
+			ts, err := bench.RunTuning(cfg, progressWriter(progress))
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, ts...)
+		case "memory":
+			t, err := bench.RunMemory(cfg, progressWriter(progress))
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, t)
+		case "order":
+			t, err := bench.RunStreamOrder(cfg, progressWriter(progress))
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, t)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig2", "table2", "fig3", "tuning", "memory", "order"} {
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+
+	for _, t := range tables {
+		t.Format(os.Stdout)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			name := sanitize(t.Title) + ".csv"
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fatal(err)
+			}
+			t.CSV(f)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func instanceTable(cfg bench.Config) *bench.Table {
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Table 1: benchmark instances (scale=%g)", cfgScale(cfg)),
+		KeyName: "Graph",
+		Columns: []string{"n(paper)", "m(paper)", "n(gen)", "m(gen)"},
+	}
+	instances := cfg.Instances
+	if instances == nil {
+		instances = bench.Table1
+	}
+	for _, ins := range instances {
+		g := ins.BuildCached(cfgScale(cfg))
+		t.AddRow(fmt.Sprintf("%s [%s]", ins.Name, ins.Family), map[string]float64{
+			"n(paper)": float64(ins.N),
+			"m(paper)": float64(ins.M),
+			"n(gen)":   float64(g.NumNodes()),
+			"m(gen)":   float64(g.NumEdges()),
+		})
+	}
+	return t
+}
+
+func cfgScale(cfg bench.Config) float64 {
+	if cfg.Scale == 0 {
+		return 0.05
+	}
+	return cfg.Scale
+}
+
+func progressWriter(f *os.File) *os.File {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	keep := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}
+	out := strings.Map(keep, s)
+	for strings.Contains(out, "--") {
+		out = strings.ReplaceAll(out, "--", "-")
+	}
+	return strings.Trim(out, "-")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "omsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"oms/internal/bench"
+)
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"Figure 2a: mapping improvement over Hashing (%) vs k": "figure-2a-mapping-improvement-over-hashing-vs-k",
+		"Table 2: RT/SU": "table-2-rt-su",
+		"---x---":        "x",
+	} {
+		if got := sanitize(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestInstanceTable(t *testing.T) {
+	ins, err := bench.ByName("Dubcova1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bench.Config{Scale: 0.05, Instances: []bench.Instance{ins}}
+	tb := instanceTable(cfg)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	if row.Cells["n(paper)"] != 16129 {
+		t.Fatalf("paper n wrong: %v", row.Cells["n(paper)"])
+	}
+	if row.Cells["n(gen)"] < 800 {
+		t.Fatalf("generated n wrong: %v", row.Cells["n(gen)"])
+	}
+}
+
+func TestCfgScaleDefault(t *testing.T) {
+	if cfgScale(bench.Config{}) != 0.05 {
+		t.Fatal("default scale wrong")
+	}
+	if cfgScale(bench.Config{Scale: 0.5}) != 0.5 {
+		t.Fatal("explicit scale ignored")
+	}
+}

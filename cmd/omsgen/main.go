@@ -1,0 +1,142 @@
+// Command omsgen generates synthetic benchmark graphs in METIS format:
+// either a named Table 1 stand-in at a chosen scale, or a raw generator
+// family with explicit sizes.
+//
+// Usage:
+//
+//	omsgen -instance web-Google -scale 0.1 -o web-google.metis
+//	omsgen -family rgg -n 1000000 -o rgg20.metis
+//	omsgen -family rmat-social -n 100000 -m 1000000 -seed 7 -o soc.metis
+//	omsgen -convert snap-edges.txt -o graph.metis   # SNAP edge list -> METIS
+//	omsgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oms"
+	"oms/internal/bench"
+	"oms/internal/graph"
+)
+
+func main() {
+	var (
+		instance = flag.String("instance", "", "Table 1 instance name (see -list)")
+		scale    = flag.Float64("scale", 1.0, "size scale for -instance (1.0 = paper size)")
+		family   = flag.String("family", "", "generator family: rgg | delaunay | grid2d | grid3d | rmat-social | rmat-citation | ba | ws | road | er")
+		n        = flag.Int64("n", 100000, "node count for -family")
+		m        = flag.Int64("m", 0, "edge count target for families that take one (rmat-*, er); 0 = 8n")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output METIS file (default stdout)")
+		convert  = flag.String("convert", "", "convert a SNAP-style edge-list file to METIS instead of generating")
+		list     = flag.Bool("list", false, "list Table 1 instances and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 1 instances (name: n m family):")
+		for _, ins := range bench.Table1 {
+			fmt.Printf("  %-22s %9d %12d  %s\n", ins.Name, ins.N, ins.M, ins.Family)
+		}
+		return
+	}
+
+	var g *graph.Graph
+	var err error
+	if *convert != "" {
+		g, _, err = oms.ReadEdgeListFile(*convert)
+	} else {
+		g, err = build(*instance, *scale, *family, int32(*n), *m, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omsgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "omsgen: generated n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	if *out == "" {
+		if err := writeStdout(g); err != nil {
+			fmt.Fprintln(os.Stderr, "omsgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := oms.WriteMetisFile(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, "omsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(instance string, scale float64, family string, n int32, m int64, seed uint64) (*graph.Graph, error) {
+	if instance != "" {
+		ins, err := bench.ByName(instance)
+		if err != nil {
+			return nil, err
+		}
+		return ins.Build(scale), nil
+	}
+	if m == 0 {
+		m = 8 * int64(n)
+	}
+	switch family {
+	case "rgg":
+		return oms.GenRGG2D(n, seed), nil
+	case "delaunay":
+		return oms.GenDelaunay(n, seed), nil
+	case "grid2d":
+		side := int32(1)
+		for side*side < n {
+			side++
+		}
+		return oms.GenGrid2D(side, side, false), nil
+	case "grid3d":
+		side := int32(1)
+		for side*side*side < n {
+			side++
+		}
+		return oms.GenGrid3D(side, side, side), nil
+	case "rmat-social":
+		return oms.GenRMATSocial(n, m, seed), nil
+	case "rmat-citation":
+		return oms.GenRMATCitation(n, m, seed), nil
+	case "ba":
+		deg := int32(m / int64(n))
+		if deg < 1 {
+			deg = 1
+		}
+		return oms.GenBarabasiAlbert(n, deg, seed), nil
+	case "ws":
+		kHalf := int32(m / int64(n))
+		if kHalf < 1 {
+			kHalf = 1
+		}
+		return oms.GenWattsStrogatz(n, kHalf, 0.1, seed), nil
+	case "road":
+		return oms.GenRoadLike(n, 2*float64(m)/float64(n), seed), nil
+	case "er":
+		return oms.GenErdosRenyi(n, m, seed), nil
+	case "":
+		return nil, fmt.Errorf("one of -instance or -family is required (try -list)")
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func writeStdout(g *graph.Graph) error {
+	tmp, err := os.CreateTemp("", "omsgen-*.metis")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	tmp.Close()
+	if err := oms.WriteMetisFile(tmp.Name(), g); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildInstance(t *testing.T) {
+	g, err := build("Dubcova1", 0.05, "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 { // 16129*0.05 = 806 -> floor 1000
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+}
+
+func TestBuildAllFamilies(t *testing.T) {
+	for _, fam := range []string{"rgg", "delaunay", "grid2d", "grid3d", "rmat-social", "rmat-citation", "ba", "ws", "road", "er"} {
+		g, err := build("", 1, fam, 2000, 8000, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.NumNodes() < 1000 {
+			t.Fatalf("%s: too few nodes %d", fam, g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+}
+
+func TestBuildGridRoundsUp(t *testing.T) {
+	g, err := build("", 1, "grid2d", 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32x32 >= 1000
+	if g.NumNodes() != 32*32 {
+		t.Fatalf("grid2d n=%d, want 1024", g.NumNodes())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 1, "", 100, 0, 1); err == nil {
+		t.Fatal("no instance/family accepted")
+	}
+	if _, err := build("", 1, "bogus", 100, 0, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := build("no-such-instance", 1, "", 100, 0, 1); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestBuildDefaultM(t *testing.T) {
+	g, err := build("", 1, "er", 1000, 0, 1) // m defaults to 8n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := g.NumEdges(); m < 6000 || m > 9000 {
+		t.Fatalf("er default m=%d, want ~8000", m)
+	}
+}

@@ -1,0 +1,168 @@
+package oms_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oms"
+)
+
+func TestGeneratorsProduceValidGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *oms.Graph
+	}{
+		{"rgg2d", oms.GenRGG2D(3000, 1)},
+		{"delaunay", oms.GenDelaunay(3000, 2)},
+		{"grid2d", oms.GenGrid2D(40, 50, false)},
+		{"grid2d-diag", oms.GenGrid2D(40, 50, true)},
+		{"grid3d", oms.GenGrid3D(10, 12, 14)},
+		{"rmat-social", oms.GenRMATSocial(4096, 20000, 3)},
+		{"rmat-citation", oms.GenRMATCitation(4096, 20000, 4)},
+		{"ba", oms.GenBarabasiAlbert(3000, 4, 5)},
+		{"ws", oms.GenWattsStrogatz(3000, 3, 0.1, 6)},
+		{"road", oms.GenRoadLike(3000, 2.2, 7)},
+		{"er", oms.GenErdosRenyi(3000, 9000, 8)},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if c.g.NumNodes() == 0 || c.g.NumEdges() == 0 {
+			t.Fatalf("%s: degenerate graph n=%d m=%d", c.name, c.g.NumNodes(), c.g.NumEdges())
+		}
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := oms.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Finish()
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	h := oms.FromAdjacency([][]int32{{1}, {0, 2}, {1}})
+	if h.NumEdges() != 2 {
+		t.Fatalf("FromAdjacency m=%d", h.NumEdges())
+	}
+}
+
+func TestWriteMetisFileBadPath(t *testing.T) {
+	g := oms.GenErdosRenyi(100, 300, 1)
+	if err := oms.WriteMetisFile(filepath.Join(t.TempDir(), "no", "such", "dir", "g.metis"), g); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
+
+func TestReadEdgeListFileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	content := "# snap header\n10 20\n20 30\n30 10\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, ids, err := oms.ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle parsed as n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if ids[10] != 0 {
+		t.Fatal("first-appearance compaction broken")
+	}
+	// The converted graph is directly partitionable.
+	res, err := oms.PartitionGraph(g, 2, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, _, err := oms.ReadEdgeListFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHeterogeneousKBalanced(t *testing.T) {
+	// §3.3: k values that are not powers of the base still satisfy the
+	// balance constraint through heterogeneous tree capacities.
+	g := oms.GenDelaunay(10000, 9)
+	for _, k := range []int32{3, 5, 7, 13, 37, 100, 129, 1000} {
+		res, err := oms.PartitionGraph(g, k, oms.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestMustTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	oms.MustTopology("not-a-spec", "1:10")
+}
+
+func TestNewTopologyErrors(t *testing.T) {
+	if _, err := oms.NewTopology("4:x", "1:10"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := oms.NewTopology("4:4", "1:x"); err == nil {
+		t.Fatal("bad distances accepted")
+	}
+	if _, err := oms.NewTopology("4:4", "1:10:100"); err == nil {
+		t.Fatal("level mismatch accepted")
+	}
+}
+
+func TestRestreamWithTopology(t *testing.T) {
+	g := oms.GenRGG2D(5000, 21)
+	top := oms.MustTopology("4:4:4", "1:10:100")
+	one, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := oms.Restream(oms.NewMemorySource(g), 0, top, 2, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.K != top.Spec.K() {
+		t.Fatalf("restream K=%d", re.K)
+	}
+	jOne := one.MappingCost(g, top)
+	jRe := re.MappingCost(g, top)
+	if jRe > jOne*1.02 {
+		t.Fatalf("remapping clearly worsened J: %v -> %v", jOne, jRe)
+	}
+	if err := re.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScorerLDGPartition(t *testing.T) {
+	g := oms.GenDelaunay(5000, 23)
+	res, err := oms.PartitionGraph(g, 32, oms.Options{Scorer: oms.ScorerLDG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := oms.PartitionGraph(g, 32, oms.Options{Scorer: oms.ScorerHashing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut(g) >= hash.EdgeCut(g) {
+		t.Fatal("LDG-scored OMS not better than hashed OMS")
+	}
+}

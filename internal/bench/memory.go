@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"oms/internal/graph"
+)
+
+// memUsed forces a GC and returns the live heap bytes.
+func memUsed() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunMemory reproduces the memory paragraph of §4.1: the live-heap cost
+// of partitioning the three highlighted graphs with each algorithm. The
+// streaming algorithms are charged only their algorithm state (the graph
+// is streamed; in the paper's setup it never resides in memory), while
+// the in-memory algorithms are charged the graph plus everything they
+// allocate — the two regimes the paper contrasts (MBs vs GBs).
+func RunMemory(cfg Config, progressW io.Writer) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := []string{"soc-orkut-dir", "HV15R", "soc-LiveJournal1"}
+	if cfg.Instances != nil && len(cfg.Instances) > 0 && len(cfg.Instances) < len(Table1) {
+		names = nil
+		for _, ins := range cfg.Instances {
+			names = append(names, ins.Name)
+		}
+	}
+	k := int32(8192)
+	algs := []AlgID{AlgHashing, AlgNhOMS, AlgOMS, AlgFennel, AlgML, AlgIntMap}
+	t := &Table{
+		Title:   fmt.Sprintf("Memory: algorithm state in MB (k=%d, scale=%g)", k, cfg.Scale),
+		KeyName: "Graph",
+		Columns: algIDStrings(algs),
+		Notes: []string{
+			"streaming algorithms: state beyond the streamed input (O(n+k))",
+			"in-memory algorithms: graph + all partitioning state",
+		},
+	}
+	r := k / 64
+	if r < 2 {
+		r = 2
+	}
+	top := cfg.topoFor(r)
+	for _, name := range names {
+		ins, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := ins.Build(cfg.Scale) // deliberately uncached: owned here
+		kk := k
+		topHere := top
+		if int64(kk) > int64(g.NumNodes()) {
+			kk = g.NumNodes() / 2
+			rr := kk / 64
+			if rr < 2 {
+				rr = 2
+			}
+			topHere = cfg.topoFor(rr)
+			kk = topHere.Spec.K()
+		}
+		row := make(map[string]float64, len(algs))
+		for _, alg := range algs {
+			sp := RunSpec{Alg: alg, K: kk, Eps: 0.03, Threads: 1, Seed: cfg.Seed}
+			if alg == AlgOMS || alg == AlgIntMap {
+				sp.Top = topHere
+			}
+			bytes, err := measureAlgBytes(g, sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", alg, name, err)
+			}
+			row[string(alg)] = float64(bytes) / (1 << 20)
+		}
+		t.AddRow(fmt.Sprintf("%s (n=%d)", name, g.NumNodes()), row)
+		if progressW != nil {
+			fmt.Fprintf(progressW, "done memory %s\n", name)
+		}
+	}
+	return t, nil
+}
+
+// measureAlgBytes runs sp on g and reports the live-heap growth retained
+// after the run (post-GC) attributable to the algorithm, i.e. its
+// resident working state; transient allocations (coarsening ladders,
+// scratch) show up in the -benchmem columns of bench_output.txt instead.
+// For streaming algorithms the graph (playing the role of the stream) is
+// excluded; for in-memory algorithms it is included, since they
+// fundamentally need it resident.
+func measureAlgBytes(g *graph.Graph, sp RunSpec) (uint64, error) {
+	inMemory := sp.Alg == AlgML || sp.Alg == AlgIntMap
+	var graphBytes uint64
+	if inMemory {
+		graphBytes = g.MemoryBytes()
+	}
+	before := memUsed()
+	res, err := Execute(g, sp)
+	if err != nil {
+		return 0, err
+	}
+	after := memUsed()
+	_ = res.Parts[0] // keep the result alive across the measurement
+	var delta uint64
+	if after > before {
+		delta = after - before
+	}
+	// The partition vector itself is part of the state; GC variance can
+	// hide it, so take the max with the analytic floor 4n.
+	if floor := uint64(4 * len(res.Parts)); delta < floor {
+		delta = floor
+	}
+	return delta + graphBytes, nil
+}

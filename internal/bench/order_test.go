@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStreamOrderTable(t *testing.T) {
+	cfg := Config{
+		Scale:     0.05,
+		Reps:      1,
+		Instances: []Instance{mustIns("coAuthorsDBLP")},
+		Seed:      3,
+	}
+	tb, err := RunStreamOrder(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	// Every (alg, order) cell must be present and positive.
+	for _, col := range tb.Columns {
+		v, ok := row.Cells[col]
+		if !ok || v <= 0 {
+			t.Fatalf("column %s missing or non-positive: %v", col, v)
+		}
+	}
+	// Different orders must actually change the outcome for at least one
+	// algorithm (otherwise the ablation measures nothing).
+	changed := false
+	var naturalCut float64
+	for _, col := range tb.Columns {
+		if strings.HasSuffix(col, "/natural") && strings.HasPrefix(col, string(AlgNhOMS)) {
+			naturalCut = row.Cells[col]
+		}
+	}
+	for _, col := range tb.Columns {
+		if strings.HasPrefix(col, string(AlgNhOMS)) && !strings.HasSuffix(col, "/natural") {
+			if row.Cells[col] != naturalCut {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("no stream order changed the nh-OMS cut")
+	}
+}
+
+func TestStreamOrderSkipsTooSmall(t *testing.T) {
+	// k=1024 exceeds 1000-node instances at tiny scale: row skipped, no
+	// error.
+	cfg := Config{
+		Scale:     0.0001,
+		Reps:      1,
+		Instances: []Instance{mustIns("Dubcova1")},
+	}
+	tb, err := RunStreamOrder(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 0 {
+		t.Fatalf("expected skip, got %d rows", len(tb.Rows))
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"oms/internal/metrics"
+)
+
+// ScalabilityResult holds the thread sweep behind Table 2 and Figure 3:
+// per (algorithm, instance, thread count) mean seconds.
+type ScalabilityResult struct {
+	cfg     Config
+	k       int32
+	seconds map[AlgID]map[string]map[int]float64 // alg -> instance -> threads -> s
+	graphs  []string
+}
+
+// RunScalability reproduces §4.2: the large instances (>= 2M nodes at
+// scale 1, scaled down by cfg.Scale) partitioned into k = 8192 blocks by
+// Hashing, nh-OMS, OMS (S = 4:16:128), Fennel and the multilevel
+// comparator across the thread sweep. IntMap is excluded — it cannot run
+// in parallel, as in the paper.
+func RunScalability(cfg Config, k int32, progressW io.Writer) (*ScalabilityResult, error) {
+	cfg = cfg.withDefaults()
+	if k == 0 {
+		k = 8192
+	}
+	instances := cfg.Instances
+	if instances == nil {
+		instances = ScalabilitySet()
+	}
+	// The paper's S = 4:16:r configuration at k = 8192 means r = 128.
+	r := k / 64
+	if r < 2 {
+		r = 2
+	}
+	top := cfg.topoFor(r)
+	res := &ScalabilityResult{
+		cfg:     cfg,
+		k:       k,
+		seconds: make(map[AlgID]map[string]map[int]float64),
+	}
+	algs := []AlgID{AlgHashing, AlgNhOMS, AlgOMS, AlgFennel, AlgML}
+	for _, ins := range instances {
+		g := ins.BuildCached(cfg.Scale)
+		if int64(k) > int64(g.NumNodes()) {
+			continue
+		}
+		res.graphs = append(res.graphs, ins.Name)
+		for _, threads := range cfg.ThreadSweep {
+			for _, alg := range algs {
+				sp := RunSpec{Alg: alg, K: k, Eps: 0.03, Threads: threads, Seed: cfg.Seed}
+				if alg == AlgOMS {
+					sp.Top = top
+				}
+				m, err := Measure(g, sp, cfg.Reps, nil)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s threads=%d: %w", alg, ins.Name, threads, err)
+				}
+				if res.seconds[alg] == nil {
+					res.seconds[alg] = make(map[string]map[int]float64)
+				}
+				if res.seconds[alg][ins.Name] == nil {
+					res.seconds[alg][ins.Name] = make(map[int]float64)
+				}
+				res.seconds[alg][ins.Name][threads] = m.Seconds
+			}
+			if progressW != nil {
+				fmt.Fprintf(progressW, "done %s threads=%d\n", ins.Name, threads)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table2 builds the paper's Table 2: average running time (geometric
+// mean over the large instances, seconds) and average speedup over the
+// single-thread run of the same algorithm, per thread count.
+func (r *ScalabilityResult) Table2() *Table {
+	algs := []AlgID{AlgHashing, AlgNhOMS, AlgOMS, AlgFennel, AlgML}
+	cols := make([]string, 0, 2*len(algs))
+	for _, a := range algs {
+		cols = append(cols, string(a)+" RT", string(a)+" SU")
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table 2: average running time (RT, s) and speedup (SU) for k=%d", r.k),
+		KeyName: "Threads",
+		Columns: cols,
+		Notes:   []string{"RT = geomean across instances; SU = RT(1 thread)/RT(t threads)"},
+	}
+	base := make(map[AlgID]float64)
+	for _, threads := range r.cfg.ThreadSweep {
+		row := make(map[string]float64)
+		for _, a := range algs {
+			var vals []float64
+			for _, ins := range r.graphs {
+				if s, ok := r.seconds[a][ins][threads]; ok {
+					vals = append(vals, s)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			rt := metrics.GeoMean(vals)
+			row[string(a)+" RT"] = rt
+			if threads == r.cfg.ThreadSweep[0] {
+				base[a] = rt
+			}
+			if b, ok := base[a]; ok {
+				row[string(a)+" SU"] = metrics.Speedup(b, rt)
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", threads), row)
+	}
+	return t
+}
+
+// Fig3Graphs returns the instances the paper highlights in Figure 3,
+// filtered to those present in the sweep.
+func (r *ScalabilityResult) Fig3Graphs() []string {
+	want := []string{"soc-orkut-dir", "HV15R", "soc-LiveJournal1"}
+	var out []string
+	for _, w := range want {
+		for _, have := range r.graphs {
+			if have == w {
+				out = append(out, w)
+			}
+		}
+	}
+	if len(out) == 0 {
+		// Fall back to the first up-to-3 swept graphs (small test runs).
+		n := len(r.graphs)
+		if n > 3 {
+			n = 3
+		}
+		out = r.graphs[:n]
+	}
+	return out
+}
+
+// Fig3 builds the per-graph speedup and running-time tables of Figures
+// 3a-3f for one instance.
+func (r *ScalabilityResult) Fig3(instance string) (speedup, runtime *Table) {
+	algs := []AlgID{AlgHashing, AlgNhOMS, AlgOMS, AlgFennel, AlgML}
+	su := &Table{
+		Title:   fmt.Sprintf("Figure 3: speedup vs threads for %s (k=%d)", instance, r.k),
+		KeyName: "Threads",
+		Columns: algIDStrings(algs),
+	}
+	rt := &Table{
+		Title:   fmt.Sprintf("Figure 3: running time (s) vs threads for %s (k=%d)", instance, r.k),
+		KeyName: "Threads",
+		Columns: algIDStrings(algs),
+	}
+	base := make(map[AlgID]float64)
+	for _, threads := range r.cfg.ThreadSweep {
+		suRow := make(map[string]float64)
+		rtRow := make(map[string]float64)
+		for _, a := range algs {
+			s, ok := r.seconds[a][instance][threads]
+			if !ok {
+				continue
+			}
+			rtRow[string(a)] = s
+			if threads == r.cfg.ThreadSweep[0] {
+				base[a] = s
+			}
+			if b, ok := base[a]; ok {
+				suRow[string(a)] = metrics.Speedup(b, s)
+			}
+		}
+		su.AddRow(fmt.Sprintf("%d", threads), suRow)
+		rt.AddRow(fmt.Sprintf("%d", threads), rtRow)
+	}
+	return su, rt
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output: rows keyed by the sweep variable
+// (k, thread count, instance name, tau) with one column per series.
+type Table struct {
+	Title   string
+	KeyName string
+	Columns []string
+	Rows    []Row
+	// Notes carry methodology remarks printed under the table.
+	Notes []string
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Key   string
+	Cells map[string]float64
+}
+
+// AddRow appends a row; cells maps column name to value.
+func (t *Table) AddRow(key string, cells map[string]float64) {
+	t.Rows = append(t.Rows, Row{Key: key, Cells: cells})
+}
+
+// Format renders an aligned text table.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.KeyName)
+	for _, r := range t.Rows {
+		if len(r.Key) > widths[0] {
+			widths[0] = len(r.Key)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(t.Columns))
+		for j, c := range t.Columns {
+			v, ok := r.Cells[c]
+			if !ok {
+				cells[i][j] = "-"
+			} else {
+				cells[i][j] = formatNum(v)
+			}
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", widths[0], t.KeyName)
+	for j, c := range t.Columns {
+		fmt.Fprintf(w, "  %*s", widths[j+1], c)
+	}
+	fmt.Fprintln(w)
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", widths[0], r.Key)
+		for j := range t.Columns {
+			fmt.Fprintf(w, "  %*s", widths[j+1], cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "%s,%s\n", csvEscape(t.KeyName), strings.Join(mapSlice(t.Columns, csvEscape), ","))
+	for _, r := range t.Rows {
+		fields := make([]string, 0, len(t.Columns)+1)
+		fields = append(fields, csvEscape(r.Key))
+		for _, c := range t.Columns {
+			if v, ok := r.Cells[c]; ok {
+				fields = append(fields, formatNum(v))
+			} else {
+				fields = append(fields, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(fields, ","))
+	}
+}
+
+func formatNum(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func mapSlice(xs []string, f func(string) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"oms/internal/core"
+	"oms/internal/metrics"
+)
+
+// RunTuning reproduces the parameter-tuning findings of §4 as four
+// ablation tables: scorer coupling (Fennel vs LDG), adapted vs vanilla
+// alpha, artificial-hierarchy base (4 vs 2), and the hybrid hashed-layer
+// sweep. Each table reports geometric means across the configured
+// instances and the paper's improvement percentages.
+func RunTuning(cfg Config, progressW io.Writer) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	r := cfg.Rs[len(cfg.Rs)-1]
+	top := cfg.topoFor(r)
+	k := top.Spec.K()
+
+	type variant struct {
+		name string
+		sp   RunSpec
+	}
+	mkMap := func(name string, mod func(*RunSpec)) variant {
+		sp := RunSpec{Alg: AlgOMS, Top: top, Eps: 0.03, Threads: cfg.Threads, Seed: cfg.Seed}
+		if mod != nil {
+			mod(&sp)
+		}
+		return variant{name, sp}
+	}
+	mkGP := func(name string, mod func(*RunSpec)) variant {
+		sp := RunSpec{Alg: AlgNhOMS, K: k, Eps: 0.03, Threads: cfg.Threads, Seed: cfg.Seed}
+		if mod != nil {
+			mod(&sp)
+		}
+		return variant{name, sp}
+	}
+
+	experiments := []struct {
+		title    string
+		note     string
+		variants []variant
+	}{
+		{
+			title: "Tuning: scorer coupling (OMS with Fennel vs LDG)",
+			note:  "paper: Fennel couples 3.89% better mapping, 0.19% better cut",
+			variants: []variant{
+				mkMap("OMS(Fennel)", nil),
+				mkMap("OMS(LDG)", func(sp *RunSpec) { sp.Scorer = core.ScorerLDG }),
+			},
+		},
+		{
+			title: "Tuning: adapted vs vanilla Fennel alpha",
+			note:  "paper: adapted alpha is 3.1% faster with 9.7% better mapping",
+			variants: []variant{
+				mkMap("adapted", nil),
+				mkMap("vanilla", func(sp *RunSpec) { sp.VanillaAlpha = true }),
+			},
+		},
+		{
+			title: "Tuning: artificial hierarchy base (nh-OMS)",
+			note:  "paper: base 4 is 16.7% faster and cuts 3.2% fewer edges than base 2",
+			variants: []variant{
+				mkGP("base 4", nil),
+				mkGP("base 2", func(sp *RunSpec) { sp.Base = 2 }),
+				mkGP("base 8", func(sp *RunSpec) { sp.Base = 8 }),
+			},
+		},
+		{
+			title: "Tuning: hybrid hashed bottom layers (OMS)",
+			note:  "paper: hashing 67% of bottom layers: 2.3x cut, +27.5% J, -31.1% time",
+			variants: []variant{
+				mkMap("h=0 (pure)", nil),
+				mkMap("h=1", func(sp *RunSpec) { sp.HashLayers = 1 }),
+				mkMap("h=2 (67%)", func(sp *RunSpec) { sp.HashLayers = 2 }),
+				mkMap("h=3 (all)", func(sp *RunSpec) { sp.HashLayers = 3 }),
+			},
+		},
+	}
+
+	var tables []*Table
+	for _, exp := range experiments {
+		t := &Table{
+			Title:   exp.title + fmt.Sprintf(" [k=%d]", k),
+			KeyName: "variant",
+			Columns: []string{"cut", "J", "time(s)", "cut vs base %", "J vs base %", "time vs base %"},
+			Notes:   []string{exp.note, "vs-base% = (base/variant - 1)*100; positive = variant better (lower)"},
+		}
+		type agg struct{ cut, j, sec []float64 }
+		results := make([]agg, len(exp.variants))
+		for _, ins := range cfg.Instances {
+			g := ins.BuildCached(cfg.Scale)
+			if int64(k) > int64(g.NumNodes()) {
+				continue
+			}
+			for vi, v := range exp.variants {
+				m, err := Measure(g, v.sp, cfg.Reps, top)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", v.name, ins.Name, err)
+				}
+				results[vi].cut = append(results[vi].cut, m.Cut)
+				results[vi].j = append(results[vi].j, m.J)
+				results[vi].sec = append(results[vi].sec, m.Seconds)
+			}
+			if progressW != nil {
+				fmt.Fprintf(progressW, "done %s: %s\n", exp.title, ins.Name)
+			}
+		}
+		var baseCut, baseJ, baseSec float64
+		for vi, v := range exp.variants {
+			cut := metrics.GeoMean(results[vi].cut)
+			j := metrics.GeoMean(results[vi].j)
+			sec := metrics.GeoMean(results[vi].sec)
+			if vi == 0 {
+				baseCut, baseJ, baseSec = cut, j, sec
+			}
+			t.AddRow(v.name, map[string]float64{
+				"cut":           cut,
+				"J":             j,
+				"time(s)":       sec,
+				"cut vs base %": metrics.Improvement(baseCut, cut),
+				"J vs base %":   metrics.Improvement(baseJ, j),
+				"time vs base %": metrics.Improvement(baseSec, sec),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

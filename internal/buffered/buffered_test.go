@@ -1,0 +1,198 @@
+package buffered
+
+import (
+	"testing"
+
+	"oms/internal/gen"
+	"oms/internal/graph"
+	"oms/internal/metrics"
+	"oms/internal/onepass"
+	"oms/internal/stream"
+)
+
+func TestBufferedBalancedAndComplete(t *testing.T) {
+	g := gen.Delaunay(5000, 3)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	for _, k := range []int32{4, 16, 64} {
+		p, err := New(Config{K: k, Epsilon: 0.03, Seed: 1}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := p.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, b := range parts {
+			if b < 0 || b >= k {
+				t.Fatalf("k=%d: node %d in block %d", k, u, b)
+			}
+		}
+		if err := metrics.CheckBalanced(g, parts, k, 0.03); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestBufferedBeatsOnePassFennel(t *testing.T) {
+	// The reason the buffered model exists: chunk refinement buys cut
+	// quality over the strict one-pass assignment. The margin is large
+	// on graphs with locality (meshes, geometric, roads) and marginal on
+	// RMAT expanders — assert a clear win on the former and
+	// no-clearly-worse on the latter.
+	for _, tc := range []struct {
+		name     string
+		g        *graph.Graph
+		clearWin bool
+	}{
+		{"delaunay", gen.Delaunay(10000, 1), true},
+		{"rgg", gen.RandomGeometric(10000, 0.55, 2), true},
+		{"road", gen.RoadLike(10000, 2.2, 3), true},
+		{"rmat", gen.RMAT(8192, 40000, gen.SocialRMAT, 1), false},
+	} {
+		src := stream.NewMemory(tc.g)
+		st, _ := src.Stats()
+		k := int32(32)
+
+		fen, err := onepass.NewFennel(onepass.Config{K: k, Epsilon: 0.03, Seed: 7}, st, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fparts, err := onepass.Run(src, fen, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		buf, err := New(Config{K: k, Epsilon: 0.03, Seed: 7}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bparts, err := buf.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, bc := metrics.EdgeCut(tc.g, fparts), metrics.EdgeCut(tc.g, bparts)
+		if tc.clearWin {
+			if float64(bc) >= 0.97*float64(fc) {
+				t.Fatalf("%s: buffered cut %d not clearly below one-pass Fennel %d", tc.name, bc, fc)
+			}
+		} else if float64(bc) > 1.03*float64(fc) {
+			t.Fatalf("%s: buffered cut %d clearly worse than one-pass Fennel %d", tc.name, bc, fc)
+		}
+	}
+}
+
+func TestBufferedChunkSizeSweep(t *testing.T) {
+	// Larger chunks see more structure: quality must not collapse, and
+	// every chunk size must stay balanced.
+	g := gen.RandomGeometric(6000, 0.55, 7)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	k := int32(16)
+	var cuts []int64
+	for _, cs := range []int32{64, 512, 4096} {
+		p, err := New(Config{K: k, Epsilon: 0.03, ChunkSize: cs, Seed: 5}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := p.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.CheckBalanced(g, parts, k, 0.03); err != nil {
+			t.Fatalf("chunk=%d: %v", cs, err)
+		}
+		cuts = append(cuts, metrics.EdgeCut(g, parts))
+	}
+	// The largest chunk should beat the smallest clearly on a geometric
+	// graph (refinement window spans whole neighborhoods).
+	if cuts[2] >= cuts[0] {
+		t.Fatalf("chunk 4096 cut %d not below chunk 64 cut %d", cuts[2], cuts[0])
+	}
+}
+
+func TestBufferedDeterministicPerSeed(t *testing.T) {
+	g := gen.Delaunay(2000, 11)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	mk := func() []int32 {
+		p, err := New(Config{K: 8, Epsilon: 0.03, Seed: 42}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := p.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parts
+	}
+	a, b := mk(), mk()
+	for u := range a {
+		if a[u] != b[u] {
+			t.Fatal("same seed, different partitions")
+		}
+	}
+}
+
+func TestBufferedConfigValidation(t *testing.T) {
+	st := stream.Stats{N: 100, M: 200, TotalNodeWeight: 100, TotalEdgeWeight: 200}
+	if _, err := New(Config{K: 0, Epsilon: 0.03}, st); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(Config{K: 4, Epsilon: -1}, st); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestBufferedLoadBookkeeping(t *testing.T) {
+	g := gen.RMAT(3000, 12000, gen.CitationRMAT, 13)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	k := int32(12)
+	p, err := New(Config{K: k, Epsilon: 0.03, ChunkSize: 100, Seed: 3}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := p.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := metrics.BlockLoads(g, parts, k)
+	for b := int32(0); b < k; b++ {
+		if p.loads[b] != loads[b] {
+			t.Fatalf("block %d: internal load %d != recomputed %d", b, p.loads[b], loads[b])
+		}
+	}
+}
+
+func TestBufferedTinyChunksStillValid(t *testing.T) {
+	// Chunk size 1 degenerates to (nearly) strict one-pass behavior:
+	// still complete and balanced, quality close to one-pass Fennel.
+	g := gen.Delaunay(1500, 17)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	k := int32(8)
+	p, err := New(Config{K: k, Epsilon: 0.03, ChunkSize: 1, Seed: 1}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bparts, err := p.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckBalanced(g, bparts, k, 0.03); err != nil {
+		t.Fatal(err)
+	}
+	fen, err := onepass.NewFennel(onepass.Config{K: k, Epsilon: 0.03, Seed: 1}, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fparts, err := onepass.Run(src, fen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, bc := metrics.EdgeCut(g, fparts), metrics.EdgeCut(g, bparts)
+	if float64(bc) > 1.2*float64(fc) {
+		t.Fatalf("chunk=1 cut %d far above one-pass Fennel %d", bc, fc)
+	}
+}

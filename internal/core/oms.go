@@ -1,0 +1,384 @@
+// Package core implements the paper's contribution: the online recursive
+// multi-section (OMS), a one-pass streaming algorithm that assigns every
+// arriving node through all layers of a multi-section tree on the fly
+// (Algorithm 1). With a topology hierarchy the leaves are PEs and the
+// result is a process mapping; with an artificial recursive b-section
+// tree (Algorithm 2) it solves plain graph partitioning ("nh-OMS").
+//
+// Per arriving node u the algorithm walks the tree from the root: at each
+// internal block it scores the children with Fennel, LDG, or Hashing and
+// descends into the best feasible one, charging u's weight to every block
+// on the path. Complexity: O(m*l + n*sum a_i) time (Theorem 2), O(n + k)
+// memory (Theorem 1) — the only per-node state is the final leaf id, from
+// which all super-blocks follow (leaf ranges).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"oms/internal/hierarchy"
+	"oms/internal/onepass"
+	"oms/internal/stream"
+	"oms/internal/util"
+)
+
+// Scorer selects the one-pass objective used for the tree subproblems.
+type Scorer int
+
+// Available scorers. The paper's tuning picks Fennel (0.19% better cut,
+// 3.89% better mapping than LDG), so it is the zero value.
+const (
+	ScorerFennel Scorer = iota
+	ScorerLDG
+	ScorerHashing
+)
+
+func (s Scorer) String() string {
+	switch s {
+	case ScorerFennel:
+		return "fennel"
+	case ScorerLDG:
+		return "ldg"
+	case ScorerHashing:
+		return "hashing"
+	default:
+		return fmt.Sprintf("scorer(%d)", int(s))
+	}
+}
+
+// Config controls an OMS run. The zero value gives the paper's tuned
+// configuration except Epsilon, which callers set explicitly (the paper
+// fixes 0.03).
+type Config struct {
+	Epsilon float64 // allowed imbalance
+	Scorer  Scorer  // objective for non-hashed layers
+	Gamma   float64 // Fennel exponent; 0 means 1.5
+	// VanillaAlpha disables the per-subproblem adapted alpha of §3.2 and
+	// scores every tree block with the flat k-way alpha. The paper's
+	// tuning found adapted alpha 3.1% faster with 9.7% better mappings,
+	// so adapted is the default (zero value).
+	VanillaAlpha bool
+	// HashLayers solves this many bottom layers of the multi-section with
+	// Hashing instead of the configured scorer (§3.2 hybrid mapping,
+	// Theorem 3). 0 disables hybridization.
+	HashLayers int
+	Seed       uint64
+	// Threads is the worker count for Run. Values <= 1 select the
+	// sequential, deterministic driver (the zero value is sequential on
+	// purpose: parallelism is opt-in as in the paper's experiments).
+	Threads int
+}
+
+// OMS is one streaming run's state: the multi-section tree, one load and
+// one capacity per tree block (O(k) by Lemma 1), and the per-node leaf
+// assignment (O(n)).
+type OMS struct {
+	Tree *hierarchy.Tree
+	cfg  Config
+
+	lmax      int64
+	loads     []int64   // per tree node, atomically updated
+	caps      []int64   // t(v) * Lmax (§3.3 heterogeneous capacities)
+	alphas    []float64 // per tree node: adapted alpha/sqrt(t(v))
+	gamma     float64
+	hashDepth int32 // tree depths >= hashDepth score children by hashing
+	parts     []int32
+
+	scratch []*levelScratch
+}
+
+// levelScratch is per-worker gain accumulation across one subproblem's
+// children (fanout-sized, cleared per level).
+type levelScratch struct {
+	gain []float64
+	path []int32
+}
+
+// New prepares an OMS run over the given multi-section tree for a stream
+// with the given global stats.
+func New(tree *hierarchy.Tree, st stream.Stats, cfg Config) (*OMS, error) {
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", cfg.Epsilon)
+	}
+	if cfg.HashLayers < 0 || cfg.HashLayers > int(tree.MaxDepth) {
+		return nil, fmt.Errorf("core: HashLayers %d outside [0,%d]", cfg.HashLayers, tree.MaxDepth)
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 1.5
+	}
+	o := &OMS{
+		Tree:  tree,
+		cfg:   cfg,
+		gamma: gamma,
+		lmax:  onepass.Lmax(st.TotalNodeWeight, tree.K, cfg.Epsilon),
+		parts: make([]int32, st.N),
+	}
+	n := tree.NumNodes()
+	o.loads = make([]int64, n)
+	o.caps = make([]int64, n)
+	o.alphas = make([]float64, n)
+	alphaRoot := onepass.Alpha(tree.K, st.TotalEdgeWeight, st.N)
+	for v := int32(0); v < n; v++ {
+		t := tree.LeafCount(v)
+		o.caps[v] = int64(t) * o.lmax
+		if cfg.VanillaAlpha {
+			o.alphas[v] = alphaRoot
+		} else {
+			// §3.2/§3.3: a block covering t final blocks is scored with
+			// alpha / sqrt(t); for homogeneous hierarchies this equals
+			// the per-layer alpha_i = alpha / sqrt(prod_{r<i} a_r).
+			o.alphas[v] = alphaRoot / math.Sqrt(float64(t))
+		}
+	}
+	// Decisions at depth d partition one layer-(MaxDepth-d) subproblem;
+	// the bottom HashLayers layers hash (depth >= MaxDepth - HashLayers).
+	o.hashDepth = tree.MaxDepth - int32(cfg.HashLayers)
+	for i := range o.parts {
+		o.parts[i] = -1
+	}
+	workers := cfg.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		o.scratch = append(o.scratch, &levelScratch{
+			gain: make([]float64, tree.MaxFanout),
+			path: make([]int32, 0, tree.MaxDepth+1),
+		})
+	}
+	return o, nil
+}
+
+// NewGP prepares a "no hierarchy" run (nh-OMS): plain k-way graph
+// partitioning through an artificial recursive base-section tree built by
+// Algorithm 2. The paper's tuning selects base = 4 (16.7% faster, 3.2%
+// fewer cut edges than base 2).
+func NewGP(k, base int32, st stream.Stats, cfg Config) (*OMS, error) {
+	if base < 2 {
+		return nil, fmt.Errorf("core: base %d < 2", base)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k %d < 1", k)
+	}
+	return New(hierarchy.BuildArtificial(k, base), st, cfg)
+}
+
+// Assignments returns the final block (= PE) per node; -1 for nodes not
+// yet streamed.
+func (o *OMS) Assignments() []int32 { return o.parts }
+
+// K returns the number of final blocks.
+func (o *OMS) K() int32 { return o.Tree.K }
+
+// LmaxValue returns the leaf balance threshold.
+func (o *OMS) LmaxValue() int64 { return o.lmax }
+
+// TreeLoads returns a snapshot of the per-tree-block loads (for tests and
+// diagnostics).
+func (o *OMS) TreeLoads() []int64 {
+	out := make([]int64, len(o.loads))
+	for i := range o.loads {
+		out[i] = atomic.LoadInt64(&o.loads[i])
+	}
+	return out
+}
+
+// AlphaOf exposes the adapted alpha of tree block v (tuning experiment).
+func (o *OMS) AlphaOf(v int32) float64 { return o.alphas[v] }
+
+// Run performs the single streaming pass (Algorithm 1) and returns the
+// partition vector. With cfg.Threads > 1 the node loop is parallelized in
+// the vertex-centric fashion of §3.4: block loads are incremented
+// atomically and neighbor assignments are read racily (a not-yet-visible
+// neighbor simply contributes no gain, exactly as in the paper's OpenMP
+// scheme).
+func (o *OMS) Run(src stream.Source) ([]int32, error) {
+	var err error
+	if o.cfg.Threads <= 1 {
+		err = src.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
+			o.assign(0, u, vwgt, adj, ewgt)
+		})
+	} else {
+		err = src.ForEachParallel(o.cfg.Threads, func(w int, u int32, vwgt int32, adj []int32, ewgt []int32) {
+			o.assign(w, u, vwgt, adj, ewgt)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o.parts, nil
+}
+
+// Restream performs extraPasses additional sequential passes in the
+// spirit of ReFennel/ReLDG (the paper's §3.2 "Remapping" extension,
+// flagged there as future work): each pass re-scores every node with full
+// knowledge of the previous pass's assignment, first removing the node's
+// weight from its old root-to-leaf path so capacities stay exact.
+func (o *OMS) Restream(src stream.Source, extraPasses int) ([]int32, error) {
+	if _, err := o.Run(src); err != nil {
+		return nil, err
+	}
+	for p := 0; p < extraPasses; p++ {
+		err := src.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
+			o.unassign(u, vwgt)
+			o.assign(0, u, vwgt, adj, ewgt)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return o.parts, nil
+}
+
+// unassign removes u's weight from its current path (sequential passes
+// only).
+func (o *OMS) unassign(u int32, vwgt int32) {
+	leaf := o.parts[u]
+	if leaf < 0 {
+		return
+	}
+	t := o.Tree
+	v := t.Root
+	for !t.IsLeaf(v) {
+		v = t.ChildContaining(v, leaf)
+		o.loads[v] -= int64(vwgt)
+	}
+	o.parts[u] = -1
+}
+
+// assign walks node u from the root to a leaf (the per-node body of
+// Algorithm 1). Under parallel streaming the chosen block is reserved
+// with a compare-and-swap that re-validates its capacity: the paper
+// leaves this race open ("a block can still be overloaded if multiple
+// threads decide to assign a node to it at the same time"), but because
+// the capacities of a block's children sum exactly to its own, a node
+// reserved into the parent always fits into some child (unit weights), so
+// rescoring on CAS failure enforces the balance constraint outright.
+func (o *OMS) assign(worker int, u int32, vwgt int32, adj []int32, ewgt []int32) {
+	t := o.Tree
+	sc := o.scratch[worker]
+	v := t.Root
+	w := int64(vwgt)
+	for !t.IsLeaf(v) {
+		first, count := t.Children(v)
+		var chosen int32
+		for attempt := 0; ; attempt++ {
+			if t.Depth[v] >= o.hashDepth || o.cfg.Scorer == ScorerHashing {
+				chosen = o.hashChild(u, v, first, count, w)
+			} else {
+				chosen = o.scoreChild(sc, u, v, first, count, w, adj, ewgt)
+			}
+			if o.reserve(chosen, w) {
+				break
+			}
+			if attempt >= maxReserveAttempts {
+				// Heavily weighted nodes can fragment so that no single
+				// child fits; fall back to the paper's unsynchronized
+				// increment rather than stall.
+				atomic.AddInt64(&o.loads[chosen], w)
+				break
+			}
+		}
+		v = chosen
+	}
+	atomic.StoreInt32(&o.parts[u], t.LeafID(v))
+}
+
+// maxReserveAttempts bounds rescoring under CAS contention before
+// degrading to the paper's racy increment (never reached for unit-weight
+// streams, where a feasible child always exists).
+const maxReserveAttempts = 8
+
+// reserve atomically charges w to block c iff the capacity allows it.
+func (o *OMS) reserve(c int32, w int64) bool {
+	for {
+		cur := atomic.LoadInt64(&o.loads[c])
+		if cur+w > o.caps[c] {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&o.loads[c], cur, cur+w) {
+			return true
+		}
+	}
+}
+
+// scoreChild scores the children of v with the configured objective and
+// returns the best feasible child (ties to the lighter block).
+func (o *OMS) scoreChild(sc *levelScratch, u, v, first, count int32, w int64, adj []int32, ewgt []int32) int32 {
+	t := o.Tree
+	gain := sc.gain[:count]
+	for i := range gain {
+		gain[i] = 0
+	}
+	kl, kr := t.KL[v], t.KR[v]
+	for i, nb := range adj {
+		p := atomic.LoadInt32(&o.parts[nb])
+		if p < kl || p > kr { // includes unassigned (-1)
+			continue
+		}
+		c := t.ChildContaining(v, p)
+		if ewgt != nil {
+			gain[c-first] += float64(ewgt[i])
+		} else {
+			gain[c-first]++
+		}
+	}
+	best := int32(-1)
+	bestScore := 0.0
+	var bestLoad int64
+	ldg := o.cfg.Scorer == ScorerLDG
+	for i := int32(0); i < count; i++ {
+		c := first + i
+		load := atomic.LoadInt64(&o.loads[c])
+		var score float64
+		var ok bool
+		if ldg {
+			score, ok = onepass.LDGScore(gain[i], load, w, o.caps[c])
+		} else {
+			score, ok = onepass.FennelScore(gain[i], load, w, o.caps[c], o.alphas[c], o.gamma)
+		}
+		if !ok {
+			continue
+		}
+		if best < 0 || score > bestScore || (score == bestScore && load < bestLoad) {
+			best, bestScore, bestLoad = c, score, load
+		}
+	}
+	if best < 0 {
+		best = o.leastRelativeLoad(first, count)
+	}
+	return best
+}
+
+// hashChild places u by hashing, probing siblings when the target is at
+// capacity (keeps partitions balanced, which the paper reports for all
+// algorithms).
+func (o *OMS) hashChild(u, v, first, count int32, w int64) int32 {
+	h := int32(util.HashMod(uint64(u), o.cfg.Seed^uint64(v)*0x9e3779b97f4a7c15, int(count)))
+	for probe := int32(0); probe < count; probe++ {
+		c := first + (h+probe)%count
+		if atomic.LoadInt64(&o.loads[c])+w <= o.caps[c] {
+			return c
+		}
+	}
+	return o.leastRelativeLoad(first, count)
+}
+
+// leastRelativeLoad is the forced-placement fallback: the child with the
+// smallest load/capacity ratio (capacities differ under Algorithm 2's
+// heterogeneous splits).
+func (o *OMS) leastRelativeLoad(first, count int32) int32 {
+	best := first
+	bestRatio := math.Inf(1)
+	for i := int32(0); i < count; i++ {
+		c := first + i
+		r := float64(atomic.LoadInt64(&o.loads[c])) / float64(o.caps[c])
+		if r < bestRatio {
+			best, bestRatio = c, r
+		}
+	}
+	return best
+}

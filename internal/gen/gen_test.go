@@ -1,0 +1,333 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"oms/internal/graph"
+)
+
+func validOrFatal(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiBasic(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 1)
+	validOrFatal(t, g)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	// Duplicates merge; for this sparsity nearly all 5000 survive.
+	if g.NumEdges() < 4900 || g.NumEdges() > 5000 {
+		t.Fatalf("m=%d want ~5000", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(200, 800, 7)
+	b := ErdosRenyi(200, 800, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	c := ErdosRenyi(200, 800, 8)
+	if a.NumEdges() == c.NumEdges() {
+		// Edge counts could coincide; compare adjacency checksum too.
+		sa, sc := int64(0), int64(0)
+		for _, v := range a.Adjncy {
+			sa = sa*31 + int64(v)
+		}
+		for _, v := range c.Adjncy {
+			sc = sc*31 + int64(v)
+		}
+		if sa == sc {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestErdosRenyiTiny(t *testing.T) {
+	for _, n := range []int32{0, 1, 2} {
+		g := ErdosRenyi(n, 10, 3)
+		validOrFatal(t, g)
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d want %d", g.NumNodes(), n)
+		}
+	}
+}
+
+func TestRandomGeometricDensity(t *testing.T) {
+	// With the paper's 0.55 factor, expected degree = n * pi * r^2
+	// = 0.55^2 * pi * ln n. For n = 4096: ~7.9.
+	g := RandomGeometric(4096, 0.55, 42)
+	validOrFatal(t, g)
+	avg := float64(2*g.NumEdges()) / float64(g.NumNodes())
+	want := 0.55 * 0.55 * math.Pi * math.Log(4096)
+	if avg < want*0.8 || avg > want*1.2 {
+		t.Fatalf("avg degree %.2f want ~%.2f", avg, want)
+	}
+}
+
+func TestRandomGeometricLocality(t *testing.T) {
+	// Morton ordering should make most edges short in id space.
+	g := RandomGeometric(2048, 0.55, 9)
+	var local, total int64
+	for u := int32(0); u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			total++
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d < 256 {
+				local++
+			}
+		}
+	}
+	if float64(local)/float64(total) < 0.5 {
+		t.Fatalf("only %d/%d edges are id-local; spatial sort broken?", local, total)
+	}
+}
+
+func TestRandomGeometricTiny(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 3} {
+		g := RandomGeometric(n, 0.55, 1)
+		validOrFatal(t, g)
+	}
+}
+
+func TestRoadLikeSparsity(t *testing.T) {
+	g := RoadLike(4000, 2.2, 5)
+	validOrFatal(t, g)
+	avg := float64(2*g.NumEdges()) / float64(g.NumNodes())
+	if avg < 1.0 || avg > 3.5 {
+		t.Fatalf("road avg degree %.2f want ~2", avg)
+	}
+}
+
+func TestDelaunaySmall(t *testing.T) {
+	// 4 points: triangulation has 4 or 5 edges (quad = 5 with diagonal).
+	g := Delaunay(4, 3)
+	validOrFatal(t, g)
+	if g.NumEdges() < 4 || g.NumEdges() > 6 {
+		t.Fatalf("m=%d for 4 points", g.NumEdges())
+	}
+}
+
+func TestDelaunayEdgeCount(t *testing.T) {
+	// Euler: a Delaunay triangulation of n points has m <= 3n - 6 and,
+	// for uniform random points, close to 3n.
+	for _, n := range []int32{100, 1000, 5000} {
+		g := Delaunay(n, 11)
+		validOrFatal(t, g)
+		m := g.NumEdges()
+		if m > int64(3*n-6) {
+			t.Fatalf("n=%d: m=%d exceeds planar bound %d", n, m, 3*n-6)
+		}
+		if float64(m) < 2.7*float64(n) {
+			t.Fatalf("n=%d: m=%d suspiciously low for random points", n, m)
+		}
+	}
+}
+
+func TestDelaunayIsPlanarConnected(t *testing.T) {
+	g := Delaunay(2000, 21)
+	validOrFatal(t, g)
+	// Connectivity via BFS: Delaunay triangulations are connected.
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != int(n) {
+		t.Fatalf("delaunay not connected: %d of %d reached", count, n)
+	}
+}
+
+func TestDelaunayDeterministic(t *testing.T) {
+	a := Delaunay(500, 4)
+	b := Delaunay(500, 4)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different triangulations")
+	}
+}
+
+func TestDelaunayTiny(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 3} {
+		g := Delaunay(n, 2)
+		validOrFatal(t, g)
+		if n == 3 && g.NumEdges() != 3 {
+			t.Fatalf("3 points should triangulate to 3 edges, got %d", g.NumEdges())
+		}
+		if n == 2 && g.NumEdges() != 1 {
+			t.Fatalf("2 points: m=%d want 1", g.NumEdges())
+		}
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g := RMAT(8192, 65536, SocialRMAT, 13)
+	validOrFatal(t, g)
+	if g.NumEdges() < 50000 {
+		t.Fatalf("m=%d want close to 65536", g.NumEdges())
+	}
+	// Power law: max degree far above average.
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 8*s.AvgDegree {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestRMATTiny(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 5} {
+		validOrFatal(t, RMAT(n, 4, SocialRMAT, 1))
+	}
+}
+
+func TestBarabasiAlbertDegrees(t *testing.T) {
+	g := BarabasiAlbert(4000, 5, 17)
+	validOrFatal(t, g)
+	// m ~= 5n (minus dedupe in the seed clique region).
+	if g.NumEdges() < int64(4*4000) || g.NumEdges() > int64(5*4000) {
+		t.Fatalf("m=%d want ~%d", g.NumEdges(), 5*4000)
+	}
+	s := graph.ComputeStats(g)
+	if s.MinDegree < 1 {
+		t.Fatal("BA graph has isolated node")
+	}
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestBarabasiAlbertTiny(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 3} {
+		validOrFatal(t, BarabasiAlbert(n, 2, 1))
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(10, 20, false)
+	validOrFatal(t, g)
+	if g.NumNodes() != 200 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	// Edges: 10*19 horizontal + 9*20 vertical = 370.
+	if g.NumEdges() != 370 {
+		t.Fatalf("m=%d want 370", g.NumEdges())
+	}
+}
+
+func TestGrid2DDiagonal(t *testing.T) {
+	g := Grid2D(3, 3, true)
+	validOrFatal(t, g)
+	// 3x3: 12 axis edges + 8 diagonal edges = 20; center degree 8.
+	if g.NumEdges() != 20 {
+		t.Fatalf("m=%d want 20", g.NumEdges())
+	}
+	if g.Degree(4) != 8 {
+		t.Fatalf("center degree %d want 8", g.Degree(4))
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(4, 5, 6)
+	validOrFatal(t, g)
+	if g.NumNodes() != 120 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	want := int64(3*5*6 + 4*4*6 + 4*5*5)
+	if g.NumEdges() != want {
+		t.Fatalf("m=%d want %d", g.NumEdges(), want)
+	}
+}
+
+func TestWattsStrogatzStructure(t *testing.T) {
+	g := WattsStrogatz(1000, 3, 0.05, 23)
+	validOrFatal(t, g)
+	// ~3n edges, mostly ring-local.
+	if g.NumEdges() < 2800 || g.NumEdges() > 3000 {
+		t.Fatalf("m=%d want ~3000", g.NumEdges())
+	}
+	var local int64
+	for u := int32(0); u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			d := int64(u) - int64(v)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 3 || d >= 997 {
+				local++
+			}
+		}
+	}
+	frac := float64(local) / float64(2*g.NumEdges())
+	if frac < 0.85 {
+		t.Fatalf("only %.0f%% local edges for beta=0.05", frac*100)
+	}
+}
+
+func TestWattsStrogatzFullRewire(t *testing.T) {
+	g := WattsStrogatz(500, 2, 1.0, 3)
+	validOrFatal(t, g)
+	if g.NumEdges() < 900 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+}
+
+func TestMortonInterleave(t *testing.T) {
+	if morton2(0, 0) != 0 {
+		t.Fatal("morton(0,0) != 0")
+	}
+	if morton2(1, 0) != 1 || morton2(0, 1) != 2 || morton2(1, 1) != 3 {
+		t.Fatalf("morton base cases wrong: %d %d %d",
+			morton2(1, 0), morton2(0, 1), morton2(1, 1))
+	}
+	// Monotone in each coordinate within a row/column pairwise prefix.
+	if morton2(2, 3) != 0b1110 {
+		t.Fatalf("morton(2,3)=%b want 1110", morton2(2, 3))
+	}
+}
+
+func TestGeneratorsSeedVariation(t *testing.T) {
+	gens := map[string]func(seed uint64) *graph.Graph{
+		"er":   func(s uint64) *graph.Graph { return ErdosRenyi(300, 900, s) },
+		"rgg":  func(s uint64) *graph.Graph { return RandomGeometric(300, 0.55, s) },
+		"del":  func(s uint64) *graph.Graph { return Delaunay(300, s) },
+		"rmat": func(s uint64) *graph.Graph { return RMAT(256, 1024, SocialRMAT, s) },
+		"ba":   func(s uint64) *graph.Graph { return BarabasiAlbert(300, 3, s) },
+		"ws":   func(s uint64) *graph.Graph { return WattsStrogatz(300, 2, 0.1, s) },
+	}
+	for name, f := range gens {
+		a, b := f(1), f(1)
+		ha, hb := adjChecksum(a), adjChecksum(b)
+		if ha != hb {
+			t.Errorf("%s: not deterministic", name)
+		}
+		c := f(2)
+		if adjChecksum(c) == ha {
+			t.Errorf("%s: seed has no effect", name)
+		}
+	}
+}
+
+func adjChecksum(g *graph.Graph) int64 {
+	var s int64
+	for _, v := range g.Adjncy {
+		s = s*1099511628211 + int64(v)
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"oms/internal/graph"
+	"oms/internal/util"
+)
+
+// Grid2D generates a rows x cols mesh; with diag, both diagonals of every
+// cell are added, raising the interior degree to 8 (FEM-style stencils
+// like the paper's matrix meshes). Node order is row-major, the natural
+// order of mesh instances.
+func Grid2D(rows, cols int32, diag bool) *graph.Graph {
+	n := rows * cols
+	b := graph.NewBuilder(n)
+	id := func(r, c int32) int32 { return r*cols + c }
+	for r := int32(0); r < rows; r++ {
+		for c := int32(0); c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			if diag && r+1 < rows {
+				if c+1 < cols {
+					b.AddEdge(id(r, c), id(r+1, c+1))
+				}
+				if c > 0 {
+					b.AddEdge(id(r, c), id(r+1, c-1))
+				}
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// Grid3D generates an x*y*z seven-point-stencil mesh (CFD style, the
+// HV15R/Flan family stand-in when combined with diag=false Grid2D layers).
+func Grid3D(x, y, z int32) *graph.Graph {
+	n := x * y * z
+	b := graph.NewBuilder(n)
+	id := func(i, j, k int32) int32 { return (i*y+j)*z + k }
+	for i := int32(0); i < x; i++ {
+		for j := int32(0); j < y; j++ {
+			for k := int32(0); k < z; k++ {
+				if i+1 < x {
+					b.AddEdge(id(i, j, k), id(i+1, j, k))
+				}
+				if j+1 < y {
+					b.AddEdge(id(i, j, k), id(i, j+1, k))
+				}
+				if k+1 < z {
+					b.AddEdge(id(i, j, k), id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// WattsStrogatz generates a ring lattice of n nodes each connected to its
+// kHalf nearest neighbors on both sides, with every edge rewired to a
+// random endpoint with probability beta. Low beta produces the
+// mostly-local + few-long-wires structure of circuit netlists (hcircuit,
+// FullChip, circuit5M in Table 1).
+func WattsStrogatz(n int32, kHalf int32, beta float64, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.NewBuilder(max32(n, 0)).Finish()
+	}
+	rng := util.NewRNG(seed)
+	b := graph.NewBuilder(n)
+	b.Reserve(int(n) * int(kHalf))
+	for u := int32(0); u < n; u++ {
+		for d := int32(1); d <= kHalf; d++ {
+			v := (u + d) % n
+			if rng.Float64() < beta {
+				v = int32(rng.Intn(int(n)))
+				for v == u {
+					v = int32(rng.Intn(int(n)))
+				}
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}

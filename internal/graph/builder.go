@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces a clean CSR Graph: undirected,
+// symmetric, self loops dropped, parallel edges merged (weights summed),
+// adjacency sorted. Generators and IO readers both funnel through it so
+// every Graph in the system satisfies Validate().
+type Builder struct {
+	n     int32
+	us    []int32
+	vs    []int32
+	ws    []int32
+	vwgt  []int32
+	wUsed bool
+}
+
+// NewBuilder creates a builder for a graph with n nodes.
+func NewBuilder(n int32) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// Reserve pre-sizes internal buffers for m undirected edges.
+func (b *Builder) Reserve(m int) {
+	if cap(b.us) < m {
+		us := make([]int32, len(b.us), m)
+		copy(us, b.us)
+		b.us = us
+		vs := make([]int32, len(b.vs), m)
+		copy(vs, b.vs)
+		b.vs = vs
+		ws := make([]int32, len(b.ws), m)
+		copy(ws, b.ws)
+		b.ws = ws
+	}
+}
+
+// AddEdge records the undirected edge {u,v} with weight 1. Self loops are
+// silently dropped; duplicates are merged at Finish time.
+func (b *Builder) AddEdge(u, v int32) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u,v} with weight w.
+func (b *Builder) AddWeightedEdge(u, v, w int32) {
+	if u == v {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive edge weight %d", w))
+	}
+	if w != 1 {
+		b.wUsed = true
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// SetNodeWeight assigns c(u) = w (default 1).
+func (b *Builder) SetNodeWeight(u, w int32) {
+	if w < 0 {
+		panic("graph: negative node weight")
+	}
+	if b.vwgt == nil {
+		b.vwgt = make([]int32, b.n)
+		for i := range b.vwgt {
+			b.vwgt[i] = 1
+		}
+	}
+	b.vwgt[u] = w
+}
+
+// Finish builds the CSR graph. The builder must not be reused afterwards.
+//
+// Construction is O(m log d): bucket both edge directions by counting sort
+// on the source, then sort and merge each adjacency list.
+func (b *Builder) Finish() *Graph {
+	n := b.n
+	deg := make([]int64, n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for u := int32(0); u < n; u++ {
+		deg[u+1] += deg[u]
+	}
+	xadj := deg // reuse: deg is now the prefix sum == provisional Xadj
+	adj := make([]int32, xadj[n])
+	wgt := make([]int32, xadj[n])
+	cursor := make([]int64, n)
+	for u := int32(0); u < n; u++ {
+		cursor[u] = xadj[u]
+	}
+	put := func(u, v, w int32) {
+		adj[cursor[u]] = v
+		wgt[cursor[u]] = w
+		cursor[u]++
+	}
+	for i := range b.us {
+		put(b.us[i], b.vs[i], b.ws[i])
+		put(b.vs[i], b.us[i], b.ws[i])
+	}
+	b.us, b.vs, b.ws = nil, nil, nil
+
+	// Sort each adjacency list and merge duplicates in place.
+	outXadj := make([]int64, n+1)
+	var write int64
+	for u := int32(0); u < n; u++ {
+		lo, hi := xadj[u], xadj[u+1]
+		seg := adjSorter{adj[lo:hi], wgt[lo:hi]}
+		sort.Sort(seg)
+		outXadj[u] = write
+		var last int32 = -1
+		for i := lo; i < hi; i++ {
+			if adj[i] == last {
+				wgt[write-1] += wgt[i]
+				continue
+			}
+			adj[write] = adj[i]
+			wgt[write] = wgt[i]
+			last = adj[i]
+			write++
+		}
+	}
+	outXadj[n] = write
+	g := &Graph{
+		Xadj:   outXadj,
+		Adjncy: adj[:write:write],
+		VWgt:   b.vwgt,
+	}
+	if b.wUsed || hasMergedWeights(wgt[:write]) {
+		g.AdjWgt = wgt[:write:write]
+	}
+	return g
+}
+
+func hasMergedWeights(w []int32) bool {
+	for _, x := range w {
+		if x != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+type adjSorter struct {
+	adj []int32
+	wgt []int32
+}
+
+func (s adjSorter) Len() int           { return len(s.adj) }
+func (s adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.wgt[i], s.wgt[j] = s.wgt[j], s.wgt[i]
+}
+
+// FromAdjacency builds a graph directly from per-node neighbor lists
+// (convenience for tests). Lists may be asymmetric or contain duplicates;
+// the builder normalizes them.
+func FromAdjacency(lists [][]int32) *Graph {
+	b := NewBuilder(int32(len(lists)))
+	for u, l := range lists {
+		for _, v := range l {
+			if int32(u) < v { // add each undirected edge once
+				b.AddEdge(int32(u), v)
+			}
+		}
+	}
+	return b.Finish()
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes degree structure, used by the instance registry to
+// report the Table-1 style properties of generated graphs.
+type Stats struct {
+	N         int32
+	M         int64
+	MinDegree int32
+	MaxDegree int32
+	AvgDegree float64
+	Isolated  int32 // nodes with degree 0
+}
+
+// ComputeStats scans the graph once.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	s := Stats{N: n, M: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	for u := int32(0); u < n; u++ {
+		d := g.Degree(u)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(2*s.M) / float64(n)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d deg[min=%d avg=%.2f max=%d] isolated=%d",
+		s.N, s.M, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Isolated)
+}

@@ -1,0 +1,72 @@
+package graph
+
+// InducedSubgraph extracts the subgraph induced by nodes (which must
+// contain no duplicates). It returns the subgraph, whose node i corresponds
+// to nodes[i] in g. Used by the offline recursive multi-section to recurse
+// into blocks (§3.1) and by the multilevel comparator.
+func (g *Graph) InducedSubgraph(nodes []int32) *Graph {
+	n := g.NumNodes()
+	local := make([]int32, n)
+	for i := range local {
+		local[i] = -1
+	}
+	for i, u := range nodes {
+		local[u] = int32(i)
+	}
+	sub := int32(len(nodes))
+	xadj := make([]int64, sub+1)
+	// First pass: count surviving edges.
+	for i, u := range nodes {
+		var d int64
+		for _, v := range g.Neighbors(u) {
+			if local[v] >= 0 {
+				d++
+			}
+		}
+		xadj[i+1] = xadj[i] + d
+	}
+	adj := make([]int32, xadj[sub])
+	var wgt []int32
+	if g.AdjWgt != nil {
+		wgt = make([]int32, xadj[sub])
+	}
+	for i, u := range nodes {
+		pos := xadj[i]
+		nb := g.Neighbors(u)
+		ew := g.EdgeWeights(u)
+		for j, v := range nb {
+			if lv := local[v]; lv >= 0 {
+				adj[pos] = lv
+				if wgt != nil {
+					wgt[pos] = ew[j]
+				}
+				pos++
+			}
+		}
+	}
+	var vwgt []int32
+	if g.VWgt != nil {
+		vwgt = make([]int32, sub)
+		for i, u := range nodes {
+			vwgt[i] = g.VWgt[u]
+		}
+	}
+	return &Graph{Xadj: xadj, Adjncy: adj, AdjWgt: wgt, VWgt: vwgt}
+}
+
+// PartitionNodeSets groups node ids by their block in parts; k is the
+// number of blocks. parts[u] must be in [0,k).
+func PartitionNodeSets(parts []int32, k int32) [][]int32 {
+	counts := make([]int32, k)
+	for _, p := range parts {
+		counts[p]++
+	}
+	sets := make([][]int32, k)
+	for b := int32(0); b < k; b++ {
+		sets[b] = make([]int32, 0, counts[b])
+	}
+	for u, p := range parts {
+		sets[p] = append(sets[p], int32(u))
+	}
+	return sets
+}

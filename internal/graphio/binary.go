@@ -1,0 +1,109 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"oms/internal/graph"
+)
+
+// Binary format: little-endian; magic "OMSG", u32 version, u32 flags
+// (bit0 edge weights, bit1 node weights), i32 n, i64 m, then Xadj (n+1 x
+// i64), Adjncy (2m x i32), optional AdjWgt (2m x i32), optional VWgt (n x
+// i32). Loads with two big reads instead of text parsing; used by the
+// bench harness to cache generated instances.
+
+const (
+	binaryMagic   = "OMSG"
+	binaryVersion = 1
+	flagEdgeWgt   = 1 << 0
+	flagNodeWgt   = 1 << 1
+)
+
+// WriteBinary serializes g.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.AdjWgt != nil {
+		flags |= flagEdgeWgt
+	}
+	if g.VWgt != nil {
+		flags |= flagNodeWgt
+	}
+	hdr := []any{uint32(binaryVersion), flags, int32(g.NumNodes()), int64(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, arr := range []any{g.Xadj, g.Adjncy} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	if g.AdjWgt != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.AdjWgt); err != nil {
+			return err
+		}
+	}
+	if g.VWgt != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.VWgt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graphio: binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var version, flags uint32
+	var n int32
+	var m int64
+	for _, p := range []any{&version, &flags, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graphio: unsupported binary version %d", version)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graphio: corrupt sizes n=%d m=%d", n, m)
+	}
+	g := &graph.Graph{
+		Xadj:   make([]int64, n+1),
+		Adjncy: make([]int32, 2*m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Xadj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adjncy); err != nil {
+		return nil, err
+	}
+	if flags&flagEdgeWgt != 0 {
+		g.AdjWgt = make([]int32, 2*m)
+		if err := binary.Read(br, binary.LittleEndian, g.AdjWgt); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagNodeWgt != 0 {
+		g.VWgt = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, g.VWgt); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

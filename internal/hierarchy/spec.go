@@ -1,0 +1,183 @@
+// Package hierarchy models hierarchical communication topologies and the
+// multi-section tree at the heart of the paper's online recursive
+// multi-section (§2.1, §3.1, §3.3).
+//
+// A topology is described by S = a1:a2:...:al (a1 cores per processor, a2
+// processors per node, and so on; k = prod a_i PEs) together with level
+// distances D = d1:d2:...:dl (d1 = cost between cores of one processor).
+// The multi-section tree is the hierarchy of partitioning subproblems: the
+// root splits the graph into a_l blocks, each of those into a_{l-1}
+// sub-blocks, down to single PEs at the leaves. For plain graph
+// partitioning with no given topology, BuildHierarchy (Algorithm 2 of the
+// paper) constructs an artificial recursive b-section tree for any k.
+package hierarchy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed topology string S = a1:a2:...:al. Factors[0] = a1 is
+// the innermost (cheapest) level. All factors are >= 2, as the paper
+// assumes.
+type Spec struct {
+	Factors []int32
+}
+
+// ParseSpec parses "4:16:8" into a Spec.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) == 0 || s == "" {
+		return Spec{}, fmt.Errorf("hierarchy: empty spec")
+	}
+	f := make([]int32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return Spec{}, fmt.Errorf("hierarchy: bad factor %q in %q", p, s)
+		}
+		if v < 2 {
+			return Spec{}, fmt.Errorf("hierarchy: factor %d < 2 in %q", v, s)
+		}
+		f[i] = int32(v)
+	}
+	return Spec{Factors: f}, nil
+}
+
+// MustSpec parses s and panics on error (for constants in tests/benches).
+func MustSpec(s string) Spec {
+	spec, err := ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// K returns the total number of PEs, prod a_i.
+func (s Spec) K() int32 {
+	k := int32(1)
+	for _, a := range s.Factors {
+		k *= a
+	}
+	return k
+}
+
+// Levels returns l, the number of hierarchy levels.
+func (s Spec) Levels() int { return len(s.Factors) }
+
+// String formats the spec as "a1:a2:...:al".
+func (s Spec) String() string {
+	parts := make([]string, len(s.Factors))
+	for i, a := range s.Factors {
+		parts[i] = strconv.Itoa(int(a))
+	}
+	return strings.Join(parts, ":")
+}
+
+// Distances is a parsed distance string D = d1:d2:...:dl; d1 is the cost
+// between PEs sharing the innermost level. Distances must be positive and
+// non-decreasing (communication through higher levels costs more).
+type Distances struct {
+	D []float64
+}
+
+// ParseDistances parses "1:10:100".
+func ParseDistances(s string) (Distances, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) == 0 || s == "" {
+		return Distances{}, fmt.Errorf("hierarchy: empty distances")
+	}
+	d := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Distances{}, fmt.Errorf("hierarchy: bad distance %q in %q", p, s)
+		}
+		if v <= 0 {
+			return Distances{}, fmt.Errorf("hierarchy: non-positive distance %v", v)
+		}
+		if i > 0 && v < d[i-1] {
+			return Distances{}, fmt.Errorf("hierarchy: distances must be non-decreasing, got %q", s)
+		}
+		d[i] = v
+	}
+	return Distances{D: d}, nil
+}
+
+// MustDistances parses s and panics on error.
+func MustDistances(s string) Distances {
+	d, err := ParseDistances(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Topology pairs a Spec with matching Distances and provides the PE
+// distance oracle D_{x,y} used by the mapping objective J.
+type Topology struct {
+	Spec Spec
+	Dist Distances
+
+	// strides[i] = prod_{r<=i} a_r: PEs x and y share level i (or lower)
+	// iff x/strides[i] == y/strides[i].
+	strides []int64
+}
+
+// NewTopology validates that dist has one entry per spec level.
+func NewTopology(spec Spec, dist Distances) (*Topology, error) {
+	if len(dist.D) != len(spec.Factors) {
+		return nil, fmt.Errorf("hierarchy: %d distances for %d levels", len(dist.D), len(spec.Factors))
+	}
+	t := &Topology{Spec: spec, Dist: dist}
+	t.strides = make([]int64, len(spec.Factors))
+	acc := int64(1)
+	for i, a := range spec.Factors {
+		acc *= int64(a)
+		t.strides[i] = acc
+	}
+	return t, nil
+}
+
+// MustTopology builds a topology and panics on error.
+func MustTopology(spec Spec, dist Distances) *Topology {
+	t, err := NewTopology(spec, dist)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PEDistance returns D_{x,y}: zero when x == y, otherwise d_i for the
+// lowest level i whose groups contain both PEs. PE ids follow the
+// multi-section tree leaf order, so PEs p and p+1 with p mod a1 != a1-1
+// share a processor.
+func (t *Topology) PEDistance(x, y int32) float64 {
+	if x == y {
+		return 0
+	}
+	for i, s := range t.strides {
+		if int64(x)/s == int64(y)/s {
+			return t.Dist.D[i]
+		}
+	}
+	// Distinct PEs always share the outermost level group (the machine):
+	// strides[l-1] == k, so we cannot get here for valid ids.
+	return t.Dist.D[len(t.Dist.D)-1]
+}
+
+// SharedLevel returns the lowest hierarchy level (0-based) whose groups
+// contain both PEs, or -1 when x == y. Level 0 is the innermost
+// (cheapest) level; communication between the PEs costs Dist.D[level].
+func (t *Topology) SharedLevel(x, y int32) int {
+	if x == y {
+		return -1
+	}
+	for i, s := range t.strides {
+		if int64(x)/s == int64(y)/s {
+			return i
+		}
+	}
+	return len(t.strides) - 1
+}

@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oms/internal/gen"
+	"oms/internal/hierarchy"
+	"oms/internal/metrics"
+	"oms/internal/util"
+)
+
+// TestPropertyBlockGraphSymmetric: every block-graph edge appears in
+// both adjacency lists with equal weight, and total block-edge weight
+// equals the partition's edge-cut.
+func TestPropertyBlockGraphSymmetric(t *testing.T) {
+	f := func(graphSeed, partSeed uint32, kRaw uint8) bool {
+		k := int32(kRaw%30) + 2
+		g := gen.ErdosRenyi(500, 2000, uint64(graphSeed))
+		parts := make([]int32, g.NumNodes())
+		rng := util.NewRNG(uint64(partSeed))
+		for u := range parts {
+			parts[u] = int32(rng.Intn(int(k)))
+		}
+		bg := BuildBlockGraph(g, parts, k)
+		var total int64
+		for a := int32(0); a < k; a++ {
+			for _, e := range bg.Adj[a] {
+				total += e.W
+				// Find the reverse edge.
+				found := false
+				for _, r := range bg.Adj[e.To] {
+					if r.To == a {
+						if r.W != e.W {
+							t.Logf("asymmetric weight %d vs %d", e.W, r.W)
+							return false
+						}
+						found = true
+					}
+				}
+				if !found {
+					t.Logf("missing reverse edge %d->%d", e.To, a)
+					return false
+				}
+			}
+		}
+		if total/2 != metrics.EdgeCut(g, parts) {
+			t.Logf("block weight sum %d != 2*cut %d", total, 2*metrics.EdgeCut(g, parts))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySwapPreservesJIdentity: applying a sequence of random
+// swaps and then swapping back returns J to its original value (the
+// delta bookkeeping has no drift).
+func TestPropertySwapPreservesJIdentity(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 3, 2)
+	top := hierarchy.MustTopology(hierarchy.MustSpec("4:4"), hierarchy.MustDistances("1:10"))
+	k := top.Spec.K()
+	parts := make([]int32, g.NumNodes())
+	rng := util.NewRNG(3)
+	for u := range parts {
+		parts[u] = int32(rng.Intn(int(k)))
+	}
+	bg := BuildBlockGraph(g, parts, k)
+	pe := Identity(k)
+	before := bg.CostJ(top, pe)
+	type sw struct{ a, b int32 }
+	var seq []sw
+	for i := 0; i < 40; i++ {
+		a, b := int32(rng.Intn(int(k))), int32(rng.Intn(int(k)))
+		seq = append(seq, sw{a, b})
+		pe[a], pe[b] = pe[b], pe[a]
+	}
+	for i := len(seq) - 1; i >= 0; i-- {
+		pe[seq[i].a], pe[seq[i].b] = pe[seq[i].b], pe[seq[i].a]
+	}
+	after := bg.CostJ(top, pe)
+	if math.Abs(after-before) > 1e-9 {
+		t.Fatalf("J drifted: %v -> %v", before, after)
+	}
+}
+
+// TestPropertyOfflineMapAlwaysValid: random small topologies over random
+// geometric graphs always yield complete, in-range, balanced mappings.
+func TestPropertyOfflineMapAlwaysValid(t *testing.T) {
+	f := func(f1, f2 uint8, graphSeed uint32) bool {
+		factors := []int32{int32(f1%3) + 2, int32(f2%3) + 2}
+		top := hierarchy.MustTopology(
+			hierarchy.Spec{Factors: factors},
+			hierarchy.Distances{D: []float64{1, 10}},
+		)
+		k := top.Spec.K()
+		g := gen.RandomGeometric(4*k+int32(graphSeed%1000), 0.55, uint64(graphSeed))
+		parts, err := OfflineMap(g, top, Options{Epsilon: 0.03, Seed: uint64(graphSeed)})
+		if err != nil {
+			t.Logf("OfflineMap: %v", err)
+			return false
+		}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		if err := metrics.CheckBalanced(g, parts, k, 0.03); err != nil {
+			t.Logf("%v (k=%d)", err, k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package multilevel
+
+import (
+	"oms/internal/graph"
+	"oms/internal/util"
+)
+
+// gainHeap is a lazy binary max-heap of (gain, node) entries used by
+// growBisection. Stale entries (whose gain no longer matches the node's
+// current gain, or whose node was already absorbed) are discarded at pop
+// time, keeping each push O(log n) without indexed decrease-key.
+type gainHeap struct {
+	gains []int64
+	nodes []int32
+}
+
+func (h *gainHeap) push(gain int64, u int32) {
+	h.gains = append(h.gains, gain)
+	h.nodes = append(h.nodes, u)
+	i := len(h.gains) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.gains[p] >= h.gains[i] {
+			break
+		}
+		h.gains[p], h.gains[i] = h.gains[i], h.gains[p]
+		h.nodes[p], h.nodes[i] = h.nodes[i], h.nodes[p]
+		i = p
+	}
+}
+
+func (h *gainHeap) pop() (int64, int32) {
+	g, u := h.gains[0], h.nodes[0]
+	last := len(h.gains) - 1
+	h.gains[0], h.nodes[0] = h.gains[last], h.nodes[last]
+	h.gains = h.gains[:last]
+	h.nodes = h.nodes[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.gains[l] > h.gains[big] {
+			big = l
+		}
+		if r < last && h.gains[r] > h.gains[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.gains[i], h.gains[big] = h.gains[big], h.gains[i]
+		h.nodes[i], h.nodes[big] = h.nodes[big], h.nodes[i]
+		i = big
+	}
+	return g, u
+}
+
+func (h *gainHeap) empty() bool { return len(h.gains) == 0 }
+
+// growBisection grows block 0 from a seed node by best-first expansion
+// until it holds targetW node weight; everything else stays in block 1.
+// If the component around the seed is exhausted early, growth restarts
+// from the first untouched node so disconnected graphs still yield a
+// weight-balanced bisection.
+func growBisection(g *graph.Graph, seed int32, targetW int64) []int32 {
+	n := g.NumNodes()
+	parts := make([]int32, n)
+	for u := range parts {
+		parts[u] = 1
+	}
+	gainTo0 := make([]int64, n)
+	seen := make([]bool, n)
+	var heap gainHeap
+	heap.push(0, seed)
+	seen[seed] = true
+	nextSeed := int32(0)
+	var w0 int64
+	for w0 < targetW {
+		if heap.empty() {
+			// Disconnected: restart from the first node not yet reached.
+			for nextSeed < n && seen[nextSeed] {
+				nextSeed++
+			}
+			if nextSeed == n {
+				break
+			}
+			seen[nextSeed] = true
+			heap.push(0, nextSeed)
+			continue
+		}
+		gain, u := heap.pop()
+		if parts[u] == 0 || gain != gainTo0[u] {
+			continue // stale lazy entry
+		}
+		parts[u] = 0
+		w0 += int64(g.NodeWeight(u))
+		adj := g.Neighbors(u)
+		ew := g.EdgeWeights(u)
+		for i, v := range adj {
+			if parts[v] == 0 {
+				continue
+			}
+			w := int64(1)
+			if ew != nil {
+				w = int64(ew[i])
+			}
+			gainTo0[v] += w
+			seen[v] = true
+			heap.push(gainTo0[v], v)
+		}
+	}
+	return parts
+}
+
+// cutOf computes the bisection cut.
+func cutOf(g *graph.Graph, parts []int32) int64 {
+	var cut int64
+	for u := int32(0); u < g.NumNodes(); u++ {
+		adj := g.Neighbors(u)
+		ew := g.EdgeWeights(u)
+		for i, v := range adj {
+			if v > u && parts[u] != parts[v] {
+				if ew != nil {
+					cut += int64(ew[i])
+				} else {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
+}
+
+// bestBisection tries several growth seeds and keeps the best cut.
+func bestBisection(g *graph.Graph, targetW int64, tries int, rng *util.RNG) []int32 {
+	n := int(g.NumNodes())
+	var best []int32
+	var bestCut int64 = -1
+	for t := 0; t < tries; t++ {
+		seed := int32(rng.Intn(n))
+		parts := growBisection(g, seed, targetW)
+		if c := cutOf(g, parts); bestCut < 0 || c < bestCut {
+			best, bestCut = parts, c
+		}
+	}
+	return best
+}
+
+// initialPartition recursively bisects the coarsest graph into k blocks.
+// lmax is the global per-block capacity ceil((1+eps) c(V)/k) of the
+// original problem: a recursion side covering t final blocks is capped at
+// t*lmax, so the leaf blocks satisfy the global balance constraint by
+// construction instead of compounding (1+eps) slack per level.
+func initialPartition(g *graph.Graph, k int32, lmax int64, rng *util.RNG) []int32 {
+	parts := make([]int32, g.NumNodes())
+	recursiveBisect(g, k, 0, lmax, rng, parts, identityNodes(g.NumNodes()))
+	return parts
+}
+
+func identityNodes(n int32) []int32 {
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	return nodes
+}
+
+// recursiveBisect partitions the subgraph induced by nodes (already
+// materialized as g) into blocks [firstBlock, firstBlock+k) of the global
+// out array.
+func recursiveBisect(g *graph.Graph, k, firstBlock int32, lmax int64, rng *util.RNG, out []int32, nodes []int32) {
+	if k == 1 {
+		for _, u := range nodes {
+			out[u] = firstBlock
+		}
+		return
+	}
+	if g.NumNodes() == 0 {
+		return
+	}
+	k1 := k / 2
+	k2 := k - k1
+	total := g.TotalNodeWeight()
+	target := total * int64(k1) / int64(k)
+	parts := bestBisection(g, target, 4, rng)
+	caps := []int64{int64(k1) * lmax, int64(k2) * lmax}
+	refineLP(g, parts, 2, caps, 6, rng)
+	rebalance(g, parts, 2, caps)
+	fm2Way(g, parts, caps, 8)
+	rebalance(g, parts, 2, caps)
+
+	var nodes0, nodes1 []int32 // local indices
+	for u, p := range parts {
+		if p == 0 {
+			nodes0 = append(nodes0, int32(u))
+		} else {
+			nodes1 = append(nodes1, int32(u))
+		}
+	}
+	global0 := make([]int32, len(nodes0))
+	for i, lu := range nodes0 {
+		global0[i] = nodes[lu]
+	}
+	global1 := make([]int32, len(nodes1))
+	for i, lu := range nodes1 {
+		global1[i] = nodes[lu]
+	}
+	recursiveBisect(g.InducedSubgraph(nodes0), k1, firstBlock, lmax, rng, out, global0)
+	recursiveBisect(g.InducedSubgraph(nodes1), k2, firstBlock+k1, lmax, rng, out, global1)
+}

@@ -1,0 +1,217 @@
+package multilevel
+
+import (
+	"sync/atomic"
+
+	"oms/internal/graph"
+	"oms/internal/util"
+)
+
+// casAdd charges w to load[b] iff the result stays within cap, with a
+// compare-and-swap loop (the same reservation discipline the streaming
+// core uses under §3.4-style parallelism).
+func casAdd(load *int64, w, cap int64) bool {
+	for {
+		cur := atomic.LoadInt64(load)
+		if cur+w > cap {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(load, cur, cur+w) {
+			return true
+		}
+	}
+}
+
+// refineLPPar is the parallel variant of refineLP: workers sweep
+// disjoint node ranges concurrently, reading neighbor assignments racily
+// (stale reads only weaken a gain estimate) and moving nodes under
+// CAS-reserved capacity, so blocks never exceed caps under any
+// interleaving. Quality is statistically equivalent to the sequential
+// sweep; move order is nondeterministic.
+func refineLPPar(g *graph.Graph, parts []int32, k int32, caps []int64, iters, threads int, seed uint64) {
+	n := int(g.NumNodes())
+	if n == 0 {
+		return
+	}
+	loads := make([]int64, k)
+	for u := 0; u < n; u++ {
+		loads[parts[u]] += int64(g.NodeWeight(int32(u)))
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng := util.NewRNG(seed)
+	for it := 0; it < iters; it++ {
+		rng.ShuffleInt32(order)
+		var movedTotal int64
+		util.ParallelFor(n, threads, func(worker, lo, hi int) {
+			gain := make([]int64, k)
+			mark := make([]uint32, k)
+			var epoch uint32
+			touched := make([]int32, 0, 64)
+			var moved int64
+			for i := lo; i < hi; i++ {
+				u := order[i]
+				adj := g.Neighbors(u)
+				if len(adj) == 0 {
+					continue
+				}
+				ew := g.EdgeWeights(u)
+				epoch++
+				if epoch == 0 {
+					for j := range mark {
+						mark[j] = 0
+					}
+					epoch = 1
+				}
+				touched = touched[:0]
+				for j, v := range adj {
+					b := atomic.LoadInt32(&parts[v])
+					w := int64(1)
+					if ew != nil {
+						w = int64(ew[j])
+					}
+					if mark[b] != epoch {
+						mark[b] = epoch
+						gain[b] = 0
+						touched = append(touched, b)
+					}
+					gain[b] += w
+				}
+				cur := atomic.LoadInt32(&parts[u])
+				var internal int64
+				if mark[cur] == epoch {
+					internal = gain[cur]
+				}
+				w := int64(g.NodeWeight(u))
+				best := cur
+				var bestGain int64
+				var bestLoad int64
+				for _, b := range touched {
+					if b == cur {
+						continue
+					}
+					load := atomic.LoadInt64(&loads[b])
+					if load+w > caps[b] {
+						continue
+					}
+					d := gain[b] - internal
+					if d > bestGain || (d == bestGain && best != cur && load < bestLoad) {
+						best, bestGain, bestLoad = b, d, load
+					}
+				}
+				if best != cur && casAdd(&loads[best], w, caps[best]) {
+					atomic.AddInt64(&loads[cur], -w)
+					atomic.StoreInt32(&parts[u], best)
+					moved++
+				}
+			}
+			atomic.AddInt64(&movedTotal, moved)
+		})
+		if movedTotal == 0 {
+			break
+		}
+	}
+}
+
+// lpClusteringPar is the parallel variant of lpClustering: the same
+// size-constrained label propagation with racy neighbor-cluster reads
+// and CAS-reserved cluster weights. Returns a dense cluster id per node
+// and the cluster count.
+func lpClusteringPar(g *graph.Graph, maxVW int64, rounds, threads int, seed uint64) ([]int32, int32) {
+	n := g.NumNodes()
+	cluster := make([]int32, n)
+	cw := make([]int64, n)
+	for u := int32(0); u < n; u++ {
+		cluster[u] = u
+		cw[u] = int64(g.NodeWeight(u))
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng := util.NewRNG(seed ^ 0x636c7573746572)
+	for r := 0; r < rounds; r++ {
+		rng.ShuffleInt32(order)
+		var movedTotal int64
+		util.ParallelFor(int(n), threads, func(worker, lo, hi int) {
+			gain := make([]int64, n)
+			mark := make([]uint32, n)
+			var epoch uint32
+			touched := make([]int32, 0, 64)
+			var moved int64
+			for i := lo; i < hi; i++ {
+				u := order[i]
+				adj := g.Neighbors(u)
+				if len(adj) == 0 {
+					continue
+				}
+				ew := g.EdgeWeights(u)
+				epoch++
+				if epoch == 0 {
+					for j := range mark {
+						mark[j] = 0
+					}
+					epoch = 1
+				}
+				touched = touched[:0]
+				for j, v := range adj {
+					c := atomic.LoadInt32(&cluster[v])
+					w := int64(1)
+					if ew != nil {
+						w = int64(ew[j])
+					}
+					if mark[c] != epoch {
+						mark[c] = epoch
+						gain[c] = 0
+						touched = append(touched, c)
+					}
+					gain[c] += w
+				}
+				cur := atomic.LoadInt32(&cluster[u])
+				w := int64(g.NodeWeight(u))
+				best := cur
+				var bestGain int64 = -1
+				if mark[cur] == epoch {
+					bestGain = gain[cur]
+				}
+				for _, c := range touched {
+					if c == cur {
+						continue
+					}
+					if atomic.LoadInt64(&cw[c])+w > maxVW {
+						continue
+					}
+					if gain[c] > bestGain {
+						best, bestGain = c, gain[c]
+					}
+				}
+				if best != cur && casAdd(&cw[best], w, maxVW) {
+					atomic.AddInt64(&cw[cur], -w)
+					atomic.StoreInt32(&cluster[u], best)
+					moved++
+				}
+			}
+			atomic.AddInt64(&movedTotal, moved)
+		})
+		if movedTotal == 0 {
+			break
+		}
+	}
+	// Dense relabeling in first-appearance order (sequential, O(n)).
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := int32(0)
+	for u := int32(0); u < n; u++ {
+		c := cluster[u]
+		if remap[c] < 0 {
+			remap[c] = next
+			next++
+		}
+		cluster[u] = remap[c]
+	}
+	return cluster, next
+}

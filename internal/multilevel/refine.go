@@ -1,0 +1,234 @@
+package multilevel
+
+import (
+	"sort"
+
+	"oms/internal/graph"
+	"oms/internal/util"
+)
+
+// refineLP is size-constrained label propagation: nodes move (in random
+// order, for several rounds) to the neighboring block with the highest
+// positive connectivity gain among moves that respect per-block caps.
+// This is the refinement style of modern fast multilevel partitioners.
+func refineLP(g *graph.Graph, parts []int32, k int32, caps []int64, iters int, rng *util.RNG) {
+	n := g.NumNodes()
+	loads := make([]int64, k)
+	for u := int32(0); u < n; u++ {
+		loads[parts[u]] += int64(g.NodeWeight(u))
+	}
+	gain := make([]int64, k)
+	mark := make([]uint32, k)
+	var epoch uint32
+	touched := make([]int32, 0, 64)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for it := 0; it < iters; it++ {
+		rng.ShuffleInt32(order)
+		moved := 0
+		for _, u := range order {
+			adj := g.Neighbors(u)
+			if len(adj) == 0 {
+				continue
+			}
+			ew := g.EdgeWeights(u)
+			epoch++
+			if epoch == 0 {
+				for i := range mark {
+					mark[i] = 0
+				}
+				epoch = 1
+			}
+			touched = touched[:0]
+			for i, v := range adj {
+				b := parts[v]
+				w := int64(1)
+				if ew != nil {
+					w = int64(ew[i])
+				}
+				if mark[b] != epoch {
+					mark[b] = epoch
+					gain[b] = 0
+					touched = append(touched, b)
+				}
+				gain[b] += w
+			}
+			cur := parts[u]
+			var internal int64
+			if mark[cur] == epoch {
+				internal = gain[cur]
+			}
+			w := int64(g.NodeWeight(u))
+			best := cur
+			var bestGain int64
+			var bestLoad int64
+			for _, b := range touched {
+				if b == cur {
+					continue
+				}
+				if loads[b]+w > caps[b] {
+					continue
+				}
+				d := gain[b] - internal
+				better := d > bestGain ||
+					(d == bestGain && best != cur && loads[b] < bestLoad) ||
+					(d == 0 && bestGain == 0 && best == cur && loads[b]+w < loads[cur])
+				if better {
+					best, bestGain, bestLoad = b, d, loads[b]
+				}
+			}
+			if best != cur {
+				loads[cur] -= w
+				loads[best] += w
+				parts[u] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// rebalance evicts nodes from over-capacity blocks into feasible blocks.
+// It processes one overweight block at a time (largest excess first),
+// ranks the block's nodes by the cut loss of their cheapest feasible move,
+// and evicts in that order until the block fits. Feasible moves strictly
+// shrink total excess, so they are bounded by the total weight; forced
+// moves (needed only under extreme node-weight skew, when no target can
+// take any member node) are capped, after which the function gives up and
+// leaves the residual imbalance for a finer level to repair.
+func rebalance(g *graph.Graph, parts []int32, k int32, caps []int64) {
+	n := g.NumNodes()
+	loads := make([]int64, k)
+	for u := int32(0); u < n; u++ {
+		loads[parts[u]] += int64(g.NodeWeight(u))
+	}
+	gain := make([]int64, k)
+	mark := make([]uint32, k)
+	var epoch uint32
+	forcedBudget := int(n) + 1
+
+	// bestMove returns u's cheapest feasible target outside `over` and the
+	// cut loss of moving there; target < 0 if no block can take u.
+	bestMove := func(u, over int32) (target int32, loss int64) {
+		adj := g.Neighbors(u)
+		ew := g.EdgeWeights(u)
+		epoch++
+		if epoch == 0 {
+			for i := range mark {
+				mark[i] = 0
+			}
+			epoch = 1
+		}
+		for i, v := range adj {
+			b := parts[v]
+			w := int64(1)
+			if ew != nil {
+				w = int64(ew[i])
+			}
+			if mark[b] != epoch {
+				mark[b] = epoch
+				gain[b] = 0
+			}
+			gain[b] += w
+		}
+		var internal int64
+		if mark[over] == epoch {
+			internal = gain[over]
+		}
+		w := int64(g.NodeWeight(u))
+		target = -1
+		for b := int32(0); b < k; b++ {
+			if b == over || loads[b]+w > caps[b] {
+				continue
+			}
+			var external int64
+			if mark[b] == epoch {
+				external = gain[b]
+			}
+			if l := internal - external; target < 0 || l < loss {
+				target, loss = b, l
+			}
+		}
+		return target, loss
+	}
+
+	type cand struct {
+		u    int32
+		loss int64
+	}
+	var cands []cand
+	for {
+		over := int32(-1)
+		var worst int64
+		for b := int32(0); b < k; b++ {
+			if ex := loads[b] - caps[b]; ex > worst {
+				worst, over = ex, b
+			}
+		}
+		if over < 0 {
+			return
+		}
+		// Rank the block's members by their cheapest-move loss once, then
+		// evict in that order, rechecking feasibility as loads shift.
+		cands = cands[:0]
+		for u := int32(0); u < n; u++ {
+			if parts[u] != over {
+				continue
+			}
+			if t, l := bestMove(u, over); t >= 0 {
+				cands = append(cands, cand{u, l})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].loss < cands[j].loss })
+		progressed := false
+		for _, c := range cands {
+			if loads[over] <= caps[over] {
+				break
+			}
+			t, _ := bestMove(c.u, over)
+			if t < 0 {
+				continue
+			}
+			w := int64(g.NodeWeight(c.u))
+			loads[over] -= w
+			loads[t] += w
+			parts[c.u] = t
+			progressed = true
+		}
+		if loads[over] <= caps[over] {
+			continue
+		}
+		if !progressed {
+			// Extreme weight skew: no target can take any member node.
+			// Force the lightest block to absorb the smallest member, a
+			// bounded number of times.
+			forcedBudget--
+			if forcedBudget <= 0 {
+				return
+			}
+			light := int32(0)
+			for b := int32(1); b < k; b++ {
+				if loads[b] < loads[light] {
+					light = b
+				}
+			}
+			small := int32(-1)
+			for u := int32(0); u < n; u++ {
+				if parts[u] == over && (small < 0 || g.NodeWeight(u) < g.NodeWeight(small)) {
+					small = u
+				}
+			}
+			if small < 0 || light == over {
+				return
+			}
+			w := int64(g.NodeWeight(small))
+			loads[over] -= w
+			loads[light] += w
+			parts[small] = light
+		}
+	}
+}

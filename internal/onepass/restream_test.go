@@ -1,0 +1,141 @@
+package onepass
+
+import (
+	"testing"
+
+	"oms/internal/gen"
+	"oms/internal/metrics"
+	"oms/internal/stream"
+)
+
+func TestRestreamImprovesFennel(t *testing.T) {
+	g := gen.RMAT(4096, 20000, gen.SocialRMAT, 5)
+	src := stream.NewMemory(g)
+	st, err := src.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 32, Epsilon: 0.03, Seed: 1}
+
+	one, err := NewFennel(cfg, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(src, one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCut := metrics.EdgeCut(g, base)
+
+	re, err := NewFennel(cfg, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Restream(src, re, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reCut := metrics.EdgeCut(g, parts)
+	if reCut > baseCut {
+		t.Fatalf("ReFennel worsened cut: %d -> %d", baseCut, reCut)
+	}
+	if err := metrics.CheckBalanced(g, parts, 32, 0.03); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestreamImprovesLDG(t *testing.T) {
+	g := gen.Delaunay(3000, 7)
+	src := stream.NewMemory(g)
+	st, err := src.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 16, Epsilon: 0.03, Seed: 1}
+	one, err := NewLDG(cfg, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(src, one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewLDG(cfg, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Restream(src, re, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, was := metrics.EdgeCut(g, parts), metrics.EdgeCut(g, base); got > was {
+		t.Fatalf("ReLDG worsened cut: %d -> %d", was, got)
+	}
+	if err := metrics.CheckBalanced(g, parts, 16, 0.03); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestreamZeroPassesEqualsRun(t *testing.T) {
+	g := gen.Delaunay(1000, 9)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	cfg := Config{K: 8, Epsilon: 0.03, Seed: 2}
+	a, _ := NewFennel(cfg, st, 1)
+	b, _ := NewFennel(cfg, st, 1)
+	pa, err := Run(src, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Restream(src, b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range pa {
+		if pa[u] != pb[u] {
+			t.Fatal("0-pass restream differs from plain run")
+		}
+	}
+}
+
+func TestRestreamLoadConservation(t *testing.T) {
+	// After any number of passes the block loads must equal the true
+	// weights of the final partition (unassign/assign bookkeeping exact).
+	g := gen.RMAT(2000, 8000, gen.CitationRMAT, 11)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	cfg := Config{K: 12, Epsilon: 0.03, Seed: 3}
+	alg, _ := NewFennel(cfg, st, 1)
+	parts, err := Restream(src, alg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := metrics.BlockLoads(g, parts, 12)
+	for b := int32(0); b < 12; b++ {
+		if alg.load(b) != loads[b] {
+			t.Fatalf("block %d internal load %d != recomputed %d", b, alg.load(b), loads[b])
+		}
+	}
+}
+
+func TestRestreamNegativePasses(t *testing.T) {
+	g := gen.Delaunay(1000, 1)
+	src := stream.NewMemory(g)
+	st, _ := src.Stats()
+	alg, _ := NewFennel(Config{K: 4, Epsilon: 0.03}, st, 1)
+	if _, err := Restream(src, alg, -1, 1); err == nil {
+		t.Fatal("negative passes accepted")
+	}
+}
+
+func TestUnassignIdempotentOnUnassigned(t *testing.T) {
+	st := stream.Stats{N: 4, M: 0, TotalNodeWeight: 4, TotalEdgeWeight: 0}
+	alg, err := NewFennel(Config{K: 2, Epsilon: 0.03}, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg.Unassign(1, 1) // never assigned: must be a no-op
+	if alg.load(0) != 0 || alg.load(1) != 0 {
+		t.Fatal("unassign of unassigned node changed loads")
+	}
+}

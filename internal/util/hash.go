@@ -1,0 +1,29 @@
+package util
+
+// Mix64 applies a splitmix64-style avalanche to x. It is the hash behind
+// the streaming Hashing partitioner: fast, stateless, and with full
+// avalanche so consecutive node ids land on uncorrelated blocks.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Hash2 combines two values into one well-mixed 64-bit hash. Used to hash
+// (node, seed) and (node, tree-block) pairs.
+func Hash2(a, b uint64) uint64 {
+	return Mix64(a*0x9e3779b97f4a7c15 + Mix64(b))
+}
+
+// HashMod returns Hash2(a, b) reduced to [0, n) without modulo bias
+// (multiply-shift reduction). It panics if n <= 0.
+func HashMod(a, b uint64, n int) int {
+	if n <= 0 {
+		panic("util: HashMod with non-positive n")
+	}
+	h := Hash2(a, b)
+	return int((h >> 32 * uint64(n)) >> 32)
+}

@@ -1,0 +1,300 @@
+package oms_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oms"
+)
+
+func TestPartitionGraphBalancedAllK(t *testing.T) {
+	g := oms.GenDelaunay(5000, 1)
+	for _, k := range []int32{2, 5, 16, 64, 257} {
+		res, err := oms.PartitionGraph(g, k, oms.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.K != k {
+			t.Fatalf("k=%d: result says %d", k, res.K)
+		}
+		if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for _, p := range res.Parts {
+			if p < 0 || p >= k {
+				t.Fatalf("k=%d: block %d out of range", k, p)
+			}
+		}
+	}
+}
+
+func TestPartitionBeatsHashing(t *testing.T) {
+	g := oms.GenRGG2D(8000, 3)
+	k := int32(64)
+	omsRes, err := oms.PartitionGraph(g, k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashRes, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerHashing, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omsRes.EdgeCut(g)*2 >= hashRes.EdgeCut(g) {
+		t.Fatalf("nh-OMS cut %d not clearly below Hashing %d",
+			omsRes.EdgeCut(g), hashRes.EdgeCut(g))
+	}
+}
+
+func TestMapImprovesOverFlatFennel(t *testing.T) {
+	// The paper's headline: OMS computes better process mappings than
+	// Fennel, which ignores the hierarchy.
+	g := oms.GenRGG2D(8000, 5)
+	top := oms.MustTopology("4:8:4", "1:10:100")
+	mapRes, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenRes, err := oms.PartitionOnePass(oms.NewMemorySource(g), top.Spec.K(), oms.ScorerFennel, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jOMS := mapRes.MappingCost(g, top)
+	jFen := fenRes.MappingCost(g, top)
+	if jOMS >= jFen {
+		t.Fatalf("OMS J %v not below flat Fennel J %v", jOMS, jFen)
+	}
+}
+
+func TestMapBalanced(t *testing.T) {
+	g := oms.GenRMATCitation(4096, 20000, 7)
+	top := oms.MustTopology("4:16:2", "1:10:100")
+	res, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesConstraintsAndQuality(t *testing.T) {
+	g := oms.GenDelaunay(20000, 11)
+	k := int32(256)
+	seq, err := oms.PartitionGraph(g, k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := oms.PartitionGraph(g, k, oms.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel runs are nondeterministic but must stay in the same
+	// quality regime (within 25% of sequential cut).
+	sc, pc := float64(seq.EdgeCut(g)), float64(par.EdgeCut(g))
+	if pc > sc*1.25 {
+		t.Fatalf("parallel cut %v much worse than sequential %v", pc, sc)
+	}
+}
+
+func TestRestreamImproves(t *testing.T) {
+	g := oms.GenRMATSocial(4096, 20000, 13)
+	k := int32(64)
+	one, err := oms.PartitionGraph(g, k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := oms.Restream(oms.NewMemorySource(g), k, nil, 2, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.EdgeCut(g) > one.EdgeCut(g) {
+		t.Fatalf("restreaming worsened cut: %d -> %d", one.EdgeCut(g), re.EdgeCut(g))
+	}
+	if err := re.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskSourceMatchesMemory(t *testing.T) {
+	g := oms.GenDelaunay(2000, 17)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.metis")
+	if err := oms.WriteMetisFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	k := int32(16)
+	mem, err := oms.Partition(oms.NewMemorySource(g), k, oms.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := oms.Partition(oms.NewDiskSource(path), k, oms.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range mem.Parts {
+		if mem.Parts[u] != disk.Parts[u] {
+			t.Fatalf("disk and memory streams disagree at node %d", u)
+		}
+	}
+}
+
+func TestMetisRoundTrip(t *testing.T) {
+	g := oms.GenWattsStrogatz(500, 3, 0.1, 19)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ws.metis")
+	if err := oms.WriteMetisFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := oms.ReadMetisFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)",
+			g.NumNodes(), g.NumEdges(), h.NumNodes(), h.NumEdges())
+	}
+}
+
+func TestReadMetisFileMissing(t *testing.T) {
+	if _, err := oms.ReadMetisFile(filepath.Join(t.TempDir(), "nope.metis")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := os.Stat("nope.metis"); err == nil {
+		t.Fatal("test should not have created a file")
+	}
+}
+
+func TestPartitionMultilevelQualityReference(t *testing.T) {
+	g := oms.GenDelaunay(6000, 23)
+	k := int32(32)
+	ml, err := oms.PartitionMultilevel(g, k, oms.MultilevelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	strRes, err := oms.PartitionGraph(g, k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.EdgeCut(g) >= strRes.EdgeCut(g) {
+		t.Fatalf("multilevel cut %d not below streaming %d", ml.EdgeCut(g), strRes.EdgeCut(g))
+	}
+}
+
+func TestMapOfflineBestQuality(t *testing.T) {
+	// Quality ordering of the paper's Figure 2a, on one instance:
+	// offline mapping (IntMap role) <= J of streaming OMS <= flat Hashing.
+	g := oms.GenRGG2D(6000, 29)
+	top := oms.MustTopology("4:4:4", "1:10:100")
+	off, err := oms.MapOffline(g, top, oms.OfflineMapOptions{Seed: 1, SwapRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := oms.PartitionOnePass(oms.NewMemorySource(g), top.Spec.K(), oms.ScorerHashing, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jOff := off.MappingCost(g, top)
+	jStr := str.MappingCost(g, top)
+	jHash := hash.MappingCost(g, top)
+	if !(jOff < jStr && jStr < jHash) {
+		t.Fatalf("quality ordering violated: offline %v, streaming %v, hashing %v", jOff, jStr, jHash)
+	}
+}
+
+func TestHybridTradeoff(t *testing.T) {
+	// Hashing the bottom layers must not break balance and should sit
+	// between pure Fennel-scored OMS and pure Hashing in cut quality.
+	g := oms.GenDelaunay(8000, 31)
+	top := oms.MustTopology("4:4:4", "1:10:100")
+	pure, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := oms.MapGraph(g, top, oms.Options{HashLayers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allHash, err := oms.MapGraph(g, top, oms.Options{Scorer: oms.ScorerHashing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hybrid.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	pc, hc, ac := pure.EdgeCut(g), hybrid.EdgeCut(g), allHash.EdgeCut(g)
+	if !(pc <= hc && hc <= ac) {
+		t.Fatalf("hybrid cut %d outside [pure %d, hashing %d]", hc, pc, ac)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := oms.GenErdosRenyi(100, 300, 1)
+	if _, err := oms.PartitionGraph(g, 0, oms.Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := oms.PartitionGraph(g, 4, oms.Options{Epsilon: -0.5}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	if _, err := oms.PartitionGraph(g, 4, oms.Options{Base: 1}); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+	if _, err := oms.Restream(oms.NewMemorySource(g), 4, nil, -1, oms.Options{}); err == nil {
+		t.Fatal("negative passes accepted")
+	}
+}
+
+func TestPartitionBufferedFacade(t *testing.T) {
+	g := oms.GenRGG2D(8000, 41)
+	k := int32(32)
+	buf, err := oms.PartitionBuffered(oms.NewMemorySource(g), k, oms.BufferedOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+	fen, err := oms.PartitionOnePass(oms.NewMemorySource(g), k, oms.ScorerFennel, oms.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.EdgeCut(g) >= fen.EdgeCut(g) {
+		t.Fatalf("buffered cut %d not below one-pass Fennel %d on a geometric graph",
+			buf.EdgeCut(g), fen.EdgeCut(g))
+	}
+}
+
+func TestLevelCutsExplainMappingCost(t *testing.T) {
+	g := oms.GenDelaunay(6000, 43)
+	top := oms.MustTopology("4:4:4", "1:10:100")
+	res, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := res.LevelCuts(g, top)
+	if len(cuts) != 3 {
+		t.Fatalf("want 3 levels, got %d", len(cuts))
+	}
+	var j float64
+	var total float64
+	for i, c := range cuts {
+		j += c * top.Dist.D[i]
+		total += c
+	}
+	if got := res.MappingCost(g, top); got != j {
+		t.Fatalf("level cuts x distances %v != J %v", j, got)
+	}
+	if int64(total) != res.EdgeCut(g) {
+		t.Fatalf("level cuts sum %v != edge cut %d", total, res.EdgeCut(g))
+	}
+}

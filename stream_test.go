@@ -1,0 +1,77 @@
+package oms_test
+
+import (
+	"errors"
+	"testing"
+
+	"oms"
+)
+
+func TestOrderedSourcePartitionStaysBalanced(t *testing.T) {
+	g := oms.GenRMATSocial(8192, 40000, 3)
+	k := int32(64)
+	for _, order := range []oms.StreamOrder{
+		oms.OrderNatural, oms.OrderRandom, oms.OrderDegreeDesc, oms.OrderDegreeAsc, oms.OrderBFS,
+	} {
+		src := oms.NewOrderedSource(g, order, 7)
+		res, err := oms.Partition(src, k, oms.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+	}
+}
+
+func TestOrderedSourceBFSHelpsOnMesh(t *testing.T) {
+	// On a spatially ordered mesh, a random stream order destroys the
+	// locality one-pass partitioners depend on: the natural (spatial)
+	// order must cut clearly fewer edges.
+	g := oms.GenDelaunay(20000, 5)
+	k := int32(64)
+	natural, err := oms.Partition(oms.NewOrderedSource(g, oms.OrderNatural, 1), k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := oms.Partition(oms.NewOrderedSource(g, oms.OrderRandom, 1), k, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.EdgeCut(g) >= random.EdgeCut(g) {
+		t.Fatalf("natural order cut %d not below random order cut %d",
+			natural.EdgeCut(g), random.EdgeCut(g))
+	}
+}
+
+func TestRestreamOnePassImproves(t *testing.T) {
+	g := oms.GenRMATCitation(8192, 40000, 11)
+	k := int32(32)
+	src := oms.NewMemorySource(g)
+	base, err := oms.PartitionOnePass(src, k, oms.ScorerFennel, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := oms.RestreamOnePass(src, k, oms.ScorerFennel, 2, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.EdgeCut(g) > base.EdgeCut(g) {
+		t.Fatalf("restreaming worsened cut: %d -> %d", base.EdgeCut(g), re.EdgeCut(g))
+	}
+	if err := re.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestreamOnePassRejectsHashing(t *testing.T) {
+	g := oms.GenErdosRenyi(1000, 3000, 1)
+	_, err := oms.RestreamOnePass(oms.NewMemorySource(g), 4, oms.ScorerHashing, 1, oms.Options{})
+	if err == nil {
+		t.Fatal("hashing restream accepted")
+	}
+	var unsupported *oms.UnsupportedScorerError
+	if !errors.As(err, &unsupported) {
+		t.Fatalf("wrong error type: %v", err)
+	}
+}
