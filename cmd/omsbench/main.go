@@ -32,17 +32,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig2", "experiment: table1 | fig2 | table2 | fig3 | tuning | memory | order | all")
-		scale    = flag.Float64("scale", 0.05, "instance scale (1.0 = paper sizes)")
-		reps     = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
-		rsFlag   = flag.String("rs", "16,32,64,128", "hierarchy sweep: r values for S=4:16:r (k=64r)")
-		thFlag   = flag.String("threads", "", "thread sweep for table2/fig3 (default 1,2,4,... up to GOMAXPROCS)")
-		insFlag  = flag.String("instances", "", "comma-separated instance subset (default all of Table 1)")
-		k        = flag.Int("k", 8192, "block count for table2/fig3/memory")
-		intmap   = flag.Bool("intmap", false, "include the sequential offline mapper (IntMap role) in fig2")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		quiet    = flag.Bool("q", false, "suppress progress lines")
+		exp     = flag.String("exp", "fig2", "experiment: table1 | fig2 | table2 | fig3 | tuning | memory | order | all")
+		scale   = flag.Float64("scale", 0.05, "instance scale (1.0 = paper sizes)")
+		reps    = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
+		rsFlag  = flag.String("rs", "16,32,64,128", "hierarchy sweep: r values for S=4:16:r (k=64r)")
+		thFlag  = flag.String("threads", "", "thread sweep for table2/fig3 (default 1,2,4,... up to GOMAXPROCS)")
+		insFlag = flag.String("instances", "", "comma-separated instance subset (default all of Table 1)")
+		k       = flag.Int("k", 8192, "block count for table2/fig3/memory")
+		intmap  = flag.Bool("intmap", false, "include the sequential offline mapper (IntMap role) in fig2")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 

@@ -1,0 +1,103 @@
+// Command omsd is the streaming partition daemon: it serves the online
+// recursive multi-section over HTTP. Clients create a session declaring
+// the stream's global stats and target (k blocks or a machine topology),
+// push their nodes as NDJSON chunks, and read each node's permanent
+// block back while the upload is still in flight — the paper's
+// on-the-fly assignment as a network service.
+//
+// Create a session and stream a 4-node path graph into 2 blocks:
+//
+//	curl -s localhost:8080/v1/sessions -d '{"n":4,"m":3,"k":2}'
+//	# => {"id":"s1-...","k":2,"n":4,"lmax":2}
+//	printf '%s\n' '{"u":0,"adj":[1]}' '{"u":1,"adj":[0,2]}' \
+//	              '{"u":2,"adj":[1,3]}' '{"u":3,"adj":[2]}' |
+//	  curl -s localhost:8080/v1/sessions/$ID/nodes --data-binary @-
+//	# => {"u":0,"b":0} {"u":1,"b":0} {"u":2,"b":1} {"u":3,"b":1}
+//	curl -s -X POST localhost:8080/v1/sessions/$ID/finish
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oms/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled or a shutdown
+// signal arrives. If ready is non-nil it receives the bound address once
+// the listener is up (tests use it with -addr :0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("omsd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxSessions := fs.Int("max-sessions", 1024, "concurrent session cap")
+	queueDepth := fs.Int("queue-depth", 32, "ingest chunks buffered per session before backpressure")
+	ttl := fs.Duration("ttl", 5*time.Minute, "idle session eviction TTL")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	maxNodes := fs.Int("max-nodes", 1<<26, "per-session declared node cap")
+	maxTotalNodes := fs.Int64("max-total-nodes", 1<<28, "aggregate declared node budget across live sessions")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxNodes < 1 || *maxNodes > math.MaxInt32 {
+		return fmt.Errorf("omsd: -max-nodes %d outside [1, %d]", *maxNodes, math.MaxInt32)
+	}
+
+	mgr := service.NewManager(service.Config{
+		MaxSessions:   *maxSessions,
+		QueueDepth:    *queueDepth,
+		SessionTTL:    *ttl,
+		Workers:       *workers,
+		MaxNodes:      int32(*maxNodes),
+		MaxTotalNodes: *maxTotalNodes,
+	})
+	defer mgr.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("omsd listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("omsd shutting down (draining up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("omsd: drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

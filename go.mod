@@ -1,0 +1,3 @@
+module oms
+
+go 1.22

@@ -33,8 +33,8 @@ const (
 // RunSpec describes one algorithm execution on one instance.
 type RunSpec struct {
 	Alg     AlgID
-	K       int32                // blocks (ignored when Top is set for OMS/IntMap)
-	Top     *hierarchy.Topology  // non-nil for process-mapping runs
+	K       int32               // blocks (ignored when Top is set for OMS/IntMap)
+	Top     *hierarchy.Topology // non-nil for process-mapping runs
 	Eps     float64
 	Threads int
 	Seed    uint64

@@ -117,11 +117,11 @@ func RunTuning(cfg Config, progressW io.Writer) ([]*Table, error) {
 				baseCut, baseJ, baseSec = cut, j, sec
 			}
 			t.AddRow(v.name, map[string]float64{
-				"cut":           cut,
-				"J":             j,
-				"time(s)":       sec,
-				"cut vs base %": metrics.Improvement(baseCut, cut),
-				"J vs base %":   metrics.Improvement(baseJ, j),
+				"cut":            cut,
+				"J":              j,
+				"time(s)":        sec,
+				"cut vs base %":  metrics.Improvement(baseCut, cut),
+				"J vs base %":    metrics.Improvement(baseJ, j),
 				"time vs base %": metrics.Improvement(baseSec, sec),
 			})
 		}

@@ -189,6 +189,24 @@ func (o *OMS) TreeLoads() []int64 {
 // AlphaOf exposes the adapted alpha of tree block v (tuning experiment).
 func (o *OMS) AlphaOf(v int32) float64 { return o.alphas[v] }
 
+// AssignNode runs the per-node body of Algorithm 1 for one arriving node
+// and returns its permanent block: the incremental push-based entry into
+// the same assignment path Run drives internally. Callers stream nodes in
+// any order they like, one call per node; a sequence of AssignNode calls
+// in natural node order is bit-identical to a sequential Run over the
+// same stream. Calls must be serialized: the incremental path uses the
+// worker-0 scratch, so concurrent AssignNode calls race on it (use Run
+// with cfg.Threads > 1 for parallel streaming). Calling it twice for the
+// same node double-charges the tree loads, so gate re-pushes at the call
+// site (AssignmentOf reports whether a node was already placed).
+func (o *OMS) AssignNode(u int32, vwgt int32, adj []int32, ewgt []int32) int32 {
+	o.assign(0, u, vwgt, adj, ewgt)
+	return o.parts[u]
+}
+
+// AssignmentOf returns the block of node u, or -1 while u is unassigned.
+func (o *OMS) AssignmentOf(u int32) int32 { return atomic.LoadInt32(&o.parts[u]) }
+
 // Run performs the single streaming pass (Algorithm 1) and returns the
 // partition vector. With cfg.Threads > 1 the node loop is parallelized in
 // the vertex-centric fashion of §3.4: block loads are incremented
@@ -221,6 +239,14 @@ func (o *OMS) Restream(src stream.Source, extraPasses int) ([]int32, error) {
 	if _, err := o.Run(src); err != nil {
 		return nil, err
 	}
+	return o.RestreamPasses(src, extraPasses)
+}
+
+// RestreamPasses performs the extra sequential passes of Restream on an
+// OMS whose first pass already happened — either via Run or via a
+// sequence of AssignNode pushes (a recorded push session restreams its
+// buffer through here without re-charging the first pass).
+func (o *OMS) RestreamPasses(src stream.Source, extraPasses int) ([]int32, error) {
 	for p := 0; p < extraPasses; p++ {
 		err := src.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
 			o.unassign(u, vwgt)

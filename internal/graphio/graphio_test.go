@@ -140,17 +140,16 @@ func TestReadMetisIsolated(t *testing.T) {
 
 func TestReadMetisErrors(t *testing.T) {
 	cases := []string{
-		"3 1\n2\n",            // truncated
-		"2 1\n3\n1\n",         // neighbor out of range
-		"2 1\n0\n1\n",         // neighbor zero (1-indexed format)
-		"2 1 1\n2\n1\n",       // missing edge weight
-		"2 1 10\nx 2\n1 1\n",  // bad node weight
-		"2 1 1\n2 0\n1 0\n",   // non-positive edge weight
-		"2 5\n2\n1\n",         // header overstates edges is tolerated... but understates is error
+		"3 1\n2\n",           // truncated
+		"2 1\n3\n1\n",        // neighbor out of range
+		"2 1\n0\n1\n",        // neighbor zero (1-indexed format)
+		"2 1 1\n2\n1\n",      // missing edge weight
+		"2 1 10\nx 2\n1 1\n", // bad node weight
+		"2 1 1\n2 0\n1 0\n",  // non-positive edge weight
 	}
-	// Note: last case header says 5, file has 1 -> tolerated per reader
-	// contract (some public instances have such headers); drop it.
-	cases = cases[:len(cases)-1]
+	// An overstated edge header ("2 5\n2\n1\n") is tolerated per the
+	// reader contract (some public instances have such headers);
+	// understating is the error, covered below.
 	for _, in := range cases {
 		if _, err := ReadMetis(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)

@@ -182,8 +182,8 @@ func TestSpeedup(t *testing.T) {
 
 func TestPerformanceProfile(t *testing.T) {
 	values := map[string][]float64{
-		"A": {1, 2, 10},  // best on inst 0; 2x on 1; 10x on 2
-		"B": {2, 1, 1},   // best on 1 and 2
+		"A": {1, 2, 10}, // best on inst 0; 2x on 1; 10x on 2
+		"B": {2, 1, 1},  // best on 1 and 2
 	}
 	p := PerformanceProfile(values, []float64{1, 2, 4, 16})
 	a := p.Fraction["A"]

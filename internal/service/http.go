@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ingestChunkSize is how many NDJSON nodes the server groups into one
+// queued job; assignments stream back to the client after each chunk.
+const ingestChunkSize = 256
+
+// maxNodeLine bounds one NDJSON node line (a high-degree node's
+// adjacency list).
+const maxNodeLine = 16 << 20
+
+// NewServer mounts the omsd HTTP API over a manager:
+//
+//	POST   /v1/sessions              create a push session (CreateSpec JSON)
+//	GET    /v1/sessions              list live sessions
+//	GET    /v1/sessions/{id}         one session's status
+//	POST   /v1/sessions/{id}/nodes   NDJSON node ingest; NDJSON assignments stream back per chunk
+//	POST   /v1/sessions/{id}/finish  seal the session, returns the summary
+//	GET    /v1/sessions/{id}/result  full assignment vector
+//	DELETE /v1/sessions/{id}         drop the session
+//	GET    /healthz                  liveness
+//	GET    /metrics                  counter registry, Prometheus text format
+func NewServer(mgr *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec CreateSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad create body: %w", err))
+			return
+		}
+		s, err := mgr.Create(spec)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"id": s.ID, "k": s.K(), "n": spec.N, "lmax": s.Lmax(),
+		})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.List())
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": s.ID, "k": s.K(), "lmax": s.Lmax(), "finished": s.Finished(),
+		})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/nodes", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		ingest(mgr, s, w, r)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/finish", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		sum, err := s.Finish(r.Context(), mgr.Pool())
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		res, err := s.Result()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": s.ID, "k": res.K, "lmax": res.Lmax, "parts": res.Parts,
+		})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := mgr.Delete(r.PathValue("id")); err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = mgr.Registry().WriteText(w)
+	})
+	return mux
+}
+
+// Assignment is one NDJSON response line of the ingest stream.
+type Assignment struct {
+	U int32 `json:"u"`
+	B int32 `json:"b"`
+}
+
+// ingestError is the terminal NDJSON line after a rejected node.
+type ingestError struct {
+	Error string `json:"error"`
+}
+
+// ingest streams NDJSON PushNode lines from the request body into the
+// session in chunks and streams the per-node assignments back after
+// each chunk — the client sees its nodes' permanent blocks while it is
+// still uploading the rest of the graph. Full-duplex mode keeps the
+// request body readable after the first response flush (without it,
+// HTTP/1.x servers cut the body off once headers go out); clients
+// uploading very large streams in a single POST must read the response
+// concurrently, as curl and browsers do.
+func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex() // best effort; HTTP/2 is duplex already
+	enc := json.NewEncoder(w)
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
+	chunk := make([]PushNode, 0, ingestChunkSize)
+
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		blocks, err := s.Ingest(r.Context(), mgr.Pool(), chunk)
+		for i, b := range blocks {
+			_ = enc.Encode(Assignment{U: chunk[i].U, B: b})
+		}
+		if err != nil {
+			_ = enc.Encode(ingestError{Error: err.Error()})
+			return false
+		}
+		chunk = chunk[:0]
+		_ = rc.Flush()
+		return true
+	}
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var nd PushNode
+		if err := json.Unmarshal(line, &nd); err != nil {
+			_ = enc.Encode(ingestError{Error: fmt.Sprintf("bad node line %.120q: %v", line, err)})
+			return
+		}
+		chunk = append(chunk, nd)
+		if len(chunk) >= ingestChunkSize {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		_ = enc.Encode(ingestError{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	flush()
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrLimit):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

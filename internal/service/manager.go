@@ -1,0 +1,419 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"oms"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	ErrNotFound = errors.New("service: no such session")
+	ErrLimit    = errors.New("service: session limit reached")
+)
+
+func errGone(id string) error {
+	return fmt.Errorf("%w: %s (finished-and-collected, evicted, or deleted)", ErrNotFound, id)
+}
+
+// CreateSpec is the session-creation declaration: the stream's global
+// stats plus the partitioning target and options, exactly the JSON body
+// of POST /v1/sessions.
+type CreateSpec struct {
+	// N and M are the declared node and edge counts of the stream.
+	N int32 `json:"n"`
+	M int64 `json:"m"`
+	// TotalNodeWeight / TotalEdgeWeight default to N (unit weights) and
+	// M when omitted.
+	TotalNodeWeight int64 `json:"total_node_weight,omitempty"`
+	TotalEdgeWeight int64 `json:"total_edge_weight,omitempty"`
+	// K asks for plain partitioning into K blocks; Topology/Distances
+	// ask for process mapping instead (mutually exclusive with K).
+	K         int32  `json:"k,omitempty"`
+	Topology  string `json:"topology,omitempty"`
+	Distances string `json:"distances,omitempty"`
+	// Scorer is "fennel" (default), "ldg", or "hashing".
+	Scorer       string  `json:"scorer,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	Base         int32   `json:"base,omitempty"`
+	HashLayers   int     `json:"hash_layers,omitempty"`
+	VanillaAlpha bool    `json:"vanilla_alpha,omitempty"`
+	Gamma        float64 `json:"gamma,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+	// Record keeps the pushed stream server-side, enabling edge-cut and
+	// imbalance in the finish summary at O(n + m) extra memory.
+	Record bool `json:"record,omitempty"`
+	// TTLSeconds overrides the server's idle-eviction TTL.
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+func parseScorer(s string) (oms.Scorer, error) {
+	switch strings.ToLower(s) {
+	case "", "fennel":
+		return oms.ScorerFennel, nil
+	case "ldg":
+		return oms.ScorerLDG, nil
+	case "hashing":
+		return oms.ScorerHashing, nil
+	default:
+		return 0, fmt.Errorf("service: unknown scorer %q (want fennel, ldg, or hashing)", s)
+	}
+}
+
+// sessionConfig translates the wire spec into an engine config.
+func (cs CreateSpec) sessionConfig() (oms.SessionConfig, error) {
+	scorer, err := parseScorer(cs.Scorer)
+	if err != nil {
+		return oms.SessionConfig{}, err
+	}
+	cfg := oms.SessionConfig{
+		Stats: oms.StreamStats{
+			N:               cs.N,
+			M:               cs.M,
+			TotalNodeWeight: cs.TotalNodeWeight,
+			TotalEdgeWeight: cs.TotalEdgeWeight,
+		},
+		K: cs.K,
+		Options: oms.Options{
+			Epsilon:      cs.Epsilon,
+			Scorer:       scorer,
+			Base:         cs.Base,
+			HashLayers:   cs.HashLayers,
+			VanillaAlpha: cs.VanillaAlpha,
+			Gamma:        cs.Gamma,
+			Seed:         cs.Seed,
+		},
+		Record: cs.Record,
+	}
+	if cs.Topology != "" {
+		if cs.K != 0 {
+			return oms.SessionConfig{}, fmt.Errorf("service: declare either k or a topology, not both")
+		}
+		dist := cs.Distances
+		if dist == "" {
+			// Default to the paper's geometric distances 1:10:100:...
+			parts := strings.Split(cs.Topology, ":")
+			ds := make([]string, len(parts))
+			d := int64(1)
+			for i := range parts {
+				ds[i] = fmt.Sprint(d)
+				d *= 10
+			}
+			dist = strings.Join(ds, ":")
+		}
+		top, err := oms.NewTopology(cs.Topology, dist)
+		if err != nil {
+			return oms.SessionConfig{}, err
+		}
+		cfg.Topology = top
+	} else if cs.K < 1 {
+		return oms.SessionConfig{}, fmt.Errorf("service: k %d < 1 and no topology given", cs.K)
+	}
+	return cfg, nil
+}
+
+// Config sizes the serving subsystem. The zero value selects the
+// defaults noted per field.
+type Config struct {
+	MaxSessions int           // concurrent session cap; default 1024
+	QueueDepth  int           // chunks buffered per session before backpressure; default 32
+	SessionTTL  time.Duration // idle-eviction TTL; default 5m
+	// MaxSessionTTL caps a client's ttl_seconds override so sessions
+	// cannot opt out of eviction and pin the node budget; default 1h.
+	MaxSessionTTL time.Duration
+	Workers       int // pool size; default GOMAXPROCS
+	// MaxNodes caps the declared n of one session; default 1<<26. The
+	// per-session arrays are sized by the client's declared n before any
+	// node arrives, so an uncapped n would let a single create request
+	// allocate arbitrary memory.
+	MaxNodes int32
+	// MaxTotalNodes caps the sum of declared n over all live sessions
+	// (the aggregate engine-memory budget); default 1<<28.
+	MaxTotalNodes int64
+	JanitorPeriod time.Duration // eviction scan period; default 1s
+	// Now injects a clock for tests; default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.MaxSessionTTL <= 0 {
+		c.MaxSessionTTL = time.Hour
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 26
+	}
+	if c.MaxTotalNodes <= 0 {
+		c.MaxTotalNodes = 1 << 28
+	}
+	if c.JanitorPeriod <= 0 {
+		c.JanitorPeriod = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Manager owns the live sessions: creation against a session cap,
+// lookup, deletion, and TTL eviction of idle sessions via a janitor
+// goroutine. It also owns the worker pool and the counter registry.
+type Manager struct {
+	cfg  Config
+	reg  *Registry
+	m    *serviceMetrics
+	pool *Pool
+
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	liveNodes int64 // sum of declared n over live sessions
+	seq       uint64
+
+	closeOnce   sync.Once
+	janitorQuit chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewManager starts the subsystem: the worker pool and the eviction
+// janitor. Close releases both.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	mgr := &Manager{
+		cfg:         cfg,
+		reg:         reg,
+		m:           newServiceMetrics(reg),
+		pool:        NewPool(cfg.Workers),
+		sessions:    make(map[string]*Session),
+		janitorQuit: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go mgr.janitor()
+	return mgr
+}
+
+// Registry exposes the counter registry (the /metrics endpoint).
+func (mg *Manager) Registry() *Registry { return mg.reg }
+
+// Pool exposes the worker pool sessions are driven by.
+func (mg *Manager) Pool() *Pool { return mg.pool }
+
+// Close stops the janitor and the worker pool, then fails out any job
+// still queued on a session so its enqueuer unblocks with an error.
+// In-flight HTTP requests should be drained first (http.Server.Shutdown
+// does this in omsd). Close is idempotent.
+func (mg *Manager) Close() { mg.closeOnce.Do(mg.close) }
+
+func (mg *Manager) close() {
+	close(mg.janitorQuit)
+	<-mg.janitorDone
+	mg.mu.Lock()
+	victims := make([]*Session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		victims = append(victims, s)
+	}
+	mg.mu.Unlock()
+	for _, s := range victims {
+		s.closed.Store(true) // reject enqueues before the workers stop
+	}
+	mg.pool.Close()
+	for _, s := range victims {
+		s.failPending()
+	}
+}
+
+// admit checks the admission caps; callers hold mg.mu.
+func (mg *Manager) admit(n int32) error {
+	if len(mg.sessions) >= mg.cfg.MaxSessions {
+		return fmt.Errorf("%w (%d live)", ErrLimit, mg.cfg.MaxSessions)
+	}
+	if mg.liveNodes+int64(n) > mg.cfg.MaxTotalNodes {
+		return fmt.Errorf("%w: declared n %d would exceed the server's aggregate node budget %d (%d committed)",
+			ErrLimit, n, mg.cfg.MaxTotalNodes, mg.liveNodes)
+	}
+	return nil
+}
+
+// Create opens a session from the wire spec.
+func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
+	if spec.N > mg.cfg.MaxNodes {
+		return nil, fmt.Errorf("service: declared n %d exceeds the server's node cap %d", spec.N, mg.cfg.MaxNodes)
+	}
+	// Cheap pre-check before building the n-sized engine; the insert
+	// below re-checks under the same lock, so the caps still hold.
+	mg.mu.Lock()
+	err := mg.admit(spec.N)
+	mg.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := spec.sessionConfig()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := oms.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		eng:  eng,
+		spec: spec,
+		jobs: make(chan job, mg.cfg.QueueDepth),
+		m:    mg.m,
+		now:  mg.cfg.Now,
+	}
+	now := mg.cfg.Now()
+	s.Created = now
+	s.touch(now)
+
+	mg.mu.Lock()
+	if err := mg.admit(spec.N); err != nil {
+		mg.mu.Unlock()
+		return nil, err
+	}
+	mg.seq++
+	s.ID = fmt.Sprintf("s%d-%08x", mg.seq, randTag())
+	mg.sessions[s.ID] = s
+	mg.liveNodes += int64(spec.N)
+	mg.mu.Unlock()
+
+	mg.m.sessionsCreated.Inc()
+	mg.m.sessionsActive.Inc()
+	return s, nil
+}
+
+// Get returns the live session with the given id and refreshes its TTL.
+func (mg *Manager) Get(id string) (*Session, error) {
+	mg.mu.Lock()
+	s, ok := mg.sessions[id]
+	mg.mu.Unlock()
+	if !ok {
+		return nil, errGone(id)
+	}
+	s.touch(mg.cfg.Now())
+	return s, nil
+}
+
+// Delete closes and removes a session.
+func (mg *Manager) Delete(id string) error {
+	mg.mu.Lock()
+	s, ok := mg.sessions[id]
+	if ok {
+		delete(mg.sessions, id)
+		mg.liveNodes -= int64(s.spec.N)
+	}
+	mg.mu.Unlock()
+	if !ok {
+		return errGone(id)
+	}
+	s.closed.Store(true)
+	mg.m.sessionsDeleted.Inc()
+	mg.m.sessionsActive.Add(-1)
+	return nil
+}
+
+// SessionInfo is one row of the session listing.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	K        int32  `json:"k"`
+	N        int32  `json:"n"`
+	Assigned int32  `json:"assigned"`
+	Finished bool   `json:"finished"`
+	IdleMS   int64  `json:"idle_ms"`
+}
+
+// List snapshots the live sessions (operational endpoint; Assigned is
+// read racily and may trail in-flight ingest).
+func (mg *Manager) List() []SessionInfo {
+	now := mg.cfg.Now()
+	mg.mu.Lock()
+	out := make([]SessionInfo, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		out = append(out, SessionInfo{
+			ID:       s.ID,
+			K:        s.K(),
+			N:        s.spec.N,
+			Assigned: s.eng.Assigned(),
+			Finished: s.Finished(),
+			IdleMS:   now.Sub(s.idleSince()).Milliseconds(),
+		})
+	}
+	mg.mu.Unlock()
+	return out
+}
+
+// ttlOf returns a session's effective TTL: the client override, clamped
+// so no session can opt out of eviction entirely.
+func (mg *Manager) ttlOf(s *Session) time.Duration {
+	if s.spec.TTLSeconds > 0 {
+		ttl := time.Duration(s.spec.TTLSeconds) * time.Second
+		if ttl > mg.cfg.MaxSessionTTL {
+			ttl = mg.cfg.MaxSessionTTL
+		}
+		return ttl
+	}
+	return mg.cfg.SessionTTL
+}
+
+// EvictIdle removes every session idle beyond its TTL and returns how
+// many were evicted. The janitor calls this on a ticker; tests call it
+// directly with an advanced clock.
+func (mg *Manager) EvictIdle() int {
+	now := mg.cfg.Now()
+	var victims []*Session
+	mg.mu.Lock()
+	for id, s := range mg.sessions {
+		if now.Sub(s.idleSince()) > mg.ttlOf(s) {
+			delete(mg.sessions, id)
+			mg.liveNodes -= int64(s.spec.N)
+			victims = append(victims, s)
+		}
+	}
+	mg.mu.Unlock()
+	for _, s := range victims {
+		s.closed.Store(true)
+		mg.m.sessionsEvicted.Inc()
+		mg.m.sessionsActive.Add(-1)
+	}
+	return len(victims)
+}
+
+func (mg *Manager) janitor() {
+	defer close(mg.janitorDone)
+	t := time.NewTicker(mg.cfg.JanitorPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-mg.janitorQuit:
+			return
+		case <-t.C:
+			mg.EvictIdle()
+		}
+	}
+}
+
+func randTag() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[:])
+}

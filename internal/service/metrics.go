@@ -1,0 +1,122 @@
+// Package service turns the streaming partitioner into a serving system:
+// long-lived push sessions with TTL eviction, bounded ingest queues with
+// backpressure, a worker pool multiplexing many concurrent sessions, an
+// operational counter registry, and the HTTP surface the omsd daemon
+// mounts. The paper's algorithm assigns each node its permanent block the
+// moment it arrives; this package is the machinery that lets remote
+// clients deliver those moments over the network.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonically increasing (or gauge-style add/sub)
+// operational counter.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d (negative d for gauge decrements).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Registry is a named-counter registry with deterministic export order.
+// Counters are registered once (usually at Manager construction) and
+// updated lock-free on the hot ingest path.
+type Registry struct {
+	mu       sync.Mutex
+	order    []*Counter
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given help text on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	r.order = append(r.order, c)
+	return c
+}
+
+// Snapshot returns the current value of every counter in registration
+// order.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.order))
+	for _, c := range r.order {
+		out[c.name] = c.v.Load()
+	}
+	return out
+}
+
+// WriteText writes the counters in Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.order...)
+	r.mu.Unlock()
+	for _, c := range counters {
+		if c.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serviceMetrics bundles the counters the session subsystem maintains.
+type serviceMetrics struct {
+	sessionsCreated  *Counter
+	sessionsFinished *Counter
+	sessionsEvicted  *Counter
+	sessionsDeleted  *Counter
+	sessionsActive   *Counter // gauge
+	nodesIngested    *Counter
+	edgesIngested    *Counter
+	chunksIngested   *Counter
+	pushErrors       *Counter
+	backpressure     *Counter
+}
+
+func newServiceMetrics(r *Registry) *serviceMetrics {
+	return &serviceMetrics{
+		sessionsCreated:  r.Counter("omsd_sessions_created_total", "push sessions opened"),
+		sessionsFinished: r.Counter("omsd_sessions_finished_total", "push sessions finished"),
+		sessionsEvicted:  r.Counter("omsd_sessions_evicted_total", "push sessions evicted by TTL"),
+		sessionsDeleted:  r.Counter("omsd_sessions_deleted_total", "push sessions deleted by clients"),
+		sessionsActive:   r.Counter("omsd_sessions_active", "currently live push sessions"),
+		nodesIngested:    r.Counter("omsd_nodes_ingested_total", "nodes assigned across all sessions"),
+		edgesIngested:    r.Counter("omsd_edges_ingested_total", "adjacency entries ingested across all sessions"),
+		chunksIngested:   r.Counter("omsd_chunks_ingested_total", "ingest chunks processed across all sessions"),
+		pushErrors:       r.Counter("omsd_push_errors_total", "rejected node pushes (range, weights, budget, after-finish)"),
+		backpressure:     r.Counter("omsd_backpressure_waits_total", "ingest enqueues that blocked on a full session queue"),
+	}
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable Config.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.JanitorPeriod == 0 {
+		cfg.JanitorPeriod = time.Hour // tests drive eviction explicitly
+	}
+	mgr := NewManager(cfg)
+	t.Cleanup(mgr.Close)
+	return mgr
+}
+
+func pathSpec(n int32, k int32) CreateSpec {
+	return CreateSpec{N: n, M: int64(n) - 1, K: k}
+}
+
+// pathNodes is an n-node path graph as push chunks.
+func pathNodes(n int32) []PushNode {
+	out := make([]PushNode, n)
+	for u := int32(0); u < n; u++ {
+		var adj []int32
+		if u > 0 {
+			adj = append(adj, u-1)
+		}
+		if u < n-1 {
+			adj = append(adj, u+1)
+		}
+		out[u] = PushNode{U: u, Adj: adj}
+	}
+	return out
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	mgr := testManager(t, Config{})
+	s, err := mgr.Create(pathSpec(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mgr.Get(s.ID)
+	if err != nil || got != s {
+		t.Fatalf("Get(%s) = %v, %v", s.ID, got, err)
+	}
+
+	blocks, err := s.Ingest(context.Background(), mgr.Pool(), pathNodes(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 10 {
+		t.Fatalf("got %d assignments, want 10", len(blocks))
+	}
+	sum, err := s.Finish(context.Background(), mgr.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Assigned != 10 || sum.K != 2 {
+		t.Fatalf("summary %+v", sum)
+	}
+	// Finish is retry-safe: a client that lost the response gets the
+	// same summary back.
+	again, err := s.Finish(context.Background(), mgr.Pool())
+	if err != nil || again != sum {
+		t.Fatalf("finish retry gave (%+v, %v), want the stored summary", again, err)
+	}
+	if _, err := s.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mgr.Delete(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	if _, err := s.Ingest(context.Background(), mgr.Pool(), pathNodes(1)); err == nil {
+		t.Fatal("ingest into deleted session accepted")
+	}
+}
+
+func TestManagerSessionLimit(t *testing.T) {
+	mgr := testManager(t, Config{MaxSessions: 2})
+	if _, err := mgr.Create(pathSpec(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mgr.Create(pathSpec(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(pathSpec(4, 2)); !errors.Is(err, ErrLimit) {
+		t.Fatalf("over limit: %v", err)
+	}
+	if err := mgr.Delete(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(pathSpec(4, 2)); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	mgr := testManager(t, Config{SessionTTL: time.Minute, Now: clock.now})
+	stale, err := mgr.Create(pathSpec(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2, TTLSeconds: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.advance(2 * time.Minute)
+	if n := mgr.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1 (only the default-TTL one)", n)
+	}
+	if _, err := mgr.Get(stale.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale session still resolvable: %v", err)
+	}
+	if _, err := mgr.Get(fresh.ID); err != nil {
+		t.Fatalf("long-TTL session evicted: %v", err)
+	}
+
+	// Get refreshes the TTL: the fresh session survives another scan
+	// right before its deadline.
+	clock.advance(59 * time.Minute)
+	if _, err := mgr.Get(fresh.ID); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(30 * time.Minute)
+	if n := mgr.EvictIdle(); n != 0 {
+		t.Fatalf("touched session evicted (%d)", n)
+	}
+	snap := mgr.Registry().Snapshot()
+	if snap["omsd_sessions_evicted_total"] != 1 || snap["omsd_sessions_active"] != 1 {
+		t.Fatalf("counters %+v", snap)
+	}
+}
+
+func TestTTLOverrideClamped(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	mgr := testManager(t, Config{SessionTTL: time.Minute, MaxSessionTTL: 2 * time.Minute, Now: clock.now})
+	s, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2, TTLSeconds: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(3 * time.Minute)
+	if n := mgr.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1 (override must clamp to MaxSessionTTL)", n)
+	}
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("immortal session survived: %v", err)
+	}
+}
+
+func TestBackpressureBlocksAndCounts(t *testing.T) {
+	mgr := testManager(t, Config{QueueDepth: 1, Workers: 1})
+	s, err := mgr.Create(pathSpec(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the session as "scheduled" so no worker drains it: the queue
+	// (depth 1) fills after one job and the next enqueue must block.
+	s.scheduled.Store(true)
+	if err := s.enqueue(context.Background(), mgr.Pool(), job{kind: jobChunk, done: make(chan jobResult, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = s.enqueue(ctx, mgr.Pool(), job{kind: jobChunk, done: make(chan jobResult, 1)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("full-queue enqueue: %v, want deadline exceeded", err)
+	}
+	if got := mgr.Registry().Snapshot()["omsd_backpressure_waits_total"]; got != 1 {
+		t.Fatalf("backpressure counter %d, want 1", got)
+	}
+	// Hand the still-scheduled session to the pool; the queued job must
+	// drain and subsequent ingest flows normally.
+	mgr.Pool().submit(s)
+	blocks, err := s.Ingest(context.Background(), mgr.Pool(), pathNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("drained %d assignments, want 2", len(blocks))
+	}
+}
+
+func TestAggregateNodeBudget(t *testing.T) {
+	mgr := testManager(t, Config{MaxNodes: 1000, MaxTotalNodes: 1500})
+	a, err := mgr.Create(pathSpec(1000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(pathSpec(600, 2)); !errors.Is(err, ErrLimit) {
+		t.Fatalf("over aggregate budget: %v", err)
+	}
+	if err := mgr.Delete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(pathSpec(600, 2)); err != nil {
+		t.Fatalf("budget not released on delete: %v", err)
+	}
+}
+
+func TestNodeCapRejectsHugeDeclarations(t *testing.T) {
+	mgr := testManager(t, Config{MaxNodes: 1000})
+	if _, err := mgr.Create(pathSpec(1001, 2)); err == nil {
+		t.Fatal("over-cap n accepted")
+	}
+	if _, err := mgr.Create(pathSpec(1000, 2)); err != nil {
+		t.Fatalf("at-cap n rejected: %v", err)
+	}
+}
+
+// TestChurnDoesNotWedgePool reproduces the delete/create churn that
+// deadlocked a bounded run queue: a single worker mid-quantum on one
+// session while clients delete it and create replacements.
+func TestChurnDoesNotWedgePool(t *testing.T) {
+	mgr := testManager(t, Config{Workers: 1, MaxSessions: 1, QueueDepth: 16})
+	for round := 0; round < 50; round++ {
+		s, err := mgr.Create(pathSpec(64, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// More jobs than one batchQuantum so the worker re-submits
+		// mid-drain while the session churns underneath it.
+		var wg sync.WaitGroup
+		for c := 0; c < batchQuantum+4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				u := int32(c)
+				// Errors are fine (duplicate pushes after delete races);
+				// the property under test is that nothing wedges.
+				_, _ = s.Ingest(context.Background(), mgr.Pool(), []PushNode{{U: u}})
+			}(c)
+		}
+		wg.Wait()
+		if err := mgr.Delete(s.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloseFailsOutQueuedJobs(t *testing.T) {
+	mgr := testManager(t, Config{Workers: 1, QueueDepth: 4})
+	s, err := mgr.Create(pathSpec(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the session so no worker drains its queue, then strand a job.
+	s.scheduled.Store(true)
+	done := make(chan jobResult, 1)
+	if err := s.enqueue(context.Background(), mgr.Pool(), job{kind: jobChunk, done: done}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close() // idempotent; testManager's cleanup closes again
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, ErrNotFound) {
+			t.Fatalf("stranded job failed with %v, want ErrNotFound", r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stranded job never failed out")
+	}
+}
+
+func TestCreateSpecValidation(t *testing.T) {
+	mgr := testManager(t, Config{})
+	bad := []CreateSpec{
+		{N: 0, K: 2},                                // no nodes
+		{N: 4, K: 0},                                // no target
+		{N: 4, K: 2, Topology: "2:2"},               // both targets
+		{N: 4, K: 2, Scorer: "quantum"},             // unknown scorer
+		{N: 4, Topology: "nope"},                    // unparsable topology
+		{N: 4, Topology: "2:2", Distances: "1:2:3"}, // mismatched distances
+	}
+	for i, spec := range bad {
+		if _, err := mgr.Create(spec); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	// Topology with defaulted distances works.
+	s, err := mgr.Create(CreateSpec{N: 64, M: 128, Topology: "4:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 16 {
+		t.Fatalf("topology 4:4 gives k=%d, want 16", s.K())
+	}
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"oms"
+)
+
+// PushNode is one node of an ingest chunk: id, weight (0 means 1), the
+// adjacency list, and optional parallel edge weights.
+type PushNode struct {
+	U   int32   `json:"u"`
+	W   int32   `json:"w,omitempty"`
+	Adj []int32 `json:"adj"`
+	EW  []int32 `json:"ew,omitempty"`
+}
+
+// jobKind discriminates the work items flowing through a session queue.
+type jobKind int
+
+const (
+	jobChunk jobKind = iota
+	jobFinish
+)
+
+// job is one queued unit of session work. Chunks carry nodes; a finish
+// job seals the session after every chunk queued before it, so "finish
+// happens after all acknowledged ingest" holds by queue order.
+type job struct {
+	kind  jobKind
+	nodes []PushNode
+	done  chan jobResult
+}
+
+// jobResult carries a processed job's outcome back to the enqueuer.
+type jobResult struct {
+	blocks []int32     // per chunk node, aligned with job.nodes
+	result *oms.Result // finish only
+	err    error
+}
+
+// Session is one live push stream: the engine (an oms.Session), a
+// bounded ingest queue, and the scheduling state the worker pool uses to
+// serialize all engine access. Exactly one worker drains a session at a
+// time, so assignments are deterministic in ingest order even with many
+// sessions multiplexed over the pool.
+type Session struct {
+	ID      string
+	Created time.Time
+
+	eng  *oms.Session
+	spec CreateSpec
+
+	jobs      chan job
+	scheduled atomic.Bool // true while queued for or held by a worker
+	closed    atomic.Bool // evicted or deleted; rejects new work
+	lastTouch atomic.Int64
+
+	finished atomic.Bool
+	result   *oms.Result // set by the worker executing the finish job
+	summary  *Summary
+
+	m   *serviceMetrics
+	now func() time.Time
+}
+
+// Summary is the finish response: global facts of the sealed stream,
+// plus stream-computed quality metrics when the session records.
+type Summary struct {
+	ID       string   `json:"id"`
+	K        int32    `json:"k"`
+	N        int32    `json:"n"`
+	Assigned int32    `json:"assigned"`
+	Lmax     int64    `json:"lmax"`
+	EdgeCut  *int64   `json:"edge_cut,omitempty"`
+	Balance  *float64 `json:"imbalance,omitempty"`
+}
+
+func (s *Session) touch(now time.Time) { s.lastTouch.Store(now.UnixNano()) }
+
+// idleSince returns the instant of the session's last client activity.
+func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastTouch.Load()) }
+
+// K returns the session's block count.
+func (s *Session) K() int32 { return s.eng.K() }
+
+// Lmax returns the session's balance threshold.
+func (s *Session) Lmax() int64 { return s.eng.Lmax() }
+
+// Finished reports whether the finish job has run.
+func (s *Session) Finished() bool { return s.finished.Load() }
+
+// Result returns the sealed result, or an error before finish.
+func (s *Session) Result() (*oms.Result, error) {
+	if !s.finished.Load() {
+		return nil, fmt.Errorf("service: session %s not finished", s.ID)
+	}
+	return s.result, nil
+}
+
+// enqueue hands a job to the session queue, blocking for backpressure
+// when the queue is full, and wakes the pool if the session is idle.
+// Every enqueue refreshes the TTL, so a session stays alive while a
+// long single-request upload is actively delivering chunks.
+func (s *Session) enqueue(ctx context.Context, p *Pool, j job) error {
+	if s.closed.Load() {
+		return errGone(s.ID)
+	}
+	s.touch(s.now())
+	select {
+	case s.jobs <- j:
+	default:
+		// Full queue: count the backpressure stall, then block until the
+		// workers drain a slot or the client gives up.
+		s.m.backpressure.Inc()
+		select {
+		case s.jobs <- j:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if s.scheduled.CompareAndSwap(false, true) {
+		p.submit(s)
+	}
+	if s.closed.Load() {
+		// Manager.Close may have drained the queue between our closed
+		// check and the send landing; fail out whatever is queued
+		// (possibly our own job) so no enqueuer is stranded. Seeing
+		// closed==false above guarantees the send preceded the drain.
+		s.failPending()
+	}
+	return nil
+}
+
+// failPending drains the session queue and fails every job out. Jobs
+// race one receiver each (a worker or this drain), so each is run or
+// failed exactly once.
+func (s *Session) failPending() {
+	for {
+		select {
+		case j := <-s.jobs:
+			j.done <- jobResult{err: errGone(s.ID)}
+		default:
+			return
+		}
+	}
+}
+
+// Ingest queues one chunk and waits for its per-node assignments. The
+// error is non-nil if any node in the chunk was rejected; assignments of
+// the nodes before the offending one are still returned.
+func (s *Session) Ingest(ctx context.Context, p *Pool, nodes []PushNode) ([]int32, error) {
+	done := make(chan jobResult, 1)
+	if err := s.enqueue(ctx, p, job{kind: jobChunk, nodes: nodes, done: done}); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-done:
+		return r.blocks, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Finish queues the sealing job and waits for the summary.
+func (s *Session) Finish(ctx context.Context, p *Pool) (*Summary, error) {
+	done := make(chan jobResult, 1)
+	if err := s.enqueue(ctx, p, job{kind: jobFinish, done: done}); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return s.summary, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one queued job on the worker that currently owns the
+// session. All engine access happens here, serialized by the pool.
+func (s *Session) run(j job) {
+	switch j.kind {
+	case jobChunk:
+		blocks := make([]int32, 0, len(j.nodes))
+		var err error
+		for _, nd := range j.nodes {
+			w := nd.W
+			if w == 0 {
+				w = 1
+			}
+			var b int32
+			b, err = s.eng.Push(nd.U, w, nd.Adj, nd.EW)
+			if err != nil {
+				s.m.pushErrors.Inc()
+				break
+			}
+			blocks = append(blocks, b)
+			s.m.nodesIngested.Inc()
+			s.m.edgesIngested.Add(int64(len(nd.Adj)))
+		}
+		s.m.chunksIngested.Inc()
+		j.done <- jobResult{blocks: blocks, err: err}
+	case jobFinish:
+		if s.finished.Load() {
+			// Retry-safe like ingest: a client that lost the finish
+			// response gets the stored summary back.
+			j.done <- jobResult{result: s.result}
+			return
+		}
+		res, err := s.eng.Finish()
+		if err != nil {
+			j.done <- jobResult{err: err}
+			return
+		}
+		s.result = res
+		s.summary = s.summarize(res)
+		s.finished.Store(true)
+		s.m.sessionsFinished.Inc()
+		j.done <- jobResult{result: res}
+	}
+}
+
+// summarize builds the finish summary; for recording sessions it replays
+// the recorded stream to compute the edge cut and imbalance. Each
+// undirected edge is counted once via the nb > u endpoint, exact under
+// the paper's stream model where every node arrives with its full
+// adjacency list.
+func (s *Session) summarize(res *oms.Result) *Summary {
+	sum := &Summary{
+		ID:       s.ID,
+		K:        res.K,
+		N:        int32(len(res.Parts)),
+		Assigned: s.eng.Assigned(),
+		Lmax:     res.Lmax,
+	}
+	src := s.eng.Source()
+	if src == nil {
+		return sum
+	}
+	var cut int64
+	loads := make([]int64, res.K)
+	var total int64
+	_ = src.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
+		loads[res.Parts[u]] += int64(vwgt)
+		total += int64(vwgt)
+		for i, nb := range adj {
+			if nb <= u || res.Parts[nb] < 0 || res.Parts[nb] == res.Parts[u] {
+				continue
+			}
+			if ewgt != nil {
+				cut += int64(ewgt[i])
+			} else {
+				cut++
+			}
+		}
+	})
+	sum.EdgeCut = &cut
+	if total > 0 {
+		var maxLoad int64
+		for _, l := range loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		imb := float64(maxLoad)*float64(res.K)/float64(total) - 1
+		sum.Balance = &imb
+	}
+	return sum
+}

@@ -32,6 +32,18 @@
 //	res, err := oms.PartitionGraph(g, 256, oms.Options{})
 //	// res.Parts[u] is the block of node u
 //
+// Push-based usage — when no pull source exists because nodes arrive
+// from outside (the serving shape of the omsd daemon), open a Session
+// and push nodes as they come; each Push returns the node's permanent
+// block immediately:
+//
+//	s, err := oms.NewSession(oms.SessionConfig{
+//		Stats: oms.StreamStats{N: n, M: m, TotalNodeWeight: int64(n), TotalEdgeWeight: m},
+//		K:     256,
+//	})
+//	b, err := s.Push(u, 1, adj, nil) // b is u's block, assigned on the fly
+//	res, err := s.Finish()
+//
 // Process mapping onto a machine with 4 cores per processor, 16
 // processors per node and 8 nodes, with level distances 1, 10, 100:
 //

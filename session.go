@@ -1,0 +1,195 @@
+package oms
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"oms/internal/core"
+	"oms/internal/hierarchy"
+	"oms/internal/stream"
+)
+
+// StreamStats declares the global stream quantities a one-pass
+// partitioner must know before the first node arrives: they size the
+// balance constraint Lmax and Fennel's alpha. Pull sources derive them
+// from the graph or file header; push sessions declare them up front.
+type StreamStats = stream.Stats
+
+// SessionConfig opens a push session. Exactly the information a client
+// of the omsd service declares when creating a session.
+type SessionConfig struct {
+	// Stats are the declared global stream quantities. N and
+	// TotalNodeWeight must be exact for the balance guarantee;
+	// TotalEdgeWeight only shapes Fennel's alpha. For unit-weight
+	// streams set TotalNodeWeight = N.
+	Stats StreamStats
+	// Topology selects process mapping onto its PEs; nil selects plain
+	// partitioning into K blocks over an artificial Options.Base-section
+	// hierarchy.
+	Topology *Topology
+	// K is the partitioning target when Topology is nil.
+	K int32
+	// Options configures the run exactly as for Partition/Map.
+	Options Options
+	// Record keeps a copy of every pushed node in a replayable source,
+	// enabling Restream and post-hoc quality metrics at O(n + m) extra
+	// memory. Off by default: the pure streaming regime is O(n + k).
+	Record bool
+}
+
+// Session is the push-based counterpart of Partition and Map: instead of
+// handing the algorithm a pull Source, the caller pushes each node with
+// its adjacency list as it arrives and receives the node's permanent
+// block immediately — the paper's "on the fly" assignment surfaced as an
+// incremental API. A sequence of Push calls in natural node order
+// computes bit-identical assignments to Partition/Map over the same
+// stream and options.
+//
+// A Session is not safe for concurrent use; serialize access (the omsd
+// service multiplexes many sessions over a worker pool with exactly this
+// discipline).
+type Session struct {
+	o   *core.OMS
+	buf *stream.Buffer
+	n   int32
+	// edgeBudget is 2*declared m: every edge may arrive once per
+	// endpoint in the paper's stream model. Pushes beyond it are
+	// rejected, bounding adjacency storage by the declaration.
+	edgeBudget int64
+	edgesSeen  int64
+	// assigned is atomic so monitoring readers (the omsd session list)
+	// may poll it while a worker is pushing; all other state still
+	// requires the documented serialization.
+	assigned atomic.Int32
+	finished bool
+}
+
+// NewSession opens a push session. Omitted stats default like the wire
+// API: TotalNodeWeight to N (unit weights) and TotalEdgeWeight to M.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	opt := cfg.Options.withDefaults()
+	if cfg.Stats.N <= 0 {
+		return nil, fmt.Errorf("oms: session declares %d nodes", cfg.Stats.N)
+	}
+	if cfg.Stats.M < 0 || cfg.Stats.TotalNodeWeight < 0 || cfg.Stats.TotalEdgeWeight < 0 {
+		return nil, fmt.Errorf("oms: negative declared stats %+v", cfg.Stats)
+	}
+	if cfg.Stats.TotalNodeWeight == 0 {
+		cfg.Stats.TotalNodeWeight = int64(cfg.Stats.N)
+	}
+	if cfg.Stats.TotalEdgeWeight == 0 {
+		cfg.Stats.TotalEdgeWeight = cfg.Stats.M
+	}
+	var o *core.OMS
+	var err error
+	if cfg.Topology != nil {
+		o, err = core.New(hierarchy.FromSpec(cfg.Topology.Spec), cfg.Stats, opt.coreConfig())
+	} else {
+		o, err = core.NewGP(cfg.K, opt.Base, cfg.Stats, opt.coreConfig())
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{o: o, n: cfg.Stats.N, edgeBudget: 2 * cfg.Stats.M}
+	if cfg.Record {
+		s.buf = stream.NewBuffer(cfg.Stats)
+	}
+	return s, nil
+}
+
+// K returns the number of final blocks / PEs.
+func (s *Session) K() int32 { return s.o.K() }
+
+// Lmax returns the leaf balance threshold the session enforces.
+func (s *Session) Lmax() int64 { return s.o.LmaxValue() }
+
+// Assigned returns how many nodes have been pushed so far.
+func (s *Session) Assigned() int32 { return s.assigned.Load() }
+
+// Push streams one node: the online recursive multi-section walks u from
+// the root of the multi-section tree to a leaf and returns that leaf,
+// u's permanent block. Neighbors not yet pushed simply contribute no
+// gain, exactly as in the pull-based one-pass model. The adjacency
+// slices are not retained (Record copies them).
+//
+// Push is idempotent: re-pushing an assigned node returns its existing
+// permanent block without re-charging loads or budgets, so clients may
+// safely retry a chunk whose response they lost.
+func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, error) {
+	if s.finished {
+		return -1, fmt.Errorf("oms: push after Finish")
+	}
+	if u < 0 || u >= s.n {
+		return -1, fmt.Errorf("oms: node %d outside declared range [0,%d)", u, s.n)
+	}
+	if b := s.o.AssignmentOf(u); b >= 0 {
+		return b, nil
+	}
+	if vwgt <= 0 {
+		return -1, fmt.Errorf("oms: node %d has non-positive weight %d", u, vwgt)
+	}
+	if ewgt != nil && len(ewgt) != len(adj) {
+		return -1, fmt.Errorf("oms: node %d has %d edge weights for %d edges", u, len(ewgt), len(adj))
+	}
+	if s.edgesSeen+int64(len(adj)) > s.edgeBudget {
+		return -1, fmt.Errorf("oms: node %d overruns the declared edge budget (2m = %d)", u, s.edgeBudget)
+	}
+	for i, nb := range adj {
+		if nb < 0 || nb >= s.n {
+			return -1, fmt.Errorf("oms: node %d has neighbor %d outside declared range [0,%d)", u, nb, s.n)
+		}
+		if ewgt != nil && ewgt[i] <= 0 {
+			return -1, fmt.Errorf("oms: node %d has non-positive edge weight %d", u, ewgt[i])
+		}
+	}
+	s.edgesSeen += int64(len(adj))
+	b := s.o.AssignNode(u, vwgt, adj, ewgt)
+	s.assigned.Add(1)
+	if s.buf != nil {
+		s.buf.Append(u, vwgt, adj, ewgt)
+	}
+	return b, nil
+}
+
+// Finish seals the session and returns the result. Nodes never pushed
+// keep assignment -1; pushing after Finish fails. Parts is a copy: a
+// later Restream does not mutate it (unlike Partition/Map, the engine
+// outlives the returned Result here).
+func (s *Session) Finish() (*Result, error) {
+	if s.finished {
+		return nil, fmt.Errorf("oms: session finished twice")
+	}
+	s.finished = true
+	parts := append([]int32(nil), s.o.Assignments()...)
+	return &Result{Parts: parts, K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
+}
+
+// Source returns the recorded replayable stream of a Record session
+// (nil otherwise): the pushed nodes in arrival order, for restreaming or
+// second-pass quality metrics.
+func (s *Session) Source() Source {
+	if s.buf == nil {
+		return nil
+	}
+	return s.buf
+}
+
+// Restream improves a finished Record session's result with extra
+// sequential passes over the recorded stream, as Restream does for pull
+// sources. It requires Record and a prior Finish.
+func (s *Session) Restream(passes int) (*Result, error) {
+	if s.buf == nil {
+		return nil, fmt.Errorf("oms: Restream requires a Record session")
+	}
+	if !s.finished {
+		return nil, fmt.Errorf("oms: Restream before Finish")
+	}
+	if passes < 0 {
+		return nil, fmt.Errorf("oms: negative restream passes %d", passes)
+	}
+	parts, err := s.o.RestreamPasses(s.buf, passes)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
+}

@@ -1,0 +1,224 @@
+package oms_test
+
+import (
+	"strings"
+	"testing"
+
+	"oms"
+)
+
+// pushWhole streams g through a session in natural node order, checking
+// that every Push echoes the block the final result reports.
+func pushWhole(t *testing.T, s *oms.Session, g *oms.Graph) []int32 {
+	t.Helper()
+	n := g.NumNodes()
+	online := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		b, err := s.Push(u, g.NodeWeight(u), g.Neighbors(u), g.EdgeWeights(u))
+		if err != nil {
+			t.Fatalf("push %d: %v", u, err)
+		}
+		online[u] = b
+	}
+	return online
+}
+
+func TestSessionMatchesPartition(t *testing.T) {
+	g := oms.GenDelaunay(4000, 11)
+	st := oms.StreamStats{
+		N: g.NumNodes(), M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+	}
+	for _, opt := range []oms.Options{
+		{},
+		{Scorer: oms.ScorerLDG},
+		{Scorer: oms.ScorerHashing, Seed: 99},
+		{HashLayers: 1, Seed: 3},
+	} {
+		want, err := oms.PartitionGraph(g, 64, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 64, Options: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		online := pushWhole(t, s, g)
+		res, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lmax != want.Lmax {
+			t.Fatalf("opt %+v: lmax %d, want %d", opt, res.Lmax, want.Lmax)
+		}
+		for u := range want.Parts {
+			if online[u] != want.Parts[u] || res.Parts[u] != want.Parts[u] {
+				t.Fatalf("opt %+v: node %d got %d/%d, pull-based Run got %d",
+					opt, u, online[u], res.Parts[u], want.Parts[u])
+			}
+		}
+	}
+}
+
+func TestSessionMatchesMap(t *testing.T) {
+	g := oms.GenRGG2D(3000, 5)
+	top := oms.MustTopology("4:4:4", "1:10:100")
+	want, err := oms.MapGraph(g, top, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{
+			N: g.NumNodes(), M: g.NumEdges(),
+			TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+		},
+		Topology: top,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushWhole(t, s, g)
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want.Parts {
+		if res.Parts[u] != want.Parts[u] {
+			t.Fatalf("node %d mapped to %d, pull-based Map got %d", u, res.Parts[u], want.Parts[u])
+		}
+	}
+}
+
+func TestSessionRestreamMatchesPullRestream(t *testing.T) {
+	g := oms.GenGrid2D(50, 60, true)
+	const passes = 2
+	want, err := oms.Restream(oms.NewMemorySource(g), 16, nil, passes, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{
+			N: g.NumNodes(), M: g.NumEdges(),
+			TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+		},
+		K:      16,
+		Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushWhole(t, s, g)
+	sealed, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstPass := append([]int32(nil), sealed.Parts...)
+	res, err := s.Restream(passes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want.Parts {
+		if res.Parts[u] != want.Parts[u] {
+			t.Fatalf("node %d: session restream %d, pull restream %d", u, res.Parts[u], want.Parts[u])
+		}
+	}
+	// The sealed first-pass result must not alias the engine: restreaming
+	// may not rewrite it.
+	for u := range firstPass {
+		if sealed.Parts[u] != firstPass[u] {
+			t.Fatalf("restream mutated the sealed result at node %d", u)
+		}
+	}
+}
+
+func TestSessionDefaultsOmittedStats(t *testing.T) {
+	g := oms.GenDelaunay(1000, 3)
+	want, err := oms.PartitionGraph(g, 8, oms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only N and M declared: unit node weights and M edge weight are
+	// implied, matching the unweighted pull source exactly.
+	s, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{N: g.NumNodes(), M: g.NumEdges()},
+		K:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lmax() != want.Lmax {
+		t.Fatalf("defaulted stats give lmax %d, want %d", s.Lmax(), want.Lmax)
+	}
+	online := pushWhole(t, s, g)
+	for u := range want.Parts {
+		if online[u] != want.Parts[u] {
+			t.Fatalf("node %d got %d, want %d", u, online[u], want.Parts[u])
+		}
+	}
+	if _, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{N: 4, M: -1}, K: 2,
+	}); err == nil {
+		t.Fatal("negative declared m accepted")
+	}
+}
+
+func TestSessionRejectsBadPushes(t *testing.T) {
+	s, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{N: 4, M: 3, TotalNodeWeight: 4, TotalEdgeWeight: 3},
+		K:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(0, 1, []int32{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		u    int32
+		w    int32
+		adj  []int32
+		ew   []int32
+		want string
+	}{
+		{"out of range", 4, 1, nil, nil, "outside declared range"},
+		{"negative", -1, 1, nil, nil, "outside declared range"},
+		{"bad neighbor", 1, 1, []int32{9}, nil, "neighbor 9"},
+		{"zero weight", 1, 0, nil, nil, "non-positive weight"},
+		{"weight mismatch", 1, 1, []int32{0}, []int32{1, 2}, "edge weights"},
+		{"negative edge weight", 1, 1, []int32{0}, []int32{-5}, "non-positive edge weight"},
+		{"edge budget overrun", 1, 1, []int32{0, 2, 3, 0, 2, 3}, nil, "edge budget"},
+	}
+	for _, c := range cases {
+		if _, err := s.Push(c.u, c.w, c.adj, c.ew); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+	if got := s.Assigned(); got != 1 {
+		t.Fatalf("rejected pushes counted: assigned %d, want 1", got)
+	}
+	// Retrying an assigned node is idempotent: same block, nothing
+	// re-charged or re-counted.
+	first, err := s.Push(0, 1, []int32{1}, nil)
+	if err != nil {
+		t.Fatalf("idempotent re-push: %v", err)
+	}
+	if again, err := s.Push(0, 1, nil, nil); err != nil || again != first {
+		t.Fatalf("re-push gave (%d, %v), want (%d, nil)", again, err, first)
+	}
+	if got := s.Assigned(); got != 1 {
+		t.Fatalf("re-push counted: assigned %d, want 1", got)
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1, 1, nil, nil); err == nil || !strings.Contains(err.Error(), "after Finish") {
+		t.Fatalf("push after finish: got %v", err)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("double finish accepted")
+	}
+	if _, err := s.Restream(1); err == nil || !strings.Contains(err.Error(), "Record") {
+		t.Fatalf("restream without record: got %v", err)
+	}
+}
