@@ -41,6 +41,7 @@ func main() {
 		k       = flag.Int("k", 8192, "block count for table2/fig3/memory")
 		intmap  = flag.Bool("intmap", false, "include the sequential offline mapper (IntMap role) in fig2")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonOut = flag.String("json", "", "write a machine-readable perf snapshot (edge cut, nodes/s, peak RSS) to this file and exit")
 		seed    = flag.Uint64("seed", 1, "base seed")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
@@ -84,6 +85,26 @@ func main() {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	// -json is the perf-trajectory mode: one fixed suite, machine-
+	// readable output (BENCH_oms.json), nothing else.
+	if *jsonOut != "" {
+		snap, err := bench.RunPerfSnapshot(cfg, int32(*k), progressWriter(progress))
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var tables []*bench.Table

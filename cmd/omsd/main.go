@@ -14,6 +14,12 @@
 //	  curl -s localhost:8080/v1/sessions/$ID/nodes --data-binary @-
 //	# => {"u":0,"b":0} {"u":1,"b":0} {"u":2,"b":1} {"u":3,"b":1}
 //	curl -s -X POST localhost:8080/v1/sessions/$ID/finish
+//
+// With -data-dir the daemon is durable: every accepted push is logged
+// to a per-session WAL before it is acknowledged, engine state is
+// checkpointed periodically, and a restarted daemon rebuilds sealed
+// sessions' results and resumes unsealed sessions at the exact next
+// node (GET /v1/sessions/{id} reports "assigned", where to resume).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"oms/internal/service"
+	"oms/internal/wal"
 )
 
 func main() {
@@ -52,11 +59,23 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxNodes := fs.Int("max-nodes", 1<<26, "per-session declared node cap")
 	maxTotalNodes := fs.Int64("max-total-nodes", 1<<28, "aggregate declared node budget across live sessions")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	dataDir := fs.String("data-dir", "", "session durability directory; empty keeps sessions in memory only")
+	walSync := fs.Duration("wal-sync", 100*time.Millisecond, "batched WAL fsync interval (0 = fsync every chunk)")
+	snapshotEvery := fs.Int("snapshot-every", 4096, "checkpoint a session's engine state every this many logged nodes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxNodes < 1 || *maxNodes > math.MaxInt32 {
 		return fmt.Errorf("omsd: -max-nodes %d outside [1, %d]", *maxNodes, math.MaxInt32)
+	}
+
+	var store service.Store
+	if *dataDir != "" {
+		st, err := wal.Open(*dataDir, wal.Options{SyncInterval: *walSync})
+		if err != nil {
+			return fmt.Errorf("omsd: open data dir: %w", err)
+		}
+		store = st
 	}
 
 	mgr := service.NewManager(service.Config{
@@ -66,8 +85,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Workers:       *workers,
 		MaxNodes:      int32(*maxNodes),
 		MaxTotalNodes: *maxTotalNodes,
+		Store:         store,
+		SnapshotEvery: *snapshotEvery,
 	})
 	defer mgr.Close()
+
+	if store != nil {
+		n, err := mgr.RecoverSessions()
+		if err != nil {
+			// Partial recovery is served; the skipped sessions' data
+			// stays on disk for inspection.
+			log.Printf("omsd: session recovery: %v", err)
+		}
+		if n > 0 {
+			log.Printf("omsd recovered %d session(s) from %s", n, *dataDir)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

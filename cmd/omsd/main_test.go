@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"oms"
 )
 
 func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
@@ -90,5 +93,185 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// startDaemon launches the daemon with the given extra args and returns
+// its base URL plus a stop function that kills it and waits for exit.
+func startDaemon(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), ready)
+	}()
+	select {
+	case addr := <-ready:
+		stopped := false
+		return "http://" + addr, func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("daemon exit: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("daemon did not shut down")
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("daemon did not come up")
+	}
+	panic("unreachable")
+}
+
+// ndjsonNodes encodes graph nodes [lo, hi) as NDJSON ingest lines.
+func ndjsonNodes(t *testing.T, g *oms.Graph, lo, hi int32) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for u := lo; u < hi; u++ {
+		if err := enc.Encode(map[string]any{"u": u, "adj": g.Neighbors(u)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestCrashRecoveryParity is the durability acceptance test: an ingest
+// killed mid-stream, the daemon restarted against the same -data-dir,
+// the session resumed at the exact next node — and the final
+// assignments must be byte-identical to the same stream run
+// uninterrupted in process.
+func TestCrashRecoveryParity(t *testing.T) {
+	dataDir := t.TempDir()
+	g := oms.GenDelaunay(4000, 11)
+	n, m := g.NumNodes(), g.NumEdges()
+	const k = 8
+
+	// The uninterrupted reference run.
+	eng, err := oms.NewSession(oms.SessionConfig{Stats: oms.StreamStats{N: n, M: m}, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < n; u++ {
+		if _, err := eng.Push(u, 1, g.Neighbors(u), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon: create the session, deliver 60% of the stream, die.
+	base, stop := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0", "-snapshot-every", "700")
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"n":%d,"m":%d,"k":%d}`, n, m, k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cut := n * 3 / 5
+	resp, err = http.Post(base+"/v1/sessions/"+created.ID+"/nodes",
+		"application/x-ndjson", strings.NewReader(ndjsonNodes(t, g, 0, cut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.Count(string(body), `"b":`); got != int(cut) {
+		t.Fatalf("first half acked %d assignments, want %d", got, cut)
+	}
+	stop()
+
+	// Second daemon, same data dir: the session must be back, resumed
+	// at exactly node `cut`.
+	base2, stop2 := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0")
+	defer stop2() // idempotent; the explicit stop below normally runs first
+	resp, err = http.Get(base2 + "/v1/sessions/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Assigned int32 `json:"assigned"`
+		Finished bool  `json:"finished"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Finished || status.Assigned != cut {
+		t.Fatalf("recovered session at node %d (finished=%v), want resumable at %d", status.Assigned, status.Finished, cut)
+	}
+
+	// Deliver the tail, finish, and compare the full assignment vector.
+	resp, err = http.Post(base2+"/v1/sessions/"+created.ID+"/nodes",
+		"application/x-ndjson", strings.NewReader(ndjsonNodes(t, g, cut, n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Post(base2+"/v1/sessions/"+created.ID+"/finish", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(base2 + "/v1/sessions/" + created.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Parts []int32 `json:"parts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(result.Parts) != len(want.Parts) {
+		t.Fatalf("result has %d parts, want %d", len(result.Parts), len(want.Parts))
+	}
+	for u := range want.Parts {
+		if result.Parts[u] != want.Parts[u] {
+			t.Fatalf("node %d: recovered run assigned %d, uninterrupted run %d", u, result.Parts[u], want.Parts[u])
+		}
+	}
+
+	// A sealed session also survives a second restart with its result.
+	stop2()
+	base3, stop3 := startDaemon(t, "-data-dir", dataDir)
+	defer stop3()
+	resp, err = http.Get(base3 + "/v1/sessions/" + created.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again struct {
+		Parts []int32 `json:"parts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for u := range want.Parts {
+		if again.Parts[u] != want.Parts[u] {
+			t.Fatalf("node %d: sealed recovery assigned %d, want %d", u, again.Parts[u], want.Parts[u])
+		}
 	}
 }

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"syscall"
+	"time"
+
+	"oms/internal/metrics"
+)
+
+// PerfSnapshot is the machine-readable perf record omsbench -json
+// writes (BENCH_oms.json): one row per (instance, algorithm) with edge
+// cut and throughput, plus process-wide peak RSS. Committing successive
+// snapshots gives the repo a perf trajectory reviewers and CI can diff.
+type PerfSnapshot struct {
+	Schema    string         `json:"schema"` // "oms-bench/v1"
+	Scale     float64        `json:"scale"`
+	K         int32          `json:"k"`
+	Reps      int            `json:"reps"`
+	Threads   int            `json:"threads"`
+	GoVersion string         `json:"go_version"`
+	Results   []PerfResult   `json:"results"`
+	PeakRSS   int64          `json:"peak_rss_bytes"` // of the whole bench process
+	Totals    map[string]any `json:"totals"`
+}
+
+// PerfResult is one snapshot row.
+type PerfResult struct {
+	Instance    string  `json:"instance"`
+	N           int32   `json:"n"`
+	M           int64   `json:"m"`
+	Algorithm   string  `json:"algorithm"`
+	EdgeCut     int64   `json:"edge_cut"`
+	Imbalance   float64 `json:"imbalance"`
+	RuntimeSec  float64 `json:"runtime_sec"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+}
+
+// snapshotAlgs are the algorithms the perf snapshot tracks: the paper's
+// one-pass baselines and both OMS variants (nh-OMS partitions into k
+// flat blocks; OMS maps onto a 4:16:r hierarchy with k leaves).
+var snapshotAlgs = []AlgID{AlgHashing, AlgLDG, AlgFennel, AlgNhOMS, AlgOMS}
+
+// RunPerfSnapshot measures the snapshot suite: every algorithm on the
+// small family-diverse test set, sequentially (throughput per core is
+// the trajectory metric; the scalability sweep covers threading).
+func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, error) {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 0.05
+	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	instances := cfg.Instances
+	if instances == nil {
+		instances = SmallTestSet()
+	}
+	// The OMS mapping rows use the paper's S = 4:16:r hierarchy with
+	// about k leaves (r = max(1, k/64)); flat algorithms use k itself.
+	r := k / 64
+	if r < 1 {
+		r = 1
+	}
+	top := cfg.withDefaults().topoFor(r)
+	snap := &PerfSnapshot{
+		Schema:    "oms-bench/v1",
+		Scale:     scale,
+		K:         k,
+		Reps:      reps,
+		Threads:   1,
+		GoVersion: runtime.Version(),
+	}
+	start := time.Now()
+	for _, ins := range instances {
+		g := ins.BuildCached(scale)
+		n := g.NumNodes()
+		for _, alg := range snapshotAlgs {
+			sp := RunSpec{Alg: alg, K: k, Eps: 0.03, Threads: 1, Seed: cfg.Seed}
+			kEff := k
+			if alg == AlgOMS {
+				sp.Top = top
+				kEff = top.Spec.K()
+			}
+			var secs, cut, imb float64
+			for rep := 0; rep < reps; rep++ {
+				rsp := sp
+				rsp.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
+				res, err := Execute(g, rsp)
+				if err != nil {
+					return nil, err
+				}
+				secs += res.Seconds
+				cut += float64(metrics.EdgeCut(g, res.Parts))
+				if b := metrics.Imbalance(g, res.Parts, kEff); b > imb {
+					imb = b
+				}
+			}
+			secs /= float64(reps)
+			cut /= float64(reps)
+			row := PerfResult{
+				Instance:   ins.Name,
+				N:          n,
+				M:          g.NumEdges(),
+				Algorithm:  string(alg),
+				EdgeCut:    int64(cut),
+				Imbalance:  imb,
+				RuntimeSec: secs,
+			}
+			if secs > 0 {
+				row.NodesPerSec = float64(n) / secs
+			}
+			snap.Results = append(snap.Results, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "snapshot %s %s: cut %d, %.0f nodes/s\n",
+					ins.Name, alg, row.EdgeCut, row.NodesPerSec)
+			}
+		}
+	}
+	snap.PeakRSS = peakRSSBytes()
+	snap.Totals = map[string]any{
+		"wall_sec":  time.Since(start).Seconds(),
+		"instances": len(instances),
+	}
+	return snap, nil
+}
+
+// WriteJSON writes the snapshot, indented for reviewable diffs.
+func (s *PerfSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// peakRSSBytes reports the process's peak resident set via getrusage.
+// Linux counts ru_maxrss in KiB; other unixes differ, but the snapshot
+// is only comparable within one platform anyway.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ExportState snapshots the run's mutable streaming state: the per-tree-
+// block loads and the per-node leaf assignments. Together with the
+// immutable construction inputs (tree, stats, config) this is everything
+// a later ImportState needs to continue the stream at the exact next
+// node — the paper's O(n + k) memory bound is also the size of a full
+// checkpoint. Callers must hold the same serialization AssignNode
+// requires; both slices are fresh copies.
+func (o *OMS) ExportState() (loads []int64, parts []int32) {
+	loads = make([]int64, len(o.loads))
+	for i := range o.loads {
+		loads[i] = atomic.LoadInt64(&o.loads[i])
+	}
+	parts = append([]int32(nil), o.parts...)
+	return loads, parts
+}
+
+// ImportState restores state captured by ExportState into a freshly
+// constructed OMS with the same tree, stats, and config. Because the
+// per-node walk is deterministic for a fixed stream order and seed,
+// AssignNode calls after an import continue bit-identically to the run
+// the state was exported from.
+func (o *OMS) ImportState(loads []int64, parts []int32) error {
+	if len(loads) != len(o.loads) {
+		return fmt.Errorf("core: import has %d tree-block loads, this tree has %d", len(loads), len(o.loads))
+	}
+	if len(parts) != len(o.parts) {
+		return fmt.Errorf("core: import has %d node assignments, this stream declares %d", len(parts), len(o.parts))
+	}
+	k := o.Tree.K
+	for u, p := range parts {
+		if p < -1 || p >= k {
+			return fmt.Errorf("core: import assigns node %d to block %d outside [-1,%d)", u, p, k)
+		}
+	}
+	for i := range loads {
+		atomic.StoreInt64(&o.loads[i], loads[i])
+	}
+	copy(o.parts, parts)
+	return nil
+}

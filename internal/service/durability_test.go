@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"oms"
+)
+
+// faultLog is a SessionLog with switchable failures, for exercising the
+// wal-fault handling without a disk.
+type faultLog struct {
+	failAppend bool
+	failFlush  bool
+	failSeal   bool
+	appended   int
+	sealed     bool
+}
+
+var errDisk = errors.New("boom: disk fault")
+
+func (l *faultLog) AppendNode(u, w int32, adj, ew []int32) error {
+	if l.failAppend {
+		return errDisk
+	}
+	l.appended++
+	return nil
+}
+
+func (l *faultLog) Flush() error {
+	if l.failFlush {
+		return errDisk
+	}
+	return nil
+}
+
+func (l *faultLog) Snapshot(st oms.SessionState) error { return nil }
+
+func (l *faultLog) Seal() error {
+	if l.failSeal {
+		return errDisk
+	}
+	l.sealed = true
+	return nil
+}
+
+func (l *faultLog) Close() error { return nil }
+
+// faultStore hands every session the same faultLog.
+type faultStore struct {
+	log *faultLog
+	// barrier, when set, blocks Create until it has been entered by
+	// two callers (forcing two creates into the post-persist admission
+	// race).
+	barrier *sync.WaitGroup
+
+	mu      sync.Mutex
+	removed []string
+}
+
+func (s *faultStore) Create(id string, spec CreateSpec) (SessionLog, error) {
+	if s.barrier != nil {
+		s.barrier.Done()
+		s.barrier.Wait()
+	}
+	return s.log, nil
+}
+
+func (s *faultStore) Recover() ([]RecoveredSession, error) { return nil, nil }
+
+func (s *faultStore) Remove(id string) error {
+	s.mu.Lock()
+	s.removed = append(s.removed, id)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *faultStore) removedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.removed)
+}
+
+// TestWALFaultKillsSession: an append failure fails the chunk with a
+// durability error and the session becomes gone — a retrying client
+// cannot pin it alive, and no push is ever acknowledged unlogged.
+func TestWALFaultKillsSession(t *testing.T) {
+	fl := &faultLog{failAppend: true}
+	mgr := testManager(t, Config{Store: &faultStore{log: fl}})
+	s, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Ingest(context.Background(), mgr.Pool(), pathNodes(2))
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("ingest after append fault: %v, want ErrDurability", err)
+	}
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after wal fault: %v, want ErrNotFound", err)
+	}
+}
+
+// TestFlushFaultFailsChunkEvenAfterRejection: the per-chunk flush runs
+// even when the chunk ends in an engine rejection, so the accepted
+// prefix of the chunk is never acknowledged un-flushed.
+func TestFlushFaultFailsChunkEvenAfterRejection(t *testing.T) {
+	fl := &faultLog{failFlush: true}
+	mgr := testManager(t, Config{Store: &faultStore{log: fl}})
+	s, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 is accepted (and logged), node 99 rejected; the flush
+	// fault must still surface and void the chunk's acks.
+	nodes := []PushNode{{U: 0, Adj: []int32{1}}, {U: 99}}
+	blocks, err := s.Ingest(context.Background(), mgr.Pool(), nodes)
+	if !errors.Is(err, ErrDurability) {
+		t.Fatalf("ingest with flush fault: %v, want ErrDurability", err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("chunk acked %d assignments despite failed flush", len(blocks))
+	}
+	if fl.appended != 1 {
+		t.Fatalf("logged %d records, want 1 (the accepted prefix)", fl.appended)
+	}
+}
+
+// TestSealFaultFailsFinish: a finish whose seal cannot be persisted is
+// not acknowledged — the store must never claim less than the client
+// was told.
+func TestSealFaultFailsFinish(t *testing.T) {
+	fl := &faultLog{failSeal: true}
+	mgr := testManager(t, Config{Store: &faultStore{log: fl}})
+	s, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(context.Background(), mgr.Pool(), pathNodes(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(context.Background(), mgr.Pool()); !errors.Is(err, ErrDurability) {
+		t.Fatalf("finish with seal fault: %v, want ErrDurability", err)
+	}
+	if s.Finished() {
+		t.Fatal("session marked finished despite failed seal")
+	}
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after seal fault: %v, want ErrNotFound", err)
+	}
+}
+
+// TestDurabilityErrorMapsTo500 checks the HTTP mapping of wal faults.
+func TestDurabilityErrorMapsTo500(t *testing.T) {
+	if code := statusOf(errors.Join(ErrDurability)); code != 500 {
+		t.Fatalf("durability status %d, want 500", code)
+	}
+}
+
+// TestCreateGCsOnAdmitRollback: two concurrent creates racing for the
+// last session slot both persist their state first; the loser of the
+// final admission check must garbage-collect its just-created log.
+func TestCreateGCsOnAdmitRollback(t *testing.T) {
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	st := &faultStore{log: &faultLog{}, barrier: &barrier}
+	mgr := testManager(t, Config{Store: st, MaxSessions: 1})
+
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := mgr.Create(CreateSpec{N: 4, M: 3, K: 2})
+			errs <- err
+		}()
+	}
+	var limited, ok int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrLimit):
+			limited++
+		default:
+			t.Fatalf("create: %v", err)
+		}
+	}
+	if ok != 1 || limited != 1 {
+		t.Fatalf("concurrent creates: %d ok, %d limited; want 1 and 1", ok, limited)
+	}
+	if got := st.removedCount(); got != 1 {
+		t.Fatalf("rolled-back create removed %d persisted sessions, want 1", got)
+	}
+}

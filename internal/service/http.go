@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"oms"
 )
 
 // ingestChunkSize is how many NDJSON nodes the server groups into one
@@ -53,8 +55,11 @@ func NewServer(mgr *Manager) http.Handler {
 			writeError(w, statusOf(err), err)
 			return
 		}
+		// assigned tells a reconnecting client exactly where to resume
+		// its stream after a daemon restart recovered the session.
 		writeJSON(w, http.StatusOK, map[string]any{
-			"id": s.ID, "k": s.K(), "lmax": s.Lmax(), "finished": s.Finished(),
+			"id": s.ID, "k": s.K(), "n": s.spec.N, "lmax": s.Lmax(),
+			"assigned": s.eng.Assigned(), "finished": s.Finished(),
 		})
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/nodes", func(w http.ResponseWriter, r *http.Request) {
@@ -140,13 +145,22 @@ func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
 	chunk := make([]PushNode, 0, ingestChunkSize)
 
+	wrote := false
 	flush := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
 		blocks, err := s.Ingest(r.Context(), mgr.Pool(), chunk)
+		if err != nil && !wrote && len(blocks) == 0 {
+			// Nothing committed yet: report the rejection as a distinct
+			// status (finished -> 409, out-of-range -> 422, edge budget
+			// -> 413) instead of a 200 with an NDJSON error line.
+			writeError(w, statusOf(err), err)
+			return false
+		}
 		for i, b := range blocks {
 			_ = enc.Encode(Assignment{U: chunk[i].U, B: b})
+			wrote = true
 		}
 		if err != nil {
 			_ = enc.Encode(ingestError{Error: err.Error()})
@@ -187,6 +201,14 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrLimit):
 		return http.StatusTooManyRequests
+	case errors.Is(err, oms.ErrSessionFinished):
+		return http.StatusConflict
+	case errors.Is(err, oms.ErrNodeOutOfRange):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, oms.ErrEdgeBudget):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrDurability):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

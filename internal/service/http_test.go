@@ -251,6 +251,65 @@ func TestConcurrentSessionsIsolated(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSentinelStatusCodes checks the engine's sentinel errors map to
+// distinct HTTP statuses when a rejection happens before any response
+// bytes are committed.
+func TestSentinelStatusCodes(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	post := func(id, lines string) int {
+		t.Helper()
+		resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/nodes", srv.URL, id),
+			"application/x-ndjson", strings.NewReader(lines))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Node outside the declared range -> 422.
+	var created createReply
+	postJSON(t, srv.URL+"/v1/sessions", CreateSpec{N: 4, M: 3, K: 2}, &created)
+	if code := post(created.ID, `{"u":99,"adj":[]}`+"\n"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-range status %d, want 422", code)
+	}
+
+	// Overrunning the declared edge budget (2m = 2) -> 413.
+	var tiny createReply
+	postJSON(t, srv.URL+"/v1/sessions", CreateSpec{N: 4, M: 1, K: 2}, &tiny)
+	if code := post(tiny.ID, `{"u":0,"adj":[1,2,3]}`+"\n"); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("edge-budget status %d, want 413", code)
+	}
+
+	// Pushing into a finished session -> 409.
+	var done createReply
+	postJSON(t, srv.URL+"/v1/sessions", CreateSpec{N: 4, M: 3, K: 2}, &done)
+	resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/finish", srv.URL, done.ID), "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code := post(done.ID, `{"u":0,"adj":[]}`+"\n"); code != http.StatusConflict {
+		t.Fatalf("push-after-finish status %d, want 409", code)
+	}
+
+	// A mid-stream rejection (assignments already committed) still
+	// surfaces inline as an NDJSON error line on a 200 stream.
+	var mid createReply
+	postJSON(t, srv.URL+"/v1/sessions", CreateSpec{N: 4, M: 3, K: 2}, &mid)
+	resp, err = http.Post(fmt.Sprintf("%s/v1/sessions/%s/nodes", srv.URL, mid.ID),
+		"application/x-ndjson", strings.NewReader(`{"u":0,"adj":[1]}`+"\n"+`{"u":99,"adj":[]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"b":`) || !strings.Contains(string(body), "outside declared range") {
+		t.Fatalf("mid-stream rejection: status %d body %s", resp.StatusCode, body)
+	}
+}
+
 func TestHTTPErrorPaths(t *testing.T) {
 	_, srv := newTestServer(t, Config{})
 	// Unknown session.

@@ -17,6 +17,9 @@ import (
 var (
 	ErrNotFound = errors.New("service: no such session")
 	ErrLimit    = errors.New("service: session limit reached")
+	// ErrDurability wraps WAL append/flush/seal failures: a server-side
+	// fault (500), after which the affected session is dead.
+	ErrDurability = errors.New("service: session durability failure")
 )
 
 func errGone(id string) error {
@@ -140,6 +143,15 @@ type Config struct {
 	JanitorPeriod time.Duration // eviction scan period; default 1s
 	// Now injects a clock for tests; default time.Now.
 	Now func() time.Time
+	// Store persists sessions across restarts (nil = in-memory only):
+	// accepted pushes are logged before they are acknowledged, Finish
+	// seals the log, deletion and TTL eviction garbage-collect it, and
+	// RecoverSessions rebuilds every stored session after a restart.
+	Store Store
+	// SnapshotEvery checkpoints a session's engine state after this
+	// many logged records, bounding recovery replay to the tail;
+	// default 4096. Ignored without a Store.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +178,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JanitorPeriod <= 0 {
 		c.JanitorPeriod = time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -237,6 +252,9 @@ func (mg *Manager) close() {
 	mg.pool.Close()
 	for _, s := range victims {
 		s.failPending()
+		// Shutdown is not deletion: sync and release the log, keep the
+		// files — the next process recovers these sessions.
+		s.closeLog()
 	}
 }
 
@@ -274,23 +292,38 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		eng:  eng,
-		spec: spec,
-		jobs: make(chan job, mg.cfg.QueueDepth),
-		m:    mg.m,
-		now:  mg.cfg.Now,
+		eng:       eng,
+		spec:      spec,
+		jobs:      make(chan job, mg.cfg.QueueDepth),
+		m:         mg.m,
+		now:       mg.cfg.Now,
+		snapEvery: mg.cfg.SnapshotEvery,
 	}
 	now := mg.cfg.Now()
 	s.Created = now
 	s.touch(now)
 
 	mg.mu.Lock()
-	if err := mg.admit(spec.N); err != nil {
-		mg.mu.Unlock()
-		return nil, err
-	}
 	mg.seq++
 	s.ID = fmt.Sprintf("s%d-%08x", mg.seq, randTag())
+	mg.mu.Unlock()
+
+	// Attach the durable log before the session becomes visible, so no
+	// ingest can ever be acknowledged without reaching it.
+	if mg.cfg.Store != nil {
+		lg, err := mg.cfg.Store.Create(s.ID, spec)
+		if err != nil {
+			return nil, fmt.Errorf("service: persist session: %w", err)
+		}
+		s.log = lg
+	}
+
+	mg.mu.Lock()
+	if err := mg.admit(spec.N); err != nil {
+		mg.mu.Unlock()
+		mg.dropPersisted(s)
+		return nil, err
+	}
 	mg.sessions[s.ID] = s
 	mg.liveNodes += int64(spec.N)
 	mg.mu.Unlock()
@@ -300,12 +333,129 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	return s, nil
 }
 
+// dropPersisted releases and garbage-collects a session's durable
+// state, if any.
+func (mg *Manager) dropPersisted(s *Session) {
+	s.closeLog()
+	if mg.cfg.Store != nil {
+		_ = mg.cfg.Store.Remove(s.ID)
+	}
+}
+
+// RecoverSessions rebuilds every session the configured store holds:
+// sealed sessions get their original result back (replay, then the
+// stored Finish), unsealed sessions resume at the exact next node —
+// engine state is restored from the newest checkpoint and the log tail
+// is replayed through the same deterministic per-node walk, so resumed
+// assignments are bit-identical to an uninterrupted run. Call it once,
+// after NewManager and before serving. It returns how many sessions
+// came back; the error joins per-session recovery failures and is
+// advisory when the count is nonzero.
+func (mg *Manager) RecoverSessions() (int, error) {
+	if mg.cfg.Store == nil {
+		return 0, nil
+	}
+	recs, rerr := mg.cfg.Store.Recover()
+	var errs []error
+	if rerr != nil {
+		errs = append(errs, rerr)
+	}
+	n := 0
+	for _, rec := range recs {
+		if err := mg.restoreSession(rec); err != nil {
+			errs = append(errs, fmt.Errorf("service: recover session %s: %w", rec.ID, err))
+			if rec.Log != nil {
+				_ = rec.Log.Close()
+			}
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}
+
+// restoreSession replays one recovered session into a live engine and
+// registers it under its original id.
+func (mg *Manager) restoreSession(rec RecoveredSession) error {
+	if rec.Spec.N > mg.cfg.MaxNodes {
+		return fmt.Errorf("declared n %d exceeds the server's node cap %d", rec.Spec.N, mg.cfg.MaxNodes)
+	}
+	cfg, err := rec.Spec.sessionConfig()
+	if err != nil {
+		return err
+	}
+	eng, err := oms.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	if rec.Snapshot != nil && !rec.Spec.Record {
+		if err := eng.RestoreState(*rec.Snapshot); err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+	}
+	err = rec.Replay(func(u, w int32, adj, ew []int32) error {
+		_, err := eng.Push(u, w, adj, ew)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	s := &Session{
+		ID:        rec.ID,
+		eng:       eng,
+		spec:      rec.Spec,
+		jobs:      make(chan job, mg.cfg.QueueDepth),
+		m:         mg.m,
+		now:       mg.cfg.Now,
+		log:       rec.Log,
+		snapEvery: mg.cfg.SnapshotEvery,
+	}
+	now := mg.cfg.Now()
+	s.Created = now
+	s.touch(now)
+	if rec.Sealed {
+		res, err := eng.Finish()
+		if err != nil {
+			return err
+		}
+		s.result = res
+		s.summary = s.summarize(res)
+		s.finished.Store(true)
+	}
+
+	mg.mu.Lock()
+	if err := mg.admit(rec.Spec.N); err != nil {
+		mg.mu.Unlock()
+		return err
+	}
+	if _, exists := mg.sessions[rec.ID]; exists {
+		mg.mu.Unlock()
+		return fmt.Errorf("duplicate session id")
+	}
+	mg.sessions[rec.ID] = s
+	mg.liveNodes += int64(rec.Spec.N)
+	// Keep new ids unique: never reuse a recovered session's sequence
+	// number.
+	var seq uint64
+	if _, err := fmt.Sscanf(rec.ID, "s%d-", &seq); err == nil && seq > mg.seq {
+		mg.seq = seq
+	}
+	mg.mu.Unlock()
+
+	mg.m.sessionsRecovered.Inc()
+	mg.m.sessionsActive.Inc()
+	return nil
+}
+
 // Get returns the live session with the given id and refreshes its TTL.
+// A session closed by a WAL fault is gone, not merely erroring: its TTL
+// is not refreshed (a retrying client must not pin it against eviction)
+// and lookups fail like any other dead session.
 func (mg *Manager) Get(id string) (*Session, error) {
 	mg.mu.Lock()
 	s, ok := mg.sessions[id]
 	mg.mu.Unlock()
-	if !ok {
+	if !ok || s.closed.Load() {
 		return nil, errGone(id)
 	}
 	s.touch(mg.cfg.Now())
@@ -325,6 +475,7 @@ func (mg *Manager) Delete(id string) error {
 		return errGone(id)
 	}
 	s.closed.Store(true)
+	mg.dropPersisted(s)
 	mg.m.sessionsDeleted.Inc()
 	mg.m.sessionsActive.Add(-1)
 	return nil
@@ -390,6 +541,9 @@ func (mg *Manager) EvictIdle() int {
 	mg.mu.Unlock()
 	for _, s := range victims {
 		s.closed.Store(true)
+		// Eviction means the client abandoned the stream; the persisted
+		// log (sealed or not) is garbage-collected with the session.
+		mg.dropPersisted(s)
 		mg.m.sessionsEvicted.Inc()
 		mg.m.sessionsActive.Add(-1)
 	}

@@ -104,6 +104,11 @@ type serviceMetrics struct {
 	chunksIngested   *Counter
 	pushErrors       *Counter
 	backpressure     *Counter
+
+	sessionsRecovered *Counter
+	walRecords        *Counter
+	walSnapshots      *Counter
+	walErrors         *Counter
 }
 
 func newServiceMetrics(r *Registry) *serviceMetrics {
@@ -118,5 +123,10 @@ func newServiceMetrics(r *Registry) *serviceMetrics {
 		chunksIngested:   r.Counter("omsd_chunks_ingested_total", "ingest chunks processed across all sessions"),
 		pushErrors:       r.Counter("omsd_push_errors_total", "rejected node pushes (range, weights, budget, after-finish)"),
 		backpressure:     r.Counter("omsd_backpressure_waits_total", "ingest enqueues that blocked on a full session queue"),
+
+		sessionsRecovered: r.Counter("omsd_sessions_recovered_total", "push sessions rebuilt from the store at startup"),
+		walRecords:        r.Counter("omsd_wal_records_total", "node records appended to session logs"),
+		walSnapshots:      r.Counter("omsd_wal_snapshots_total", "engine checkpoints written"),
+		walErrors:         r.Counter("omsd_wal_errors_total", "session log append/flush/snapshot/seal failures"),
 	}
 }

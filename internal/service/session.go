@@ -59,6 +59,15 @@ type Session struct {
 	closed    atomic.Bool // evicted or deleted; rejects new work
 	lastTouch atomic.Int64
 
+	// log is the session's durable record log, nil when the manager has
+	// no store. The owning worker appends each accepted push before the
+	// chunk is acknowledged and checkpoints engine state every
+	// snapEvery fresh records (never for Record sessions, whose replay
+	// buffer a checkpoint cannot restore).
+	log       SessionLog
+	snapEvery int
+	sinceSnap int // fresh records since the last checkpoint
+
 	finished atomic.Bool
 	result   *oms.Result // set by the worker executing the finish job
 	summary  *Summary
@@ -135,6 +144,24 @@ func (s *Session) enqueue(ctx context.Context, p *Pool, j job) error {
 	return nil
 }
 
+// walFailure handles an unrecoverable durability fault: a push the
+// engine already accepted could not be logged (or flushed), so a client
+// retry would be acknowledged without ever reaching the log. The only
+// honest response is to kill the session — the chunk fails, new work is
+// rejected, and the janitor eventually collects it.
+func (s *Session) walFailure(op string, err error) error {
+	s.m.walErrors.Inc()
+	s.closed.Store(true)
+	return fmt.Errorf("%w: session %s wal %s (session closed): %w", ErrDurability, s.ID, op, err)
+}
+
+// closeLog releases the session's durable log, if any.
+func (s *Session) closeLog() {
+	if s.log != nil {
+		_ = s.log.Close()
+	}
+}
+
 // failPending drains the session queue and fails every job out. Jobs
 // race one receiver each (a worker or this drain), so each is run or
 // failed exactly once.
@@ -194,15 +221,47 @@ func (s *Session) run(j job) {
 			if w == 0 {
 				w = 1
 			}
+			before := s.eng.Assigned()
 			var b int32
 			b, err = s.eng.Push(nd.U, w, nd.Adj, nd.EW)
 			if err != nil {
 				s.m.pushErrors.Inc()
 				break
 			}
+			// Log before acking, but only fresh assignments: an
+			// idempotent re-push of an already-assigned node changed no
+			// state, and replay is idempotent anyway, so duplicates
+			// would only bloat the log.
+			if s.log != nil && s.eng.Assigned() > before {
+				if lerr := s.log.AppendNode(nd.U, w, nd.Adj, nd.EW); lerr != nil {
+					err = s.walFailure("append", lerr)
+					break
+				}
+				s.m.walRecords.Inc()
+				s.sinceSnap++
+			}
 			blocks = append(blocks, b)
 			s.m.nodesIngested.Inc()
 			s.m.edgesIngested.Add(int64(len(nd.Adj)))
+		}
+		if s.log != nil {
+			// One write-through per chunk — even a chunk that ends in a
+			// rejection, whose earlier nodes were accepted and are about
+			// to be acknowledged: after any ack a process crash loses
+			// nothing, an OS crash at most the batched-fsync window.
+			if lerr := s.log.Flush(); lerr != nil {
+				err = s.walFailure("flush", lerr)
+				blocks = nil
+			}
+		}
+		if err == nil && s.log != nil && s.snapEvery > 0 && s.sinceSnap >= s.snapEvery && !s.spec.Record {
+			// Checkpoint failures are non-fatal: replay covers the gap.
+			if serr := s.log.Snapshot(s.eng.ExportState()); serr != nil {
+				s.m.walErrors.Inc()
+			} else {
+				s.m.walSnapshots.Inc()
+				s.sinceSnap = 0
+			}
 		}
 		s.m.chunksIngested.Inc()
 		j.done <- jobResult{blocks: blocks, err: err}
@@ -217,6 +276,16 @@ func (s *Session) run(j job) {
 		if err != nil {
 			j.done <- jobResult{err: err}
 			return
+		}
+		if s.log != nil {
+			// Seal before acking the summary, so a restart rebuilds the
+			// sealed result instead of offering an unsealed resume. A
+			// seal failure must not ack a finish the store cannot
+			// reproduce — it kills the session like any WAL fault.
+			if lerr := s.log.Seal(); lerr != nil {
+				j.done <- jobResult{err: s.walFailure("seal", lerr)}
+				return
+			}
 		}
 		s.result = res
 		s.summary = s.summarize(res)

@@ -1,0 +1,68 @@
+package service
+
+import "oms"
+
+// Store is the session-persistence hook of the manager: when configured
+// (Config.Store), every created session gets a durable log, accepted
+// pushes are logged before they are acknowledged, Finish seals the log,
+// and TTL eviction or deletion garbage-collects the persisted state.
+// After a restart RecoverSessions rebuilds every stored session from
+// the store. The interface is defined here (the consumer); internal/wal
+// provides the on-disk implementation omsd wires in with -data-dir.
+type Store interface {
+	// Create opens a fresh durable log for a session. The spec is
+	// persisted alongside so recovery can rebuild the engine with the
+	// exact same configuration (OMS replay is deterministic for a fixed
+	// config, seed, and stream order).
+	Create(id string, spec CreateSpec) (SessionLog, error)
+	// Recover scans the store and returns every persisted session,
+	// sealed or not. Sessions too damaged to recover are skipped; their
+	// errors are joined into the returned error, which is advisory when
+	// sessions are also returned.
+	Recover() ([]RecoveredSession, error)
+	// Remove garbage-collects one session's persisted state.
+	Remove(id string) error
+}
+
+// SessionLog is one session's durable record log. All calls are made
+// from the single worker that owns the session, so implementations need
+// only guard against concurrent Close from the manager.
+type SessionLog interface {
+	// AppendNode logs one accepted push. The record must be durable
+	// against a process crash (written to the OS) once the following
+	// Flush returns; fsync durability is batched per the store's sync
+	// interval.
+	AppendNode(u, w int32, adj, ew []int32) error
+	// Flush writes buffered records through to the operating system;
+	// the service calls it once per acknowledged chunk.
+	Flush() error
+	// Snapshot atomically persists a checkpoint covering every record
+	// appended so far, so recovery replays only the tail after it.
+	Snapshot(st oms.SessionState) error
+	// Seal marks the session finished and forces the log to stable
+	// storage. A sealed log rejects further appends.
+	Seal() error
+	// Close releases the log without removing its files.
+	Close() error
+}
+
+// RecoveredSession is one persisted session as reported by
+// Store.Recover: its identity and spec, whether it was sealed, the
+// newest checkpoint (nil if none was taken), a one-shot replay of the
+// records the checkpoint does not cover, and the log handle reopened
+// for further appends.
+type RecoveredSession struct {
+	ID     string
+	Spec   CreateSpec
+	Sealed bool
+	// Snapshot is the newest durable checkpoint; replay starts after
+	// the records it covers. Nil means replay the whole log.
+	Snapshot *oms.SessionState
+	// Replay streams the logged records not covered by Snapshot, in
+	// append order. It may be called once, before the session goes
+	// live.
+	Replay func(fn func(u, w int32, adj, ew []int32) error) error
+	// Log continues the session's durable log (appends fail on sealed
+	// logs). Never nil for a returned session.
+	Log SessionLog
+}

@@ -1,0 +1,305 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"oms/internal/service"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncInterval batches WAL fsyncs: every acknowledged chunk is
+	// written to the OS before the ack, but fsync runs at most once per
+	// interval per session (plus forced syncs on snapshot, seal, and
+	// close). Zero or negative fsyncs on every flush — maximally
+	// durable, slowest.
+	SyncInterval time.Duration
+}
+
+// Store is the on-disk session store, implementing service.Store over a
+// data directory laid out as
+//
+//	<dir>/sessions/<id>/spec.json   creation spec (replay configuration)
+//	<dir>/sessions/<id>/log.wal     the record log
+//	<dir>/sessions/<id>/snap        newest checkpoint (atomic replace)
+type Store struct {
+	dir string // the sessions directory
+	opt Options
+}
+
+const (
+	sessionsDir = "sessions"
+	specName    = "spec.json"
+	logName     = "log.wal"
+)
+
+// Open prepares a store rooted at dir, creating it if needed.
+func Open(dir string, opt Options) (*Store, error) {
+	sd := filepath.Join(dir, sessionsDir)
+	if err := os.MkdirAll(sd, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: sd, opt: opt}, nil
+}
+
+// specEnvelope is the spec.json schema.
+type specEnvelope struct {
+	ID   string             `json:"id"`
+	Spec service.CreateSpec `json:"spec"`
+}
+
+// Create implements service.Store: it lays down the session directory,
+// persists the spec, and opens an empty log. A partial failure removes
+// the directory again — a half-created session must not come back as a
+// ghost on the next restart (the create was reported failed).
+func (st *Store) Create(id string, spec service.CreateSpec) (service.SessionLog, error) {
+	dir := filepath.Join(st.dir, id)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: session dir: %w", err)
+	}
+	lg, err := st.createIn(dir, id, spec)
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	return lg, nil
+}
+
+func (st *Store) createIn(dir, id string, spec service.CreateSpec) (*Log, error) {
+	b, err := json.Marshal(specEnvelope{ID: id, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileSync(filepath.Join(dir, specName), b); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st.newLog(f, dir), nil
+}
+
+// Remove implements service.Store: it garbage-collects the session's
+// persisted state.
+func (st *Store) Remove(id string) error {
+	if err := os.RemoveAll(filepath.Join(st.dir, id)); err != nil {
+		return err
+	}
+	return syncDir(st.dir)
+}
+
+// Recover implements service.Store: it scans the sessions directory and
+// rebuilds a RecoveredSession per entry. Unrecoverable sessions are
+// skipped; their errors are joined into the returned (advisory) error.
+func (st *Store) Recover() ([]service.RecoveredSession, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var out []service.RecoveredSession
+	var errs []error
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := st.recoverOne(e.Name())
+		if err != nil {
+			errs = append(errs, fmt.Errorf("wal: session %s: %w", e.Name(), err))
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, errors.Join(errs...)
+}
+
+// recoverOne rebuilds one session directory: validate the log's frame
+// prefix, truncate any torn tail, load the newest usable snapshot, and
+// reopen the log for appends at the validated end.
+func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
+	var rec service.RecoveredSession
+	dir := filepath.Join(st.dir, id)
+	sb, err := os.ReadFile(filepath.Join(dir, specName))
+	if err != nil {
+		return rec, err
+	}
+	var env specEnvelope
+	if err := json.Unmarshal(sb, &env); err != nil {
+		return rec, fmt.Errorf("corrupt spec: %w", err)
+	}
+
+	// No O_CREATE: a session directory without its log (a failed create
+	// not yet cleaned up, or tampering) is a recovery error, not an
+	// empty session to silently resurrect.
+	logPath := filepath.Join(dir, logName)
+	f, err := os.OpenFile(logPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return rec, err
+	}
+	nodes, sealed, validEnd, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return rec, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validEnd {
+		// Torn tail: the crash interrupted a frame write. Everything
+		// before it checksums clean; cut the log there.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return rec, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return rec, err
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return rec, err
+	}
+	l := st.newLog(f, dir)
+	l.nodes = nodes
+	l.sealed = sealed
+
+	// A snapshot claiming more records than the durable log holds (only
+	// possible under corruption: Snapshot syncs the log first) or one
+	// that fails its CRC is discarded; replay then covers everything.
+	// Record sessions always replay in full — their server-side stream
+	// copy cannot be restored from a checkpoint.
+	skip := int64(0)
+	if !env.Spec.Record {
+		snapCount, snapState, err := readSnapshot(dir)
+		if err == nil && snapCount <= nodes {
+			skip = snapCount
+			rec.Snapshot = &snapState
+		}
+	}
+
+	rec.ID = env.ID
+	rec.Spec = env.Spec
+	rec.Sealed = sealed
+	rec.Log = l
+	rec.Replay = func(fn func(u, w int32, adj, ew []int32) error) error {
+		return replayLog(logPath, skip, nodes, fn)
+	}
+	if env.ID != id {
+		l.Close()
+		return rec, fmt.Errorf("spec names session %q", env.ID)
+	}
+	return rec, nil
+}
+
+// newLog wraps an open log file handle.
+func (st *Store) newLog(f *os.File, dir string) *Log {
+	return &Log{
+		f:         f,
+		w:         bufio.NewWriterSize(f, 64<<10),
+		dir:       dir,
+		syncEvery: st.opt.SyncInterval,
+		lastSync:  time.Now(),
+	}
+}
+
+// scanLog validates the log's frame prefix from the start of f: it
+// returns the node-record count, whether a seal record terminates the
+// log, and the byte offset the valid prefix ends at. A torn or corrupt
+// frame simply ends the scan — its bytes are the crash's, not an error.
+// A real read fault is an error: truncating at it would destroy
+// durable, acknowledged records that merely failed to read this time.
+func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, false, 0, err
+	}
+	r := bufio.NewReaderSize(f, 256<<10)
+	for {
+		payload, size, err := readFrame(r)
+		if err == io.EOF || err == errTornFrame {
+			return nodes, sealed, validEnd, nil
+		}
+		if err != nil {
+			return 0, false, 0, err
+		}
+		switch payload[0] {
+		case recNode:
+			if _, _, _, _, err := decodeNodePayload(payload[1:]); err != nil {
+				return nodes, sealed, validEnd, nil
+			}
+			nodes++
+		case recSeal:
+			// Nothing may follow a seal; stop at it either way.
+			return nodes, true, validEnd + size, nil
+		default:
+			return nodes, sealed, validEnd, nil
+		}
+		validEnd += size
+	}
+}
+
+// replayLog streams the log's node records in append order, skipping
+// the first skip records (the snapshot-covered prefix) and stopping
+// after total records (the validated prefix).
+func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int32) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 256<<10)
+	seen := int64(0)
+	for seen < total {
+		payload, _, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("wal: log ends after %d of %d records", seen, total)
+			}
+			return err
+		}
+		if payload[0] != recNode {
+			continue
+		}
+		seen++
+		if seen <= skip {
+			// Snapshot-covered prefix: count the frame, skip the
+			// per-record decode allocations.
+			continue
+		}
+		u, w, adj, ew, err := decodeNodePayload(payload[1:])
+		if err != nil {
+			return err
+		}
+		if err := fn(u, w, adj, ew); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileSync writes b to path and fsyncs the file.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,325 @@
+// Package wal persists omsd push sessions: a per-session append-only
+// record log plus periodic engine snapshots, so a crashed or redeployed
+// daemon rebuilds every session and resumes unsealed streams at the
+// exact next node.
+//
+// The design exploits the defining property of the paper's algorithm:
+// OMS assigns each node irrevocably in one pass, deterministically for
+// a fixed configuration, seed, and stream order. A session is therefore
+// exactly a replayable log of (node, weight, adjacency) records —
+// replaying the log through the engine reproduces every load counter
+// and assignment bit-identically. Durability is then cheap:
+//
+//   - log.wal — length-prefixed binary frames, one per accepted push,
+//     each protected by a CRC32. Appends are buffered; the service
+//     flushes to the OS once per acknowledged chunk, and fsync is
+//     batched on a configurable interval, so a process crash loses
+//     nothing acknowledged and an OS crash loses at most the sync
+//     window.
+//   - snap — an atomically replaced checkpoint of the engine state
+//     (tree loads + assignment vector, O(n + k) by Theorem 1) covering
+//     a durable prefix of the log, so recovery replays only the tail.
+//   - spec.json — the session's creation spec, fixing the replay
+//     configuration.
+//
+// Recovery scans the log, truncates a torn tail at the first bad
+// frame, loads the newest valid snapshot, and replays the uncovered
+// suffix. Duplicate records are harmless: engine pushes are idempotent,
+// so a record logged twice replays to the same state.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record types discriminating log frames.
+const (
+	recNode = 1 // one accepted push: u, vwgt, adjacency, edge weights
+	recSeal = 2 // the session finished; nothing follows
+)
+
+// maxFramePayload bounds one frame's payload during recovery scans; a
+// larger declared length is treated as corruption. It comfortably
+// exceeds any node the service accepts (the HTTP layer caps one node
+// line at 16 MiB of JSON).
+const maxFramePayload = 1 << 28
+
+// frameHeaderSize is the per-frame overhead: payload length + CRC32,
+// both little-endian uint32.
+const frameHeaderSize = 8
+
+var errTornFrame = errors.New("wal: torn or corrupt frame")
+
+// appendNodePayload encodes one node record payload into buf.
+func appendNodePayload(buf []byte, u, w int32, adj, ew []int32) []byte {
+	buf = append(buf, recNode)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(u))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(adj)))
+	if ew != nil {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, v := range adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range ew {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// decodeNodePayload is the inverse of appendNodePayload, minus the type
+// byte already consumed by the caller.
+func decodeNodePayload(p []byte) (u, w int32, adj, ew []int32, err error) {
+	if len(p) < 13 {
+		return 0, 0, nil, nil, errTornFrame
+	}
+	u = int32(binary.LittleEndian.Uint32(p[0:]))
+	w = int32(binary.LittleEndian.Uint32(p[4:]))
+	deg := int64(binary.LittleEndian.Uint32(p[8:]))
+	hasEW := p[12] == 1
+	want := int64(13) + 4*deg
+	if hasEW {
+		want += 4 * deg
+	}
+	if int64(len(p)) != want {
+		return 0, 0, nil, nil, errTornFrame
+	}
+	adj = make([]int32, deg)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(p[13+4*i:]))
+	}
+	if hasEW {
+		ew = make([]int32, deg)
+		off := 13 + 4*int(deg)
+		for i := range ew {
+			ew[i] = int32(binary.LittleEndian.Uint32(p[off+4*i:]))
+		}
+	}
+	return u, w, adj, ew, nil
+}
+
+// readFrame reads one frame from r, returning its payload and total
+// encoded size. io.EOF means a clean end exactly at a frame boundary;
+// errTornFrame means a short read or checksum mismatch (the crash's
+// bytes); any other error is a real I/O fault that must NOT be treated
+// as a torn tail — truncating on it would destroy durable records.
+func readFrame(r *bufio.Reader) (payload []byte, size int64, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		switch err {
+		case io.EOF:
+			return nil, 0, io.EOF
+		case io.ErrUnexpectedEOF:
+			return nil, 0, errTornFrame
+		default:
+			return nil, 0, err
+		}
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > maxFramePayload {
+		return nil, 0, errTornFrame
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, errTornFrame
+		}
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, errTornFrame
+	}
+	return payload, frameHeaderSize + int64(n), nil
+}
+
+// Log is one session's append-only record log, implementing the
+// service's SessionLog. Appends buffer in memory; Flush writes through
+// to the OS and batches fsync per the configured interval. A Log is
+// driven by the single worker owning its session, with Close callable
+// concurrently from the manager.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	dir    string // session directory, owns snap + spec.json
+	buf    []byte // frame scratch
+	nodes  int64  // node records in the log
+	sealed bool
+	closed bool
+
+	syncEvery time.Duration
+	dirty     bool // bytes possibly not yet fsynced
+	lastSync  time.Time
+	// syncTimer fsyncs a dirty tail the stream went idle on, so the
+	// batched-sync exposure is bounded by wall clock, not by when the
+	// next chunk happens to arrive.
+	syncTimer *time.Timer
+}
+
+// AppendNode buffers one node record. The record reaches the OS at the
+// next Flush and stable storage at the next batched fsync (or Seal /
+// Snapshot / Close, which all force one).
+func (l *Log) AppendNode(u, w int32, adj, ew []int32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return fmt.Errorf("wal: append to closed log")
+	case l.sealed:
+		return fmt.Errorf("wal: append to sealed log")
+	}
+	l.buf = appendNodePayload(l.buf[:0], u, w, adj, ew)
+	if err := l.writeFrame(l.buf); err != nil {
+		return err
+	}
+	l.nodes++
+	return nil
+}
+
+// writeFrame frames payload into the buffered writer; callers hold mu.
+func (l *Log) writeFrame(payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.dirty = true
+	return nil
+}
+
+// Flush writes buffered records through to the operating system and
+// fsyncs if the batched sync interval has elapsed (always, when the
+// interval is zero or negative).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: flush of closed log")
+	}
+	return l.flushLocked(false)
+}
+
+// flushLocked empties the buffer and fsyncs when due or forced; when
+// the fsync is deferred it arms the idle-tail timer instead.
+func (l *Log) flushLocked(force bool) error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if !l.dirty {
+		return nil
+	}
+	now := time.Now()
+	if force || l.syncEvery <= 0 || now.Sub(l.lastSync) >= l.syncEvery {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.dirty = false
+		l.lastSync = now
+		if l.syncTimer != nil {
+			l.syncTimer.Stop()
+			l.syncTimer = nil
+		}
+		return nil
+	}
+	if l.syncTimer == nil {
+		d := l.syncEvery - now.Sub(l.lastSync)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		l.syncTimer = time.AfterFunc(d, l.timedSync)
+	}
+	return nil
+}
+
+// timedSync is the idle-tail fsync: without it, a stream that pauses
+// right after a deferred-sync Flush would keep acknowledged records
+// un-fsynced until the next chunk arrives, making the documented
+// "-wal-sync window" unbounded in wall-clock time. Errors here are left
+// for the next Flush/Seal/Close to surface.
+func (l *Log) timedSync() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncTimer = nil
+	if l.closed || !l.dirty {
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		return
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+}
+
+// Seal appends the terminal seal record and forces the whole log to
+// stable storage; further appends fail.
+func (l *Log) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return fmt.Errorf("wal: seal of closed log")
+	case l.sealed:
+		return nil
+	}
+	if err := l.writeFrame([]byte{recSeal}); err != nil {
+		return err
+	}
+	if err := l.flushLocked(true); err != nil {
+		return err
+	}
+	l.sealed = true
+	return nil
+}
+
+// Close flushes, fsyncs, and releases the log, leaving its files in
+// place (Store.Remove garbage-collects them). Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.syncTimer != nil {
+		l.syncTimer.Stop()
+		l.syncTimer = nil
+	}
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Sealed reports whether the log carries the terminal seal record.
+func (l *Log) Sealed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed
+}
+
+// Nodes returns the number of node records in the log.
+func (l *Log) Nodes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nodes
+}

@@ -1,12 +1,28 @@
 package oms
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"oms/internal/core"
 	"oms/internal/hierarchy"
 	"oms/internal/stream"
+)
+
+// Sentinel errors returned (possibly wrapped) by Session operations, so
+// callers — the omsd HTTP layer in particular — can map failure classes
+// to distinct responses instead of parsing message strings.
+var (
+	// ErrSessionFinished reports a Push or second Finish on a sealed
+	// session.
+	ErrSessionFinished = errors.New("oms: session already finished")
+	// ErrNodeOutOfRange reports a node or neighbor id outside the
+	// declared [0, N) range.
+	ErrNodeOutOfRange = errors.New("oms: node outside declared range")
+	// ErrEdgeBudget reports a Push that would exceed the declared edge
+	// budget of 2m adjacency entries.
+	ErrEdgeBudget = errors.New("oms: declared edge budget exceeded")
 )
 
 // StreamStats declares the global stream quantities a one-pass
@@ -117,10 +133,10 @@ func (s *Session) Assigned() int32 { return s.assigned.Load() }
 // safely retry a chunk whose response they lost.
 func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, error) {
 	if s.finished {
-		return -1, fmt.Errorf("oms: push after Finish")
+		return -1, fmt.Errorf("%w: push after Finish", ErrSessionFinished)
 	}
 	if u < 0 || u >= s.n {
-		return -1, fmt.Errorf("oms: node %d outside declared range [0,%d)", u, s.n)
+		return -1, fmt.Errorf("%w: node %d not in [0,%d)", ErrNodeOutOfRange, u, s.n)
 	}
 	if b := s.o.AssignmentOf(u); b >= 0 {
 		return b, nil
@@ -132,11 +148,11 @@ func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, e
 		return -1, fmt.Errorf("oms: node %d has %d edge weights for %d edges", u, len(ewgt), len(adj))
 	}
 	if s.edgesSeen+int64(len(adj)) > s.edgeBudget {
-		return -1, fmt.Errorf("oms: node %d overruns the declared edge budget (2m = %d)", u, s.edgeBudget)
+		return -1, fmt.Errorf("%w: node %d overruns 2m = %d", ErrEdgeBudget, u, s.edgeBudget)
 	}
 	for i, nb := range adj {
 		if nb < 0 || nb >= s.n {
-			return -1, fmt.Errorf("oms: node %d has neighbor %d outside declared range [0,%d)", u, nb, s.n)
+			return -1, fmt.Errorf("%w: node %d has neighbor %d not in [0,%d)", ErrNodeOutOfRange, u, nb, s.n)
 		}
 		if ewgt != nil && ewgt[i] <= 0 {
 			return -1, fmt.Errorf("oms: node %d has non-positive edge weight %d", u, ewgt[i])
@@ -157,7 +173,7 @@ func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, e
 // outlives the returned Result here).
 func (s *Session) Finish() (*Result, error) {
 	if s.finished {
-		return nil, fmt.Errorf("oms: session finished twice")
+		return nil, fmt.Errorf("%w: Finish called twice", ErrSessionFinished)
 	}
 	s.finished = true
 	parts := append([]int32(nil), s.o.Assignments()...)
@@ -192,4 +208,63 @@ func (s *Session) Restream(passes int) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
+}
+
+// SessionState is a point-in-time checkpoint of a session's mutable
+// streaming state: the engine's per-tree-block loads and per-node
+// assignments plus the session's edge-budget progress. It is exactly
+// what a restarted process needs to continue the stream at the next
+// node — O(n + k) in size, the paper's memory bound (Theorem 1). The
+// construction inputs (SessionConfig) are not included; a restore
+// target must be built from the same config.
+type SessionState struct {
+	// EdgesSeen is the consumed portion of the 2m edge budget.
+	EdgesSeen int64
+	// Loads are the per-tree-block loads, root first.
+	Loads []int64
+	// Parts are the per-node assignments; -1 for nodes not yet pushed.
+	Parts []int32
+}
+
+// ExportState checkpoints the session. The caller must serialize it
+// against Push/Finish like every other session call; the returned state
+// shares no memory with the session.
+func (s *Session) ExportState() SessionState {
+	loads, parts := s.o.ExportState()
+	return SessionState{EdgesSeen: s.edgesSeen, Loads: loads, Parts: parts}
+}
+
+// RestoreState loads a checkpoint into a freshly created session built
+// from the same SessionConfig the checkpoint's session used. Because
+// OMS is deterministic for a fixed stream order and seed, pushing the
+// post-checkpoint suffix of the original stream afterwards yields
+// assignments bit-identical to the uninterrupted run. Restoring into a
+// session that has already accepted pushes, has finished, or records
+// its stream (Record sessions replay their full log instead) is an
+// error.
+func (s *Session) RestoreState(st SessionState) error {
+	if s.finished {
+		return fmt.Errorf("%w: restore after Finish", ErrSessionFinished)
+	}
+	if s.assigned.Load() != 0 || s.edgesSeen != 0 {
+		return fmt.Errorf("oms: restore into a session that already streamed %d nodes", s.assigned.Load())
+	}
+	if s.buf != nil {
+		return fmt.Errorf("oms: restore into a Record session (replay the recorded stream instead)")
+	}
+	if st.EdgesSeen < 0 || st.EdgesSeen > s.edgeBudget {
+		return fmt.Errorf("oms: restored edge count %d outside [0, 2m = %d]", st.EdgesSeen, s.edgeBudget)
+	}
+	if err := s.o.ImportState(st.Loads, st.Parts); err != nil {
+		return err
+	}
+	s.edgesSeen = st.EdgesSeen
+	var assigned int32
+	for _, p := range st.Parts {
+		if p >= 0 {
+			assigned++
+		}
+	}
+	s.assigned.Store(assigned)
+	return nil
 }
