@@ -1,0 +1,168 @@
+// Command benchgate is the CI perf-regression gate: it compares a
+// freshly measured omsbench -json snapshot against the committed
+// BENCH_oms.json baseline and fails (exit 1) when quality or throughput
+// regressed beyond tolerance.
+//
+//	benchgate -old BENCH_oms.json -new BENCH_new.json
+//
+// Gates, per matched row (instance × algorithm, and instance × threads
+// for the batch-ingest scenario):
+//
+//   - edge cut worse than -cut-tol (default 5%) fails;
+//   - nodes/s lower than -speed-tol (default 20%) fails, but only for
+//     rows whose baseline runtime is at least -min-runtime (default
+//     1ms) — sub-millisecond rows are timing noise on shared runners
+//     and are reported informationally instead;
+//   - a row present in the baseline but missing from the fresh
+//     snapshot fails (silent coverage loss reads as a pass otherwise).
+//
+// The full side-by-side table is always printed, so the job log shows
+// the trajectory even when the gate passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oms/internal/bench"
+)
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "BENCH_oms.json", "committed baseline snapshot")
+		newPath    = flag.String("new", "", "freshly measured snapshot")
+		cutTol     = flag.Float64("cut-tol", 0.05, "allowed relative edge-cut worsening")
+		speedTol   = flag.Float64("speed-tol", 0.20, "allowed relative nodes/s drop")
+		minRuntime = flag.Duration("min-runtime", time.Millisecond, "baseline runtime below which throughput is informational only")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fatal(fmt.Errorf("-new is required"))
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if oldSnap.Scale != newSnap.Scale || oldSnap.K != newSnap.K {
+		fatal(fmt.Errorf("snapshots disagree on the shared config: old scale=%g k=%d, new scale=%g k=%d",
+			oldSnap.Scale, oldSnap.K, newSnap.Scale, newSnap.K))
+	}
+
+	g := &gate{cutTol: *cutTol, speedTol: *speedTol, minRuntime: minRuntime.Seconds()}
+	fmt.Printf("benchgate: %s vs %s (scale %g, k %d; cut tol %.0f%%, speed tol %.0f%%)\n\n",
+		*oldPath, *newPath, newSnap.Scale, newSnap.K, *cutTol*100, *speedTol*100)
+
+	fmt.Printf("%-16s %-10s %12s %12s %7s %12s %12s %7s  %s\n",
+		"instance", "algorithm", "cut(old)", "cut(new)", "Δcut", "nps(old)", "nps(new)", "Δnps", "status")
+	newRows := make(map[string]bench.PerfResult, len(newSnap.Results))
+	for _, r := range newSnap.Results {
+		newRows[r.Instance+"/"+r.Algorithm] = r
+	}
+	for _, o := range oldSnap.Results {
+		n, ok := newRows[o.Instance+"/"+o.Algorithm]
+		if !ok {
+			g.missing(o.Instance + "/" + o.Algorithm)
+			continue
+		}
+		g.compare(o.Instance, o.Algorithm, o.EdgeCut, n.EdgeCut, o.NodesPerSec, n.NodesPerSec, o.RuntimeSec)
+	}
+
+	if len(oldSnap.BatchResults) > 0 {
+		fmt.Printf("\n%-16s %-10s %12s %12s %7s %12s %12s %7s  %s\n",
+			"instance", "threads", "cut(old)", "cut(new)", "Δcut", "nps(old)", "nps(new)", "Δnps", "status")
+		newBatch := make(map[string]bench.BatchPerf, len(newSnap.BatchResults))
+		for _, r := range newSnap.BatchResults {
+			newBatch[fmt.Sprintf("%s/t%d", r.Instance, r.Threads)] = r
+		}
+		for _, o := range oldSnap.BatchResults {
+			key := fmt.Sprintf("%s/t%d", o.Instance, o.Threads)
+			n, ok := newBatch[key]
+			if !ok {
+				g.missing(key)
+				continue
+			}
+			g.compare(o.Instance, fmt.Sprintf("t=%d", o.Threads), o.EdgeCut, n.EdgeCut, o.NodesPerSec, n.NodesPerSec, o.RuntimeSec)
+		}
+	}
+
+	if len(g.failures) > 0 {
+		fmt.Printf("\nbenchgate: FAIL — %d regression(s):\n", len(g.failures))
+		for _, f := range g.failures {
+			fmt.Println("  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: ok")
+}
+
+// gate accumulates row comparisons and their verdicts.
+type gate struct {
+	cutTol     float64
+	speedTol   float64
+	minRuntime float64
+	failures   []string
+}
+
+func (g *gate) missing(key string) {
+	g.failures = append(g.failures, fmt.Sprintf("%s: present in baseline, missing from fresh snapshot", key))
+}
+
+func (g *gate) compare(instance, variant string, oldCut, newCut int64, oldNPS, newNPS, oldSecs float64) {
+	dCut := rel(float64(newCut), float64(oldCut))
+	dNPS := rel(newNPS, oldNPS)
+	status := "ok"
+	// Small absolute slack keeps near-zero cuts from tripping on
+	// single-edge jitter.
+	if float64(newCut) > float64(oldCut)*(1+g.cutTol)+16 {
+		status = "FAIL cut"
+		g.failures = append(g.failures, fmt.Sprintf("%s %s: edge cut %d -> %d (%+.1f%%, tol %.0f%%)",
+			instance, variant, oldCut, newCut, dCut*100, g.cutTol*100))
+	}
+	if oldSecs >= g.minRuntime {
+		if newNPS < oldNPS*(1-g.speedTol) {
+			if status == "ok" {
+				status = "FAIL nps"
+			} else {
+				status += "+nps"
+			}
+			g.failures = append(g.failures, fmt.Sprintf("%s %s: nodes/s %.0f -> %.0f (%+.1f%%, tol %.0f%%)",
+				instance, variant, oldNPS, newNPS, dNPS*100, g.speedTol*100))
+		}
+	} else if status == "ok" {
+		status = "ok (nps info)"
+	}
+	fmt.Printf("%-16s %-10s %12d %12d %6.1f%% %12.0f %12.0f %6.1f%%  %s\n",
+		instance, variant, oldCut, newCut, dCut*100, oldNPS, newNPS, dNPS*100, status)
+}
+
+// rel returns (new-old)/old, tolerating a zero baseline.
+func rel(newV, oldV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+func load(path string) (*bench.PerfSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s bench.PerfSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateVerdicts(t *testing.T) {
+	g := &gate{cutTol: 0.05, speedTol: 0.20, minRuntime: 0.001}
+
+	// Within tolerance on both axes.
+	g.compare("a", "x", 1000, 1040, 1e6, 0.9e6, 0.01)
+	if len(g.failures) != 0 {
+		t.Fatalf("in-tolerance row failed: %v", g.failures)
+	}
+	// Edge cut beyond 5% (+ absolute slack).
+	g.compare("a", "x", 1000, 1100, 1e6, 1e6, 0.01)
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "edge cut") {
+		t.Fatalf("cut regression not caught: %v", g.failures)
+	}
+	// Throughput drop beyond 20% on a gated (>= min runtime) row.
+	g.compare("a", "x", 1000, 1000, 1e6, 0.7e6, 0.01)
+	if len(g.failures) != 2 || !strings.Contains(g.failures[1], "nodes/s") {
+		t.Fatalf("throughput regression not caught: %v", g.failures)
+	}
+	// The same drop on a sub-min-runtime row is informational only.
+	g.compare("a", "x", 1000, 1000, 1e6, 0.7e6, 0.0001)
+	if len(g.failures) != 2 {
+		t.Fatalf("noisy row gated: %v", g.failures)
+	}
+	// Tiny cuts ride on the absolute slack (single-edge jitter).
+	g.compare("a", "x", 10, 20, 1e6, 1e6, 0.01)
+	if len(g.failures) != 2 {
+		t.Fatalf("tiny-cut jitter gated: %v", g.failures)
+	}
+	// A missing row is a failure, not a silent pass.
+	g.missing("a/x")
+	if len(g.failures) != 3 {
+		t.Fatalf("missing row not caught: %v", g.failures)
+	}
+}

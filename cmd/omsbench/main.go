@@ -42,6 +42,8 @@ func main() {
 		intmap  = flag.Bool("intmap", false, "include the sequential offline mapper (IntMap role) in fig2")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonOut = flag.String("json", "", "write a machine-readable perf snapshot (edge cut, nodes/s, peak RSS) to this file and exit")
+		bthFlag = flag.String("batch-threads", "", "session-thread sweep of the -json batch-ingest scenario (default 1,2,4,8)")
+		bsize   = flag.Int("batch-size", 0, "nodes per PushBatch in the -json batch-ingest scenario (default 1024)")
 		seed    = flag.Uint64("seed", 1, "base seed")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
@@ -86,6 +88,17 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
+
+	if *bthFlag != "" {
+		for _, s := range strings.Split(*bthFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -batch-threads entry %q", s))
+			}
+			cfg.BatchThreads = append(cfg.BatchThreads, v)
+		}
+	}
+	cfg.BatchSize = *bsize
 
 	// -json is the perf-trajectory mode: one fixed suite, machine-
 	// readable output (BENCH_oms.json), nothing else.

@@ -20,6 +20,13 @@
 // checkpointed periodically, and a restarted daemon rebuilds sealed
 // sessions' results and resumes unsealed sessions at the exact next
 // node (GET /v1/sessions/{id} reports "assigned", where to resume).
+//
+// POST /v1/sessions/{id}/batch is the high-throughput ingest path: the
+// same NDJSON lines, grouped into large atomic batches that are
+// assigned across the session's parallel workers (create the session
+// with "threads": N, or set the -session-threads default) and
+// group-committed to the WAL as one frame each — the paper's
+// shared-memory parallel streaming (§3.4) from the wire down.
 package main
 
 import (
@@ -56,6 +63,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	queueDepth := fs.Int("queue-depth", 32, "ingest chunks buffered per session before backpressure")
 	ttl := fs.Duration("ttl", 5*time.Minute, "idle session eviction TTL")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	sessionThreads := fs.Int("session-threads", 1, "default parallel assignment width for batch ingest (POST .../batch); clients override per session with \"threads\"")
 	maxNodes := fs.Int("max-nodes", 1<<26, "per-session declared node cap")
 	maxTotalNodes := fs.Int64("max-total-nodes", 1<<28, "aggregate declared node budget across live sessions")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -79,14 +87,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	mgr := service.NewManager(service.Config{
-		MaxSessions:   *maxSessions,
-		QueueDepth:    *queueDepth,
-		SessionTTL:    *ttl,
-		Workers:       *workers,
-		MaxNodes:      int32(*maxNodes),
-		MaxTotalNodes: *maxTotalNodes,
-		Store:         store,
-		SnapshotEvery: *snapshotEvery,
+		MaxSessions:    *maxSessions,
+		QueueDepth:     *queueDepth,
+		SessionTTL:     *ttl,
+		Workers:        *workers,
+		MaxNodes:       int32(*maxNodes),
+		MaxTotalNodes:  *maxTotalNodes,
+		SessionThreads: *sessionThreads,
+		Store:          store,
+		SnapshotEvery:  *snapshotEvery,
 	})
 	defer mgr.Close()
 

@@ -275,3 +275,120 @@ func TestCrashRecoveryParity(t *testing.T) {
 		}
 	}
 }
+
+// postNDJSON posts body to path and decodes the {"u","b"} assignment
+// lines streamed back.
+func postNDJSON(t *testing.T, url, body string) map[int32]int32 {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := make(map[int32]int32)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			U     int32   `json:"u"`
+			B     *int32  `json:"b"`
+			Error *string `json:"error"`
+		}
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if line.Error != nil {
+			t.Fatalf("ingest error line: %s", *line.Error)
+		}
+		if line.B != nil {
+			out[line.U] = *line.B
+		}
+	}
+	return out
+}
+
+// TestBatchCrashRecoveryParity is the group-commit acceptance test: a
+// parallel batch ingest killed mid-stream must come back with exactly
+// the assignments that were acknowledged — parallel assignment is not
+// deterministic, so recovery replays the WAL's recorded decisions, not
+// the algorithm.
+func TestBatchCrashRecoveryParity(t *testing.T) {
+	dataDir := t.TempDir()
+	g := oms.GenDelaunay(4000, 13)
+	n, m := g.NumNodes(), g.NumEdges()
+	const k = 8
+
+	base, stop := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0", "-session-threads", "4")
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"n":%d,"m":%d,"k":%d,"threads":4}`, n, m, k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cut := n * 3 / 5
+	acked := postNDJSON(t, base+"/v1/sessions/"+created.ID+"/batch", ndjsonNodes(t, g, 0, cut))
+	if len(acked) != int(cut) {
+		t.Fatalf("batch acked %d assignments, want %d", len(acked), cut)
+	}
+	stop()
+
+	// Restart: the session resumes at the batch boundary with the acked
+	// decisions intact.
+	base2, stop2 := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0", "-session-threads", "4")
+	defer stop2()
+	resp, err = http.Get(base2 + "/v1/sessions/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Assigned int32 `json:"assigned"`
+		Finished bool  `json:"finished"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Finished || status.Assigned != cut {
+		t.Fatalf("recovered session at node %d (finished=%v), want resumable at %d", status.Assigned, status.Finished, cut)
+	}
+
+	postNDJSON(t, base2+"/v1/sessions/"+created.ID+"/batch", ndjsonNodes(t, g, cut, n))
+	resp, err = http.Post(base2+"/v1/sessions/"+created.ID+"/finish", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(base2 + "/v1/sessions/" + created.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Parts []int32 `json:"parts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(result.Parts) != int(n) {
+		t.Fatalf("result has %d parts, want %d", len(result.Parts), n)
+	}
+	for u, b := range acked {
+		if result.Parts[u] != b {
+			t.Fatalf("node %d: recovered run reports %d, client was acknowledged %d", u, result.Parts[u], b)
+		}
+	}
+	for u, b := range result.Parts {
+		if b < 0 || b >= k {
+			t.Fatalf("node %d unassigned or out of range after recovery: %d", u, b)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"oms/internal/hierarchy"
@@ -86,14 +87,19 @@ type OMS struct {
 	hashDepth int32 // tree depths >= hashDepth score children by hashing
 	parts     []int32
 
-	scratch []*levelScratch
+	// scratch holds one levelScratch per configured worker: indexed
+	// access for the parallel drivers (Run, AssignNodeOn), where the
+	// caller owns a stable worker id. The pool backs the convenience
+	// path AssignNode, whose callers have no worker identity but must
+	// still never share gain accumulators.
+	scratch     []*levelScratch
+	scratchPool sync.Pool
 }
 
 // levelScratch is per-worker gain accumulation across one subproblem's
 // children (fanout-sized, cleared per level).
 type levelScratch struct {
 	gain []float64
-	path []int32
 }
 
 // New prepares an OMS run over the given multi-section tree for a stream
@@ -146,8 +152,10 @@ func New(tree *hierarchy.Tree, st stream.Stats, cfg Config) (*OMS, error) {
 	for w := 0; w < workers; w++ {
 		o.scratch = append(o.scratch, &levelScratch{
 			gain: make([]float64, tree.MaxFanout),
-			path: make([]int32, 0, tree.MaxDepth+1),
 		})
+	}
+	o.scratchPool.New = func() any {
+		return &levelScratch{gain: make([]float64, tree.MaxFanout)}
 	}
 	return o, nil
 }
@@ -194,14 +202,49 @@ func (o *OMS) AlphaOf(v int32) float64 { return o.alphas[v] }
 // the same assignment path Run drives internally. Callers stream nodes in
 // any order they like, one call per node; a sequence of AssignNode calls
 // in natural node order is bit-identical to a sequential Run over the
-// same stream. Calls must be serialized: the incremental path uses the
-// worker-0 scratch, so concurrent AssignNode calls race on it (use Run
-// with cfg.Threads > 1 for parallel streaming). Calling it twice for the
-// same node double-charges the tree loads, so gate re-pushes at the call
-// site (AssignmentOf reports whether a node was already placed).
+// same stream. AssignNode is safe for concurrent use — each call draws
+// its own gain scratch from a pool, and loads and assignments are
+// updated atomically (the unsynchronized scheme of §3.4). Hot parallel
+// loops that already own a stable worker id should prefer AssignNodeOn,
+// which skips the pool. Calling it twice for the same node
+// double-charges the tree loads, so gate re-pushes at the call site
+// (AssignmentOf reports whether a node was already placed).
 func (o *OMS) AssignNode(u int32, vwgt int32, adj []int32, ewgt []int32) int32 {
-	o.assign(0, u, vwgt, adj, ewgt)
-	return o.parts[u]
+	sc := o.scratchPool.Get().(*levelScratch)
+	o.assignWith(sc, u, vwgt, adj, ewgt)
+	o.scratchPool.Put(sc)
+	return atomic.LoadInt32(&o.parts[u])
+}
+
+// AssignNodeOn is AssignNode for parallel streaming with per-worker
+// scratch (§3.4): worker must be a stable index in [0, Workers()), and
+// no two concurrent calls may share it. Distinct workers may call
+// concurrently — block loads are reserved with capacity-checked CAS and
+// neighbor assignments are read racily, exactly as Run's parallel path.
+func (o *OMS) AssignNodeOn(worker int, u int32, vwgt int32, adj []int32, ewgt []int32) int32 {
+	o.assign(worker, u, vwgt, adj, ewgt)
+	return atomic.LoadInt32(&o.parts[u])
+}
+
+// Workers returns how many concurrent AssignNodeOn callers the run was
+// configured for (cfg.Threads, at least 1).
+func (o *OMS) Workers() int { return len(o.scratch) }
+
+// ForceAssign places u on the given final block directly, charging its
+// weight to every tree block on the root-to-leaf path without scoring:
+// the replay entry for streams whose assignments were already decided
+// (and acknowledged) by an earlier parallel run. Parallel assignment is
+// not deterministic, so a durable log replays the recorded decision
+// itself rather than re-deriving it. The caller guards re-pushes, like
+// AssignNode.
+func (o *OMS) ForceAssign(u int32, vwgt int32, leaf int32) {
+	t := o.Tree
+	v := t.Root
+	for !t.IsLeaf(v) {
+		v = t.ChildContaining(v, leaf)
+		atomic.AddInt64(&o.loads[v], int64(vwgt))
+	}
+	atomic.StoreInt32(&o.parts[u], leaf)
 }
 
 // AssignmentOf returns the block of node u, or -1 while u is unassigned.
@@ -284,8 +327,13 @@ func (o *OMS) unassign(u int32, vwgt int32) {
 // reserved into the parent always fits into some child (unit weights), so
 // rescoring on CAS failure enforces the balance constraint outright.
 func (o *OMS) assign(worker int, u int32, vwgt int32, adj []int32, ewgt []int32) {
+	o.assignWith(o.scratch[worker], u, vwgt, adj, ewgt)
+}
+
+// assignWith is assign with the gain scratch passed explicitly (the
+// pool-backed AssignNode path has no worker index).
+func (o *OMS) assignWith(sc *levelScratch, u int32, vwgt int32, adj []int32, ewgt []int32) {
 	t := o.Tree
-	sc := o.scratch[worker]
 	v := t.Root
 	w := int64(vwgt)
 	for !t.IsLeaf(v) {

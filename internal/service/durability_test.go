@@ -16,6 +16,7 @@ type faultLog struct {
 	failFlush  bool
 	failSeal   bool
 	appended   int
+	batches    int
 	sealed     bool
 }
 
@@ -26,6 +27,15 @@ func (l *faultLog) AppendNode(u, w int32, adj, ew []int32) error {
 		return errDisk
 	}
 	l.appended++
+	return nil
+}
+
+func (l *faultLog) AppendBatch(nodes []PushNode, blocks []int32) error {
+	if l.failAppend {
+		return errDisk
+	}
+	l.appended += len(nodes)
+	l.batches++
 	return nil
 }
 

@@ -14,6 +14,20 @@ import (
 // queued job; assignments stream back to the client after each chunk.
 const ingestChunkSize = 256
 
+// batchChunkSize is how many NDJSON nodes the batch endpoint groups
+// into one group-committed parallel batch: large enough to amortize the
+// fan-out and the single fsync over many nodes, small enough that
+// assignments still stream back while the client uploads.
+const batchChunkSize = 4096
+
+// chunkByteBudget cuts a chunk or batch early once its raw NDJSON
+// exceeds this many bytes: line counts alone would let a stream of
+// maxNodeLine-sized adjacency lists buffer gigabytes per request
+// before the first flush. Batches cut by bytes also stay orders of
+// magnitude below the WAL's single-frame bound, preserving the
+// one-frame-per-batch group commit.
+const chunkByteBudget = 8 << 20
+
 // maxNodeLine bounds one NDJSON node line (a high-degree node's
 // adjacency list).
 const maxNodeLine = 16 << 20
@@ -24,6 +38,8 @@ const maxNodeLine = 16 << 20
 //	GET    /v1/sessions              list live sessions
 //	GET    /v1/sessions/{id}         one session's status
 //	POST   /v1/sessions/{id}/nodes   NDJSON node ingest; NDJSON assignments stream back per chunk
+//	POST   /v1/sessions/{id}/batch   NDJSON batch ingest: larger atomic groups assigned in
+//	                                 parallel (session "threads") and WAL-committed as one frame
 //	POST   /v1/sessions/{id}/finish  seal the session, returns the summary
 //	GET    /v1/sessions/{id}/result  full assignment vector
 //	DELETE /v1/sessions/{id}         drop the session
@@ -68,7 +84,15 @@ func NewServer(mgr *Manager) http.Handler {
 			writeError(w, statusOf(err), err)
 			return
 		}
-		ingest(mgr, s, w, r)
+		ingest(mgr, s, w, r, false)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/batch", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		ingest(mgr, s, w, r, true)
 	})
 	mux.HandleFunc("POST /v1/sessions/{id}/finish", func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
@@ -135,22 +159,37 @@ type ingestError struct {
 // HTTP/1.x servers cut the body off once headers go out); clients
 // uploading very large streams in a single POST must read the response
 // concurrently, as curl and browsers do.
-func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request) {
+//
+// With batch set (the /batch endpoint) the lines are grouped into
+// larger atomic batches instead: each is assigned across the session's
+// parallel workers and group-committed to the WAL as one frame, and a
+// rejected batch applies none of its nodes.
+func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request, batch bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
 	_ = rc.EnableFullDuplex() // best effort; HTTP/2 is duplex already
 	enc := json.NewEncoder(w)
 
+	chunkSize := ingestChunkSize
+	if batch {
+		chunkSize = batchChunkSize
+	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
-	chunk := make([]PushNode, 0, ingestChunkSize)
+	chunk := make([]PushNode, 0, chunkSize)
 
 	wrote := false
 	flush := func() bool {
 		if len(chunk) == 0 {
 			return true
 		}
-		blocks, err := s.Ingest(r.Context(), mgr.Pool(), chunk)
+		var blocks []int32
+		var err error
+		if batch {
+			blocks, err = s.IngestBatch(r.Context(), mgr.Pool(), chunk)
+		} else {
+			blocks, err = s.Ingest(r.Context(), mgr.Pool(), chunk)
+		}
 		if err != nil && !wrote && len(blocks) == 0 {
 			// Nothing committed yet: report the rejection as a distinct
 			// status (finished -> 409, out-of-range -> 422, edge budget
@@ -171,6 +210,7 @@ func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
+	chunkBytes := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -182,10 +222,12 @@ func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		chunk = append(chunk, nd)
-		if len(chunk) >= ingestChunkSize {
+		chunkBytes += len(line)
+		if len(chunk) >= chunkSize || chunkBytes >= chunkByteBudget {
 			if !flush() {
 				return
 			}
+			chunkBytes = 0
 		}
 	}
 	if err := sc.Err(); err != nil {

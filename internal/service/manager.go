@@ -53,6 +53,12 @@ type CreateSpec struct {
 	// Record keeps the pushed stream server-side, enabling edge-cut and
 	// imbalance in the finish summary at O(n + m) extra memory.
 	Record bool `json:"record,omitempty"`
+	// Threads is the session's parallel assignment width for batch
+	// ingest (POST .../batch): batches fan out over this many engine
+	// workers with the paper's §3.4 scheme. 0 takes the server default
+	// (-session-threads); the server clamps the value to its ceiling.
+	// Sequential per-node ingest is unaffected.
+	Threads int `json:"threads,omitempty"`
 	// TTLSeconds overrides the server's idle-eviction TTL.
 	TTLSeconds int `json:"ttl_seconds,omitempty"`
 }
@@ -92,6 +98,7 @@ func (cs CreateSpec) sessionConfig() (oms.SessionConfig, error) {
 			VanillaAlpha: cs.VanillaAlpha,
 			Gamma:        cs.Gamma,
 			Seed:         cs.Seed,
+			Threads:      cs.Threads,
 		},
 		Record: cs.Record,
 	}
@@ -140,7 +147,13 @@ type Config struct {
 	// MaxTotalNodes caps the sum of declared n over all live sessions
 	// (the aggregate engine-memory budget); default 1<<28.
 	MaxTotalNodes int64
-	JanitorPeriod time.Duration // eviction scan period; default 1s
+	// SessionThreads is the default parallel assignment width sessions
+	// use for batch ingest when the client does not ask for one;
+	// default 1 (sequential, the paper's opt-in parallelism). A
+	// client's CreateSpec.Threads override is clamped to
+	// maxSessionThreads.
+	SessionThreads int
+	JanitorPeriod  time.Duration // eviction scan period; default 1s
 	// Now injects a clock for tests; default time.Now.
 	Now func() time.Time
 	// Store persists sessions across restarts (nil = in-memory only):
@@ -176,6 +189,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTotalNodes <= 0 {
 		c.MaxTotalNodes = 1 << 28
 	}
+	if c.SessionThreads <= 0 {
+		c.SessionThreads = 1
+	}
 	if c.JanitorPeriod <= 0 {
 		c.JanitorPeriod = time.Second
 	}
@@ -188,23 +204,70 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// sessionShards sizes the manager's sharded session index. A power of
+// two so the hash maps to a shard with a mask.
+const sessionShards = 32
+
+// maxSessionThreads caps a client's requested parallel assignment
+// width.
+const maxSessionThreads = 256
+
+// sessionShard is one stripe of the live-session index.
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+}
+
 // Manager owns the live sessions: creation against a session cap,
 // lookup, deletion, and TTL eviction of idle sessions via a janitor
 // goroutine. It also owns the worker pool and the counter registry.
+//
+// The session index is sharded: Get — the hot path every ingest,
+// status, and finish request takes — locks only the id's stripe (read
+// lock at that), so lookup traffic from many concurrent sessions no
+// longer serializes on one manager-wide mutex. Admission accounting
+// (session count, aggregate node budget, id sequence) stays under mu.
+// Lock discipline: mu and shard locks are never held together except
+// in restoreSession (mu, then shard) — no path acquires mu while
+// holding a shard lock, so that order cannot deadlock.
 type Manager struct {
 	cfg  Config
 	reg  *Registry
 	m    *serviceMetrics
 	pool *Pool
 
+	shards [sessionShards]sessionShard
+
 	mu        sync.Mutex
-	sessions  map[string]*Session
+	nSessions int   // live sessions across all shards
 	liveNodes int64 // sum of declared n over live sessions
 	seq       uint64
 
 	closeOnce   sync.Once
 	janitorQuit chan struct{}
 	janitorDone chan struct{}
+}
+
+// shardFor maps a session id to its index stripe (FNV-1a).
+func (mg *Manager) shardFor(id string) *sessionShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &mg.shards[h&(sessionShards-1)]
+}
+
+// eachSession snapshots the live sessions stripe by stripe.
+func (mg *Manager) eachSession(fn func(*Session)) {
+	for i := range mg.shards {
+		sh := &mg.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			fn(s)
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // NewManager starts the subsystem: the worker pool and the eviction
@@ -217,9 +280,11 @@ func NewManager(cfg Config) *Manager {
 		reg:         reg,
 		m:           newServiceMetrics(reg),
 		pool:        NewPool(cfg.Workers),
-		sessions:    make(map[string]*Session),
 		janitorQuit: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	for i := range mgr.shards {
+		mgr.shards[i].m = make(map[string]*Session)
 	}
 	go mgr.janitor()
 	return mgr
@@ -240,12 +305,8 @@ func (mg *Manager) Close() { mg.closeOnce.Do(mg.close) }
 func (mg *Manager) close() {
 	close(mg.janitorQuit)
 	<-mg.janitorDone
-	mg.mu.Lock()
-	victims := make([]*Session, 0, len(mg.sessions))
-	for _, s := range mg.sessions {
-		victims = append(victims, s)
-	}
-	mg.mu.Unlock()
+	var victims []*Session
+	mg.eachSession(func(s *Session) { victims = append(victims, s) })
 	for _, s := range victims {
 		s.closed.Store(true) // reject enqueues before the workers stop
 	}
@@ -260,7 +321,7 @@ func (mg *Manager) close() {
 
 // admit checks the admission caps; callers hold mg.mu.
 func (mg *Manager) admit(n int32) error {
-	if len(mg.sessions) >= mg.cfg.MaxSessions {
+	if mg.nSessions >= mg.cfg.MaxSessions {
 		return fmt.Errorf("%w (%d live)", ErrLimit, mg.cfg.MaxSessions)
 	}
 	if mg.liveNodes+int64(n) > mg.cfg.MaxTotalNodes {
@@ -274,6 +335,17 @@ func (mg *Manager) admit(n int32) error {
 func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	if spec.N > mg.cfg.MaxNodes {
 		return nil, fmt.Errorf("service: declared n %d exceeds the server's node cap %d", spec.N, mg.cfg.MaxNodes)
+	}
+	// Normalize the batch-ingest width before the spec is used or
+	// persisted: 0 takes the server default, and the cap keeps a
+	// create request from allocating unbounded per-worker state (each
+	// worker is one fanout-sized scratch slice, so the cap is generous
+	// — more workers than cores merely oversubscribes goroutines).
+	if spec.Threads <= 0 {
+		spec.Threads = mg.cfg.SessionThreads
+	}
+	if spec.Threads > maxSessionThreads {
+		spec.Threads = maxSessionThreads
 	}
 	// Cheap pre-check before building the n-sized engine; the insert
 	// below re-checks under the same lock, so the caps still hold.
@@ -324,9 +396,16 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 		mg.dropPersisted(s)
 		return nil, err
 	}
-	mg.sessions[s.ID] = s
+	mg.nSessions++
 	mg.liveNodes += int64(spec.N)
 	mg.mu.Unlock()
+
+	// The id is fresh, so no lookup can race this insert; visibility
+	// starts here, after the accounting committed.
+	sh := mg.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.m[s.ID] = s
+	sh.mu.Unlock()
 
 	mg.m.sessionsCreated.Inc()
 	mg.m.sessionsActive.Inc()
@@ -393,7 +472,14 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 			return fmt.Errorf("restore checkpoint: %w", err)
 		}
 	}
-	err = rec.Replay(func(u, w int32, adj, ew []int32) error {
+	err = rec.Replay(func(u, w int32, adj, ew []int32, block int32) error {
+		// Batch records carry the assignment acknowledged at ingest
+		// time (parallel batches are racy; the decision is the durable
+		// fact). Per-node records re-derive it deterministically.
+		if block >= 0 {
+			_, err := eng.PushAssigned(u, w, adj, ew, block)
+			return err
+		}
 		_, err := eng.Push(u, w, adj, ew)
 		return err
 	})
@@ -428,11 +514,16 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 		mg.mu.Unlock()
 		return err
 	}
-	if _, exists := mg.sessions[rec.ID]; exists {
+	sh := mg.shardFor(rec.ID)
+	sh.mu.Lock()
+	if _, exists := sh.m[rec.ID]; exists {
+		sh.mu.Unlock()
 		mg.mu.Unlock()
 		return fmt.Errorf("duplicate session id")
 	}
-	mg.sessions[rec.ID] = s
+	sh.m[rec.ID] = s
+	sh.mu.Unlock()
+	mg.nSessions++
 	mg.liveNodes += int64(rec.Spec.N)
 	// Keep new ids unique: never reuse a recovered session's sequence
 	// number.
@@ -452,9 +543,10 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 // is not refreshed (a retrying client must not pin it against eviction)
 // and lookups fail like any other dead session.
 func (mg *Manager) Get(id string) (*Session, error) {
-	mg.mu.Lock()
-	s, ok := mg.sessions[id]
-	mg.mu.Unlock()
+	sh := mg.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.m[id]
+	sh.mu.RUnlock()
 	if !ok || s.closed.Load() {
 		return nil, errGone(id)
 	}
@@ -462,18 +554,24 @@ func (mg *Manager) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Delete closes and removes a session.
+// Delete closes and removes a session. Removal from the shard decides
+// the winner between racing deletes; the accounting follows under mu
+// (the locks are taken one after the other, never nested).
 func (mg *Manager) Delete(id string) error {
-	mg.mu.Lock()
-	s, ok := mg.sessions[id]
+	sh := mg.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.m[id]
 	if ok {
-		delete(mg.sessions, id)
-		mg.liveNodes -= int64(s.spec.N)
+		delete(sh.m, id)
 	}
-	mg.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return errGone(id)
 	}
+	mg.mu.Lock()
+	mg.nSessions--
+	mg.liveNodes -= int64(s.spec.N)
+	mg.mu.Unlock()
 	s.closed.Store(true)
 	mg.dropPersisted(s)
 	mg.m.sessionsDeleted.Inc()
@@ -495,9 +593,8 @@ type SessionInfo struct {
 // read racily and may trail in-flight ingest).
 func (mg *Manager) List() []SessionInfo {
 	now := mg.cfg.Now()
-	mg.mu.Lock()
-	out := make([]SessionInfo, 0, len(mg.sessions))
-	for _, s := range mg.sessions {
+	var out []SessionInfo
+	mg.eachSession(func(s *Session) {
 		out = append(out, SessionInfo{
 			ID:       s.ID,
 			K:        s.K(),
@@ -506,8 +603,7 @@ func (mg *Manager) List() []SessionInfo {
 			Finished: s.Finished(),
 			IdleMS:   now.Sub(s.idleSince()).Milliseconds(),
 		})
-	}
-	mg.mu.Unlock()
+	})
 	return out
 }
 
@@ -530,15 +626,25 @@ func (mg *Manager) ttlOf(s *Session) time.Duration {
 func (mg *Manager) EvictIdle() int {
 	now := mg.cfg.Now()
 	var victims []*Session
-	mg.mu.Lock()
-	for id, s := range mg.sessions {
-		if now.Sub(s.idleSince()) > mg.ttlOf(s) {
-			delete(mg.sessions, id)
-			mg.liveNodes -= int64(s.spec.N)
-			victims = append(victims, s)
+	var victimNodes int64
+	for i := range mg.shards {
+		sh := &mg.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if now.Sub(s.idleSince()) > mg.ttlOf(s) {
+				delete(sh.m, id)
+				victims = append(victims, s)
+				victimNodes += int64(s.spec.N)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	mg.mu.Unlock()
+	if len(victims) > 0 {
+		mg.mu.Lock()
+		mg.nSessions -= len(victims)
+		mg.liveNodes -= victimNodes
+		mg.mu.Unlock()
+	}
 	for _, s := range victims {
 		s.closed.Store(true)
 		// Eviction means the client abandoned the stream; the persisted

@@ -102,6 +102,7 @@ type serviceMetrics struct {
 	nodesIngested    *Counter
 	edgesIngested    *Counter
 	chunksIngested   *Counter
+	batchesIngested  *Counter
 	pushErrors       *Counter
 	backpressure     *Counter
 
@@ -121,6 +122,7 @@ func newServiceMetrics(r *Registry) *serviceMetrics {
 		nodesIngested:    r.Counter("omsd_nodes_ingested_total", "nodes assigned across all sessions"),
 		edgesIngested:    r.Counter("omsd_edges_ingested_total", "adjacency entries ingested across all sessions"),
 		chunksIngested:   r.Counter("omsd_chunks_ingested_total", "ingest chunks processed across all sessions"),
+		batchesIngested:  r.Counter("omsd_batches_ingested_total", "parallel ingest batches processed across all sessions"),
 		pushErrors:       r.Counter("omsd_push_errors_total", "rejected node pushes (range, weights, budget, after-finish)"),
 		backpressure:     r.Counter("omsd_backpressure_waits_total", "ingest enqueues that blocked on a full session queue"),
 

@@ -314,3 +314,164 @@ func TestCreateSpecValidation(t *testing.T) {
 		t.Fatalf("topology 4:4 gives k=%d, want 16", s.K())
 	}
 }
+
+// TestBatchIngestMatchesSequential: the batch job path assigns the same
+// stream the chunk path does (sequential session, so both walks are
+// deterministic), and the batch counter moves.
+func TestBatchIngestMatchesSequential(t *testing.T) {
+	mgr := testManager(t, Config{})
+	ctx := context.Background()
+
+	seq, err := mgr.Create(pathSpec(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks, err := seq.Ingest(ctx, mgr.Pool(), pathNodes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bat, err := mgr.Create(pathSpec(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBlocks, err := bat.IngestBatch(ctx, mgr.Pool(), pathNodes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range wantBlocks {
+		if gotBlocks[u] != wantBlocks[u] {
+			t.Fatalf("node %d: batch %d, chunk %d", u, gotBlocks[u], wantBlocks[u])
+		}
+	}
+	if got := mgr.Registry().Snapshot()["omsd_batches_ingested_total"]; got != 1 {
+		t.Fatalf("batches counter %d, want 1", got)
+	}
+}
+
+// TestBatchIngestParallelSession: a session created with threads > 1
+// fans batches out and still lands every node within balance.
+func TestBatchIngestParallelSession(t *testing.T) {
+	mgr := testManager(t, Config{})
+	ctx := context.Background()
+	spec := pathSpec(512, 8)
+	spec.Threads = 4
+	s, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.eng.Workers(); got != 4 {
+		t.Fatalf("engine workers %d, want 4", got)
+	}
+	blocks, err := s.IngestBatch(ctx, mgr.Pool(), pathNodes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, b := range blocks {
+		if b < 0 || b >= 8 {
+			t.Fatalf("node %d block %d out of range", u, b)
+		}
+	}
+	sum, err := s.Finish(ctx, mgr.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Assigned != 512 {
+		t.Fatalf("assigned %d, want 512", sum.Assigned)
+	}
+}
+
+// TestBatchAtomicRejection: a batch with an invalid node applies
+// nothing — the atomic admission the WAL group frame relies on.
+func TestBatchAtomicRejection(t *testing.T) {
+	mgr := testManager(t, Config{})
+	ctx := context.Background()
+	s, err := mgr.Create(pathSpec(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := pathNodes(8)
+	bad[5].U = 99 // out of declared range
+	if _, err := s.IngestBatch(ctx, mgr.Pool(), bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if got := s.eng.Assigned(); got != 0 {
+		t.Fatalf("rejected batch assigned %d nodes", got)
+	}
+}
+
+// TestSessionThreadsClamped: the server default fills in a zero
+// request, and an absurd override is clamped to the server ceiling.
+func TestSessionThreadsClamped(t *testing.T) {
+	mgr := testManager(t, Config{SessionThreads: 2})
+	spec := pathSpec(8, 2)
+	s, err := mgr.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.eng.Workers(); got != 2 {
+		t.Fatalf("default workers %d, want 2", got)
+	}
+	spec2 := pathSpec(8, 2)
+	spec2.Threads = 1 << 20
+	s2, err := mgr.Create(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.eng.Workers(); got > 1<<16 {
+		t.Fatalf("workers %d not clamped", got)
+	}
+	if s2.spec.Threads != s2.eng.Workers() {
+		t.Fatalf("spec threads %d disagrees with engine workers %d", s2.spec.Threads, s2.eng.Workers())
+	}
+}
+
+// TestShardedManagerConcurrentAccess hammers create/get/list/delete
+// from many goroutines; run under -race this exercises the sharded
+// index, and the final accounting must balance.
+func TestShardedManagerConcurrentAccess(t *testing.T) {
+	mgr := testManager(t, Config{})
+	ctx := context.Background()
+	const goroutines = 8
+	const perG = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s, err := mgr.Create(pathSpec(8, 2))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := mgr.Get(s.ID); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Ingest(ctx, mgr.Pool(), pathNodes(8)); err != nil {
+					t.Error(err)
+					return
+				}
+				mgr.List()
+				if g%2 == 0 {
+					if err := mgr.Delete(s.ID); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := goroutines / 2 * perG
+	if got := len(mgr.List()); got != want {
+		t.Fatalf("live sessions %d, want %d", got, want)
+	}
+	mgr.mu.Lock()
+	n, nodes := mgr.nSessions, mgr.liveNodes
+	mgr.mu.Unlock()
+	if n != want || nodes != int64(want*8) {
+		t.Fatalf("accounting n=%d nodes=%d, want %d and %d", n, nodes, want, want*8)
+	}
+}

@@ -23,12 +23,16 @@ type jobKind int
 
 const (
 	jobChunk jobKind = iota
+	jobBatch
 	jobFinish
 )
 
-// job is one queued unit of session work. Chunks carry nodes; a finish
-// job seals the session after every chunk queued before it, so "finish
-// happens after all acknowledged ingest" holds by queue order.
+// job is one queued unit of session work. Chunks and batches carry
+// nodes; a finish job seals the session after every chunk queued before
+// it, so "finish happens after all acknowledged ingest" holds by queue
+// order. A batch differs from a chunk in execution, not queueing: the
+// owning worker fans it out over the session engine's parallel
+// assignment workers and group-commits it as one WAL frame.
 type job struct {
 	kind  jobKind
 	nodes []PushNode
@@ -180,8 +184,21 @@ func (s *Session) failPending() {
 // error is non-nil if any node in the chunk was rejected; assignments of
 // the nodes before the offending one are still returned.
 func (s *Session) Ingest(ctx context.Context, p *Pool, nodes []PushNode) ([]int32, error) {
+	return s.ingestJob(ctx, p, jobChunk, nodes)
+}
+
+// IngestBatch queues one parallel batch and waits for its per-node
+// assignments. Unlike Ingest, the batch is admitted atomically (a
+// rejection applies nothing) and assigned across the session engine's
+// parallel workers; its durable record is one group-committed WAL
+// frame.
+func (s *Session) IngestBatch(ctx context.Context, p *Pool, nodes []PushNode) ([]int32, error) {
+	return s.ingestJob(ctx, p, jobBatch, nodes)
+}
+
+func (s *Session) ingestJob(ctx context.Context, p *Pool, kind jobKind, nodes []PushNode) ([]int32, error) {
 	done := make(chan jobResult, 1)
-	if err := s.enqueue(ctx, p, job{kind: jobChunk, nodes: nodes, done: done}); err != nil {
+	if err := s.enqueue(ctx, p, job{kind: kind, nodes: nodes, done: done}); err != nil {
 		return nil, err
 	}
 	select {
@@ -254,17 +271,13 @@ func (s *Session) run(j job) {
 				blocks = nil
 			}
 		}
-		if err == nil && s.log != nil && s.snapEvery > 0 && s.sinceSnap >= s.snapEvery && !s.spec.Record {
-			// Checkpoint failures are non-fatal: replay covers the gap.
-			if serr := s.log.Snapshot(s.eng.ExportState()); serr != nil {
-				s.m.walErrors.Inc()
-			} else {
-				s.m.walSnapshots.Inc()
-				s.sinceSnap = 0
-			}
+		if err == nil {
+			s.maybeSnapshot()
 		}
 		s.m.chunksIngested.Inc()
 		j.done <- jobResult{blocks: blocks, err: err}
+	case jobBatch:
+		j.done <- s.runBatch(j.nodes)
 	case jobFinish:
 		if s.finished.Load() {
 			// Retry-safe like ingest: a client that lost the finish
@@ -292,6 +305,65 @@ func (s *Session) run(j job) {
 		s.finished.Store(true)
 		s.m.sessionsFinished.Inc()
 		j.done <- jobResult{result: res}
+	}
+}
+
+// runBatch executes one batch job on the owning worker: normalize
+// weights, fan the batch out over the engine's parallel assignment
+// workers, then group-commit it to the WAL as a single frame carrying
+// the assigned blocks — logged before the ack, like every push.
+func (s *Session) runBatch(nodes []PushNode) jobResult {
+	batch := make([]oms.Node, len(nodes))
+	for i := range nodes {
+		if nodes[i].W == 0 {
+			nodes[i].W = 1
+		}
+		batch[i] = oms.Node{U: nodes[i].U, W: nodes[i].W, Adj: nodes[i].Adj, EW: nodes[i].EW}
+	}
+	before := s.eng.Assigned()
+	blocks, err := s.eng.PushBatch(batch)
+	if err != nil {
+		// Batches are atomic: a rejection applied nothing and logged
+		// nothing, so there is nothing to flush either.
+		s.m.pushErrors.Inc()
+		return jobResult{err: err}
+	}
+	fresh := int(s.eng.Assigned() - before)
+	if s.log != nil && fresh > 0 {
+		// One frame, one flush for the whole group. A batch with no
+		// fresh assignments (an idempotent client retry) skips the log
+		// entirely — replaying it would change nothing.
+		if lerr := s.log.AppendBatch(nodes, blocks); lerr != nil {
+			return jobResult{err: s.walFailure("append", lerr)}
+		}
+		if lerr := s.log.Flush(); lerr != nil {
+			return jobResult{err: s.walFailure("flush", lerr)}
+		}
+		s.m.walRecords.Add(int64(fresh))
+		s.sinceSnap += fresh
+		s.maybeSnapshot()
+	}
+	for i := range nodes {
+		s.m.edgesIngested.Add(int64(len(nodes[i].Adj)))
+	}
+	s.m.nodesIngested.Add(int64(len(nodes)))
+	s.m.batchesIngested.Inc()
+	return jobResult{blocks: blocks}
+}
+
+// maybeSnapshot checkpoints the engine when enough fresh records have
+// accumulated since the last checkpoint. Failures are non-fatal: replay
+// covers the gap. Record sessions never checkpoint (their replay buffer
+// cannot be restored from one).
+func (s *Session) maybeSnapshot() {
+	if s.log == nil || s.snapEvery <= 0 || s.sinceSnap < s.snapEvery || s.spec.Record {
+		return
+	}
+	if serr := s.log.Snapshot(s.eng.ExportState()); serr != nil {
+		s.m.walErrors.Inc()
+	} else {
+		s.m.walSnapshots.Inc()
+		s.sinceSnap = 0
 	}
 }
 

@@ -33,6 +33,13 @@ type SessionLog interface {
 	// Flush returns; fsync durability is batched per the store's sync
 	// interval.
 	AppendNode(u, w int32, adj, ew []int32) error
+	// AppendBatch group-commits one accepted ingest batch together with
+	// the blocks the engine assigned: one frame (one checksum) for the
+	// whole group, so recovery resurrects the batch all-or-nothing and
+	// replays the recorded assignments verbatim — parallel batch
+	// assignment is not deterministic, so the decisions themselves are
+	// what must survive. Weights arrive normalized (no zeros).
+	AppendBatch(nodes []PushNode, blocks []int32) error
 	// Flush writes buffered records through to the operating system;
 	// the service calls it once per acknowledged chunk.
 	Flush() error
@@ -59,9 +66,11 @@ type RecoveredSession struct {
 	// the records it covers. Nil means replay the whole log.
 	Snapshot *oms.SessionState
 	// Replay streams the logged records not covered by Snapshot, in
-	// append order. It may be called once, before the session goes
-	// live.
-	Replay func(fn func(u, w int32, adj, ew []int32) error) error
+	// append order. block is the assignment recorded at ingest time for
+	// group-committed batch records, or -1 for per-node records (whose
+	// deterministic sequential walk is re-derived instead). It may be
+	// called once, before the session goes live.
+	Replay func(fn func(u, w int32, adj, ew []int32, block int32) error) error
 	// Log continues the session's durable log (appends fail on sealed
 	// logs). Never nil for a returned session.
 	Log SessionLog

@@ -219,3 +219,90 @@ func TestRecordSessionRecoversByFullReplay(t *testing.T) {
 		t.Fatal("recovered Record session assignments differ from the uninterrupted run")
 	}
 }
+
+// TestBatchRecoveryPreservesAckedAssignments: batches ingested by a
+// parallel session, process killed, recovered — every assignment the
+// first process acknowledged must come back verbatim (the WAL's batch
+// frames record the decisions, because parallel assignment would not
+// replay deterministically), and snapshots mixed with batch frames must
+// not double-count.
+func TestBatchRecoveryPreservesAckedAssignments(t *testing.T) {
+	dir := t.TempDir()
+	recs, cfg := testStream(t, 3000)
+
+	st := openStore(t, dir)
+	// SnapshotEvery below the batch size, so a checkpoint lands between
+	// group-committed frames and recovery replays only the tail.
+	mgr := service.NewManager(service.Config{Store: st, SnapshotEvery: 300})
+	sp := spec(cfg.Stats.N, cfg.Stats.M)
+	sp.Threads = 4
+	s, err := mgr.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	cut := len(recs) * 3 / 5
+	acked := make(map[int32]int32)
+	const batch = 512
+	for lo := 0; lo < cut; lo += batch {
+		hi := min(lo+batch, cut)
+		nodes := make([]service.PushNode, 0, hi-lo)
+		for _, r := range recs[lo:hi] {
+			nodes = append(nodes, service.PushNode{U: r.u, W: r.w, Adj: r.adj, EW: r.ew})
+		}
+		blocks, err := s.IngestBatch(context.Background(), mgr.Pool(), nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range blocks {
+			acked[nodes[i].U] = b
+		}
+	}
+	mgr.Close()
+
+	st2 := openStore(t, dir)
+	mgr2 := service.NewManager(service.Config{Store: st2, SnapshotEvery: 300})
+	defer mgr2.Close()
+	n, err := mgr2.RecoverSessions()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	s2, err := mgr2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume with the tail (batch again), finish, and check every acked
+	// assignment survived.
+	for lo := cut; lo < len(recs); lo += batch {
+		hi := min(lo+batch, len(recs))
+		nodes := make([]service.PushNode, 0, hi-lo)
+		for _, r := range recs[lo:hi] {
+			nodes = append(nodes, service.PushNode{U: r.u, W: r.w, Adj: r.adj, EW: r.ew})
+		}
+		if _, err := s2.IngestBatch(context.Background(), mgr2.Pool(), nodes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := s2.Finish(context.Background(), mgr2.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Assigned != cfg.Stats.N {
+		t.Fatalf("finish assigned %d, want %d", sum.Assigned, cfg.Stats.N)
+	}
+	res, err := s2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acked) != cut {
+		t.Fatalf("acked %d assignments, want %d", len(acked), cut)
+	}
+	for u, b := range acked {
+		if res.Parts[u] != b {
+			t.Fatalf("node %d recovered as %d, client was acknowledged %d", u, res.Parts[u], b)
+		}
+	}
+}

@@ -192,7 +192,7 @@ func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
 	rec.Spec = env.Spec
 	rec.Sealed = sealed
 	rec.Log = l
-	rec.Replay = func(fn func(u, w int32, adj, ew []int32) error) error {
+	rec.Replay = func(fn func(u, w int32, adj, ew []int32, block int32) error) error {
 		return replayLog(logPath, skip, nodes, fn)
 	}
 	if env.ID != id {
@@ -238,6 +238,12 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 				return nodes, sealed, validEnd, nil
 			}
 			nodes++
+		case recBatch:
+			entries, err := decodeBatchPayload(payload[1:])
+			if err != nil {
+				return nodes, sealed, validEnd, nil
+			}
+			nodes += int64(len(entries))
 		case recSeal:
 			// Nothing may follow a seal; stop at it either way.
 			return nodes, true, validEnd + size, nil
@@ -250,8 +256,12 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 
 // replayLog streams the log's node records in append order, skipping
 // the first skip records (the snapshot-covered prefix) and stopping
-// after total records (the validated prefix).
-func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int32) error) error {
+// after total records (the validated prefix). Per-node frames replay
+// with block -1 (re-derive the assignment); batch frames carry the
+// recorded assignment, replayed verbatim. The skip count is per node
+// record, so a snapshot boundary inside a batch frame skips exactly the
+// covered sub-records.
+func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int32, block int32) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -267,21 +277,35 @@ func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int
 			}
 			return err
 		}
-		if payload[0] != recNode {
-			continue
-		}
-		seen++
-		if seen <= skip {
-			// Snapshot-covered prefix: count the frame, skip the
-			// per-record decode allocations.
-			continue
-		}
-		u, w, adj, ew, err := decodeNodePayload(payload[1:])
-		if err != nil {
-			return err
-		}
-		if err := fn(u, w, adj, ew); err != nil {
-			return err
+		switch payload[0] {
+		case recNode:
+			seen++
+			if seen <= skip {
+				// Snapshot-covered prefix: count the frame, skip the
+				// per-record decode allocations.
+				continue
+			}
+			u, w, adj, ew, err := decodeNodePayload(payload[1:])
+			if err != nil {
+				return err
+			}
+			if err := fn(u, w, adj, ew, -1); err != nil {
+				return err
+			}
+		case recBatch:
+			entries, err := decodeBatchPayload(payload[1:])
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				seen++
+				if seen <= skip {
+					continue
+				}
+				if err := fn(e.u, e.w, e.adj, e.ew, e.block); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -38,12 +38,23 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"oms/internal/service"
 )
 
 // Record types discriminating log frames.
 const (
 	recNode = 1 // one accepted push: u, vwgt, adjacency, edge weights
 	recSeal = 2 // the session finished; nothing follows
+	// recBatch is one group-committed ingest batch: every node of the
+	// batch plus the block the engine assigned it. The assignment is
+	// recorded because parallel batch assignment is not deterministic —
+	// replay applies the logged decisions instead of re-deriving them,
+	// so recovered sessions match what clients were acknowledged even
+	// for racy parallel runs. One frame per batch means one CRC over
+	// the whole group: a crash mid-batch tears the single frame and the
+	// whole batch vanishes together, never a prefix of it.
+	recBatch = 3
 )
 
 // maxFramePayload bounds one frame's payload during recovery scans; a
@@ -58,9 +69,9 @@ const frameHeaderSize = 8
 
 var errTornFrame = errors.New("wal: torn or corrupt frame")
 
-// appendNodePayload encodes one node record payload into buf.
-func appendNodePayload(buf []byte, u, w int32, adj, ew []int32) []byte {
-	buf = append(buf, recNode)
+// appendNodeBody encodes the shared node-record body (everything after
+// the type byte): u, w, degree, edge-weight flag, adjacency, weights.
+func appendNodeBody(buf []byte, u, w int32, adj, ew []int32) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(u))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(adj)))
@@ -78,11 +89,17 @@ func appendNodePayload(buf []byte, u, w int32, adj, ew []int32) []byte {
 	return buf
 }
 
-// decodeNodePayload is the inverse of appendNodePayload, minus the type
-// byte already consumed by the caller.
-func decodeNodePayload(p []byte) (u, w int32, adj, ew []int32, err error) {
+// appendNodePayload encodes one node record payload into buf.
+func appendNodePayload(buf []byte, u, w int32, adj, ew []int32) []byte {
+	buf = append(buf, recNode)
+	return appendNodeBody(buf, u, w, adj, ew)
+}
+
+// decodeNodeBody parses one node body from the front of p, returning
+// how many bytes it consumed (batch payloads concatenate several).
+func decodeNodeBody(p []byte) (u, w int32, adj, ew []int32, size int, err error) {
 	if len(p) < 13 {
-		return 0, 0, nil, nil, errTornFrame
+		return 0, 0, nil, nil, 0, errTornFrame
 	}
 	u = int32(binary.LittleEndian.Uint32(p[0:]))
 	w = int32(binary.LittleEndian.Uint32(p[4:]))
@@ -92,8 +109,8 @@ func decodeNodePayload(p []byte) (u, w int32, adj, ew []int32, err error) {
 	if hasEW {
 		want += 4 * deg
 	}
-	if int64(len(p)) != want {
-		return 0, 0, nil, nil, errTornFrame
+	if int64(len(p)) < want {
+		return 0, 0, nil, nil, 0, errTornFrame
 	}
 	adj = make([]int32, deg)
 	for i := range adj {
@@ -106,7 +123,55 @@ func decodeNodePayload(p []byte) (u, w int32, adj, ew []int32, err error) {
 			ew[i] = int32(binary.LittleEndian.Uint32(p[off+4*i:]))
 		}
 	}
+	return u, w, adj, ew, int(want), nil
+}
+
+// decodeNodePayload is the inverse of appendNodePayload, minus the type
+// byte already consumed by the caller.
+func decodeNodePayload(p []byte) (u, w int32, adj, ew []int32, err error) {
+	u, w, adj, ew, size, err := decodeNodeBody(p)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	if size != len(p) {
+		return 0, 0, nil, nil, errTornFrame
+	}
 	return u, w, adj, ew, nil
+}
+
+// batchEntry is one decoded sub-record of a batch frame.
+type batchEntry struct {
+	u, w  int32
+	adj   []int32
+	ew    []int32
+	block int32
+}
+
+// decodeBatchPayload parses a batch frame payload (after the type
+// byte): count, then per node a block id followed by the node body.
+func decodeBatchPayload(p []byte) ([]batchEntry, error) {
+	if len(p) < 4 {
+		return nil, errTornFrame
+	}
+	count := int(binary.LittleEndian.Uint32(p[0:]))
+	p = p[4:]
+	out := make([]batchEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 4 {
+			return nil, errTornFrame
+		}
+		block := int32(binary.LittleEndian.Uint32(p[0:]))
+		u, w, adj, ew, size, err := decodeNodeBody(p[4:])
+		if err != nil {
+			return nil, err
+		}
+		p = p[4+size:]
+		out = append(out, batchEntry{u: u, w: w, adj: adj, ew: ew, block: block})
+	}
+	if len(p) != 0 {
+		return nil, errTornFrame
+	}
+	return out, nil
 }
 
 // readFrame reads one frame from r, returning its payload and total
@@ -185,6 +250,62 @@ func (l *Log) AppendNode(u, w int32, adj, ew []int32) error {
 		return err
 	}
 	l.nodes++
+	return nil
+}
+
+// AppendBatch buffers one ingest batch as a group-committed frame: all
+// nodes plus their assigned blocks under a single CRC, so recovery sees
+// the batch all-or-nothing (a crash mid-write tears the one frame and
+// drops the whole group — never a prefix). The recorded assignments
+// make replay exact even though parallel batch assignment is racy.
+//
+// The all-or-nothing guarantee requires exactly one frame, so a batch
+// whose encoding would exceed the recovery scan's frame bound is an
+// error, never a silent split — the service turns that into a killed
+// session rather than a batch that could resurrect partially. The HTTP
+// layer cuts batches by bytes as well as count, so real ingest stays
+// orders of magnitude below the bound.
+func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
+	if len(nodes) != len(blocks) {
+		return fmt.Errorf("wal: batch of %d nodes with %d blocks", len(nodes), len(blocks))
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	size := int64(5) // type byte + count
+	for i := range nodes {
+		size += 4 + 13 + 4*int64(len(nodes[i].Adj))
+		if nodes[i].EW != nil {
+			size += 4 * int64(len(nodes[i].EW))
+		}
+	}
+	if size > maxFramePayload {
+		return fmt.Errorf("wal: batch encodes to %d bytes, over the %d frame bound (split the batch)", size, maxFramePayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return fmt.Errorf("wal: append to closed log")
+	case l.sealed:
+		return fmt.Errorf("wal: append to sealed log")
+	}
+	frame := append(l.buf[:0], recBatch)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(nodes)))
+	for i := range nodes {
+		nd := nodes[i]
+		w := nd.W
+		if w == 0 {
+			w = 1
+		}
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(blocks[i]))
+		frame = appendNodeBody(frame, nd.U, w, nd.Adj, nd.EW)
+	}
+	l.buf = frame
+	if err := l.writeFrame(frame); err != nil {
+		return err
+	}
+	l.nodes += int64(len(nodes))
 	return nil
 }
 

@@ -87,7 +87,7 @@ func TestLogRoundTripSealed(t *testing.T) {
 		t.Fatalf("recovered %+v", rec)
 	}
 	i := 0
-	err = rec.Replay(func(u, w int32, adj, ew []int32) error {
+	err = rec.Replay(func(u, w int32, adj, ew []int32, block int32) error {
 		want := recs[i]
 		if u != want.u || w != want.w || !equalI32(adj, want.adj) || !equalI32(ew, want.ew) {
 			t.Fatalf("record %d: got (%d,%d,%v,%v) want %+v", i, u, w, adj, ew, want)
@@ -143,7 +143,7 @@ func TestTornTailTruncatedAndResumable(t *testing.T) {
 		t.Fatalf("recovered %+v", got)
 	}
 	n := 0
-	if err := got[0].Replay(func(u, w int32, adj, ew []int32) error { n++; return nil }); err != nil {
+	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != half {
@@ -164,7 +164,7 @@ func TestTornTailTruncatedAndResumable(t *testing.T) {
 		t.Fatal(err)
 	}
 	n = 0
-	if err := again[0].Replay(func(u, w int32, adj, ew []int32) error { n++; return nil }); err != nil {
+	if err := again[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != len(recs) {
@@ -229,7 +229,7 @@ func TestSnapshotBoundsReplayToTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	err = rec.Replay(func(u, w int32, adj, ew []int32) error {
+	err = rec.Replay(func(u, w int32, adj, ew []int32, block int32) error {
 		n++
 		_, err := eng2.Push(u, w, adj, ew)
 		return err
@@ -289,7 +289,7 @@ func TestCorruptSnapshotIgnored(t *testing.T) {
 		t.Fatal("corrupt snapshot was not discarded")
 	}
 	n := 0
-	if err := got[0].Replay(func(u, w int32, adj, ew []int32) error { n++; return nil }); err != nil {
+	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 500 {
@@ -438,4 +438,176 @@ func equalI64(a, b []int64) bool {
 		}
 	}
 	return true
+}
+
+// batchOf converts push records to service nodes plus fake blocks.
+func batchOf(recs []pushRec) ([]service.PushNode, []int32) {
+	nodes := make([]service.PushNode, len(recs))
+	blocks := make([]int32, len(recs))
+	for i, r := range recs {
+		nodes[i] = service.PushNode{U: r.u, W: r.w, Adj: r.adj, EW: r.ew}
+		blocks[i] = r.u % 8
+	}
+	return nodes, blocks
+}
+
+// TestBatchFrameRoundTrip: a group-committed batch replays every node
+// with its recorded block, interleaved correctly with per-node frames.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	recs, _ := testStream(t, 600)
+
+	lg, err := st.Create("s1-0000bbbb", spec(600, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per-node frame, then a batch frame, then another per-node
+	// frame: replay must see all three in order with the right blocks.
+	if err := lg.AppendNode(recs[0].u, recs[0].w, recs[0].adj, recs[0].ew); err != nil {
+		t.Fatal(err)
+	}
+	nodes, blocks := batchOf(recs[1:400])
+	if err := lg.AppendBatch(nodes, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.AppendNode(recs[400].u, recs[400].w, recs[400].adj, recs[400].ew); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(got))
+	}
+	i := 0
+	err = got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error {
+		want := recs[i]
+		if u != want.u || w != want.w || !equalI32(adj, want.adj) {
+			t.Fatalf("record %d: got (%d,%d,%v), want %+v", i, u, w, adj, want)
+		}
+		switch i {
+		case 0, 400:
+			if block != -1 {
+				t.Fatalf("per-node record %d replayed with block %d, want -1", i, block)
+			}
+		default:
+			if block != want.u%8 {
+				t.Fatalf("batch record %d replayed block %d, want %d", i, block, want.u%8)
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 401 {
+		t.Fatalf("replayed %d records, want 401", i)
+	}
+	got[0].Log.Close()
+}
+
+// TestTornBatchFrameDropsWholeGroup is the group-commit crash test: a
+// crash mid-batch tears the single frame, and recovery must resurrect
+// none of the batch — never a prefix of it — while keeping everything
+// committed before the batch.
+func TestTornBatchFrameDropsWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	recs, _ := testStream(t, 400)
+
+	lg, err := st.Create("s1-0000cccc", spec(400, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A durable prefix: one committed batch.
+	nodes, blocks := batchOf(recs[:100])
+	if err := lg.AppendBatch(nodes, blocks); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch that the crash will cut short.
+	nodes2, blocks2 := batchOf(recs[100:300])
+	if err := lg.AppendBatch(nodes2, blocks2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logPath := filepath.Join(dir, sessionsDir, "s1-0000cccc", logName)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The durable prefix is the first frame: header + payload length.
+	firstFrame := int64(frameHeaderSize) + int64(binary.LittleEndian.Uint32(full[0:]))
+	if firstFrame <= 0 || firstFrame >= int64(len(full)) {
+		t.Fatalf("unexpected frame layout: first frame %d of %d bytes", firstFrame, len(full))
+	}
+
+	// Tear the second batch's frame at representative points: just
+	// after its header, mid-payload, and one byte short of complete.
+	// Every cut must recover to exactly the first batch.
+	for _, cutAt := range []int64{firstFrame + frameHeaderSize, (firstFrame + int64(len(full))) / 2, int64(len(full)) - 1} {
+		if err := os.WriteFile(logPath, full[:cutAt], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("recovered %d sessions, want 1", len(got))
+		}
+		n := 0
+		if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		got[0].Log.Close()
+		if n != 100 {
+			t.Fatalf("cut at %d: replayed %d records, want exactly the 100 of the committed batch", cutAt, n)
+		}
+		// Recovery truncated the torn frame back to the durable prefix.
+		fi, err := os.Stat(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != firstFrame {
+			t.Fatalf("cut at %d: log is %d bytes after recovery, want the durable prefix %d", cutAt, fi.Size(), firstFrame)
+		}
+	}
+}
+
+// TestOversizedBatchRejectedNotSplit: a batch that cannot fit one frame
+// is an error — the group-commit guarantee forbids silently splitting
+// it into independently-torn frames.
+func TestOversizedBatchRejectedNotSplit(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	slog, err := st.Create("s1-0000dddd", spec(100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := slog.(*Log)
+	defer lg.Close()
+	// 70 nodes sharing one 1M-entry adjacency slice: the computed frame
+	// size (~280MB) exceeds the bound without allocating it.
+	bigAdj := make([]int32, 1<<20)
+	nodes := make([]service.PushNode, 70)
+	blocks := make([]int32, 70)
+	for i := range nodes {
+		nodes[i] = service.PushNode{U: int32(i), W: 1, Adj: bigAdj}
+	}
+	if err := lg.AppendBatch(nodes, blocks); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	if got := lg.Nodes(); got != 0 {
+		t.Fatalf("rejected batch logged %d nodes", got)
+	}
 }

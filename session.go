@@ -8,6 +8,7 @@ import (
 	"oms/internal/core"
 	"oms/internal/hierarchy"
 	"oms/internal/stream"
+	"oms/internal/util"
 )
 
 // Sentinel errors returned (possibly wrapped) by Session operations, so
@@ -53,17 +54,29 @@ type SessionConfig struct {
 	Record bool
 }
 
+// Node is one element of a PushBatch: id, weight (0 means 1), the
+// adjacency list, and optional parallel edge weights. The slices are not
+// retained past the call (Record sessions copy them).
+type Node struct {
+	U   int32
+	W   int32
+	Adj []int32
+	EW  []int32
+}
+
 // Session is the push-based counterpart of Partition and Map: instead of
 // handing the algorithm a pull Source, the caller pushes each node with
 // its adjacency list as it arrives and receives the node's permanent
 // block immediately — the paper's "on the fly" assignment surfaced as an
 // incremental API. A sequence of Push calls in natural node order
 // computes bit-identical assignments to Partition/Map over the same
-// stream and options.
+// stream and options. PushBatch hands a whole buffered slice of arrivals
+// to the engine at once and, with Options.Threads > 1, assigns them with
+// the paper's shared-memory parallel scheme (§3.4).
 //
 // A Session is not safe for concurrent use; serialize access (the omsd
 // service multiplexes many sessions over a worker pool with exactly this
-// discipline).
+// discipline). The concurrency inside PushBatch is the session's own.
 type Session struct {
 	o   *core.OMS
 	buf *stream.Buffer
@@ -141,22 +154,11 @@ func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, e
 	if b := s.o.AssignmentOf(u); b >= 0 {
 		return b, nil
 	}
-	if vwgt <= 0 {
-		return -1, fmt.Errorf("oms: node %d has non-positive weight %d", u, vwgt)
-	}
-	if ewgt != nil && len(ewgt) != len(adj) {
-		return -1, fmt.Errorf("oms: node %d has %d edge weights for %d edges", u, len(ewgt), len(adj))
+	if err := s.validateNode(u, vwgt, adj, ewgt); err != nil {
+		return -1, err
 	}
 	if s.edgesSeen+int64(len(adj)) > s.edgeBudget {
 		return -1, fmt.Errorf("%w: node %d overruns 2m = %d", ErrEdgeBudget, u, s.edgeBudget)
-	}
-	for i, nb := range adj {
-		if nb < 0 || nb >= s.n {
-			return -1, fmt.Errorf("%w: node %d has neighbor %d not in [0,%d)", ErrNodeOutOfRange, u, nb, s.n)
-		}
-		if ewgt != nil && ewgt[i] <= 0 {
-			return -1, fmt.Errorf("oms: node %d has non-positive edge weight %d", u, ewgt[i])
-		}
 	}
 	s.edgesSeen += int64(len(adj))
 	b := s.o.AssignNode(u, vwgt, adj, ewgt)
@@ -165,6 +167,149 @@ func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, e
 		s.buf.Append(u, vwgt, adj, ewgt)
 	}
 	return b, nil
+}
+
+// validateNode applies the per-node admission checks shared by Push,
+// PushBatch, and PushAssigned (everything but the idempotency and
+// edge-budget checks, whose ordering differs per entry point).
+func (s *Session) validateNode(u int32, vwgt int32, adj []int32, ewgt []int32) error {
+	if vwgt <= 0 {
+		return fmt.Errorf("oms: node %d has non-positive weight %d", u, vwgt)
+	}
+	if ewgt != nil && len(ewgt) != len(adj) {
+		return fmt.Errorf("oms: node %d has %d edge weights for %d edges", u, len(ewgt), len(adj))
+	}
+	for i, nb := range adj {
+		if nb < 0 || nb >= s.n {
+			return fmt.Errorf("%w: node %d has neighbor %d not in [0,%d)", ErrNodeOutOfRange, u, nb, s.n)
+		}
+		if ewgt != nil && ewgt[i] <= 0 {
+			return fmt.Errorf("oms: node %d has non-positive edge weight %d", u, ewgt[i])
+		}
+	}
+	return nil
+}
+
+// Workers returns how many parallel assignment workers the session's
+// engine was configured for (Options.Threads, at least 1) — the fan-out
+// PushBatch uses.
+func (s *Session) Workers() int { return s.o.Workers() }
+
+// PushBatch streams a buffered slice of arrivals at once: the batched
+// counterpart of Push, and the entry the omsd batch endpoint drives. A
+// zero Node.W means weight 1, like the wire API. The returned blocks
+// align with nodes.
+//
+// With Options.Threads > 1 the batch is fanned out over the engine's
+// per-worker assignment state and assigned concurrently with the
+// paper's §3.4 scheme: block loads are reserved with capacity-checked
+// CAS (so the balance constraint Lmax still holds exactly for
+// unit-weight streams) and neighbor assignments are read racily, so a
+// neighbor assigned by another worker mid-batch may or may not
+// contribute gain. Quality stays within the paper's parallel-streaming
+// envelope but assignments are not deterministic across runs; with
+// Threads <= 1 PushBatch is bit-identical to the same sequence of Push
+// calls.
+//
+// Unlike a chunk of Push calls, a batch is admitted atomically: every
+// node is validated (and the edge budget checked) before any node is
+// assigned, so a rejected batch changes no session state. Nodes already
+// assigned — and re-occurrences within the batch — are idempotent: they
+// contribute their existing (or first) assignment and are neither
+// re-charged nor re-recorded.
+func (s *Session) PushBatch(nodes []Node) ([]int32, error) {
+	if s.finished {
+		return nil, fmt.Errorf("%w: push after Finish", ErrSessionFinished)
+	}
+	// Admission pass: validate everything and find the fresh nodes
+	// before touching any engine state.
+	fresh := make([]int, 0, len(nodes))
+	var freshEdges int64
+	seen := make(map[int32]struct{})
+	for i := range nodes {
+		nd := &nodes[i]
+		if nd.W == 0 {
+			nd.W = 1
+		}
+		if nd.U < 0 || nd.U >= s.n {
+			return nil, fmt.Errorf("%w: node %d not in [0,%d)", ErrNodeOutOfRange, nd.U, s.n)
+		}
+		if err := s.validateNode(nd.U, nd.W, nd.Adj, nd.EW); err != nil {
+			return nil, err
+		}
+		if s.o.AssignmentOf(nd.U) >= 0 {
+			continue
+		}
+		if _, dup := seen[nd.U]; dup {
+			continue
+		}
+		seen[nd.U] = struct{}{}
+		fresh = append(fresh, i)
+		freshEdges += int64(len(nd.Adj))
+	}
+	if s.edgesSeen+freshEdges > s.edgeBudget {
+		return nil, fmt.Errorf("%w: batch of %d fresh nodes overruns 2m = %d", ErrEdgeBudget, len(fresh), s.edgeBudget)
+	}
+	s.edgesSeen += freshEdges
+
+	// Assignment pass: contiguous chunks of the fresh list per worker,
+	// each on its own engine scratch.
+	util.ParallelFor(len(fresh), s.o.Workers(), func(worker, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			nd := &nodes[fresh[j]]
+			s.o.AssignNodeOn(worker, nd.U, nd.W, nd.Adj, nd.EW)
+		}
+	})
+	s.assigned.Add(int32(len(fresh)))
+
+	// Record pass: fresh nodes in batch order (arrival order), exactly
+	// what a sequence of Push calls would have recorded.
+	if s.buf != nil {
+		for _, i := range fresh {
+			nd := &nodes[i]
+			s.buf.Append(nd.U, nd.W, nd.Adj, nd.EW)
+		}
+	}
+	blocks := make([]int32, len(nodes))
+	for i := range nodes {
+		blocks[i] = s.o.AssignmentOf(nodes[i].U)
+	}
+	return blocks, nil
+}
+
+// PushAssigned replays one node whose block was already decided and
+// acknowledged by an earlier run of this stream: it charges the node's
+// weight down the recorded root-to-leaf path without re-scoring. This
+// is the durable-log replay entry — parallel batch assignment is not
+// deterministic, so recovery replays the logged decisions themselves
+// (per-node frames without a recorded block go through Push instead).
+// Like Push it is idempotent on already-assigned nodes.
+func (s *Session) PushAssigned(u int32, vwgt int32, adj []int32, ewgt []int32, block int32) (int32, error) {
+	if s.finished {
+		return -1, fmt.Errorf("%w: push after Finish", ErrSessionFinished)
+	}
+	if u < 0 || u >= s.n {
+		return -1, fmt.Errorf("%w: node %d not in [0,%d)", ErrNodeOutOfRange, u, s.n)
+	}
+	if b := s.o.AssignmentOf(u); b >= 0 {
+		return b, nil
+	}
+	if block < 0 || block >= s.o.K() {
+		return -1, fmt.Errorf("oms: node %d replays block %d outside [0,%d)", u, block, s.o.K())
+	}
+	if err := s.validateNode(u, vwgt, adj, ewgt); err != nil {
+		return -1, err
+	}
+	if s.edgesSeen+int64(len(adj)) > s.edgeBudget {
+		return -1, fmt.Errorf("%w: node %d overruns 2m = %d", ErrEdgeBudget, u, s.edgeBudget)
+	}
+	s.edgesSeen += int64(len(adj))
+	s.o.ForceAssign(u, vwgt, block)
+	s.assigned.Add(1)
+	if s.buf != nil {
+		s.buf.Append(u, vwgt, adj, ewgt)
+	}
+	return block, nil
 }
 
 // Finish seals the session and returns the result. Nodes never pushed

@@ -222,3 +222,190 @@ func TestSessionRejectsBadPushes(t *testing.T) {
 		t.Fatalf("restream without record: got %v", err)
 	}
 }
+
+// batchWhole streams g through a session via PushBatch in batches of
+// size bs (0 = the whole graph in one batch).
+func batchWhole(t *testing.T, s *oms.Session, g *oms.Graph, bs int) []int32 {
+	t.Helper()
+	n := int(g.NumNodes())
+	if bs <= 0 {
+		bs = n
+	}
+	out := make([]int32, 0, n)
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		batch := make([]oms.Node, 0, hi-lo)
+		for u := int32(lo); u < int32(hi); u++ {
+			batch = append(batch, oms.Node{U: u, W: g.NodeWeight(u), Adj: g.Neighbors(u), EW: g.EdgeWeights(u)})
+		}
+		blocks, err := s.PushBatch(batch)
+		if err != nil {
+			t.Fatalf("batch [%d,%d): %v", lo, hi, err)
+		}
+		out = append(out, blocks...)
+	}
+	return out
+}
+
+// TestPushBatchSequentialParity: with Threads <= 1, PushBatch at any
+// batch size is bit-identical to the same stream of Push calls.
+func TestPushBatchSequentialParity(t *testing.T) {
+	g := oms.GenDelaunay(3000, 17)
+	st := oms.StreamStats{
+		N: g.NumNodes(), M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+	}
+	ref, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pushWhole(t, ref, g)
+	for _, bs := range []int{1, 64, 0} {
+		s, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batchWhole(t, s, g, bs)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("batch size %d: node %d got %d, sequential Push got %d", bs, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+// TestPushBatchParallelQuality: parallel batches assign every node,
+// keep every block within the balance constraint (the §3.4 overshoot is
+// closed by the CAS reserve for unit weights), and land an edge cut in
+// the same regime as the sequential stream.
+func TestPushBatchParallelQuality(t *testing.T) {
+	g := oms.GenDelaunay(6000, 23)
+	st := oms.StreamStats{
+		N: g.NumNodes(), M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+	}
+	ref, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushWhole(t, ref, g)
+	seqRes, err := ref.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCut := seqRes.EdgeCut(g)
+
+	for _, bs := range []int{64, 1024, 0} {
+		s, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 32, Options: oms.Options{Threads: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Workers() != 4 {
+			t.Fatalf("workers %d, want 4", s.Workers())
+		}
+		batchWhole(t, s, g, bs)
+		res, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, p := range res.Parts {
+			if p < 0 {
+				t.Fatalf("batch size %d: node %d unassigned", bs, u)
+			}
+		}
+		if err := res.CheckBalanced(g, oms.DefaultEpsilon); err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		if cut := res.EdgeCut(g); cut > seqCut*3/2+64 {
+			t.Fatalf("batch size %d: parallel cut %d too far above sequential %d", bs, cut, seqCut)
+		}
+	}
+}
+
+// TestPushBatchIdempotentAndAtomic: re-batching assigned nodes and
+// duplicates within a batch change nothing; an invalid batch is
+// rejected without applying any of it.
+func TestPushBatchIdempotentAndAtomic(t *testing.T) {
+	st := oms.StreamStats{N: 8, M: 8}
+	s, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.PushBatch([]oms.Node{
+		{U: 0, Adj: []int32{1}},
+		{U: 1, Adj: []int32{0, 2}},
+		{U: 1, Adj: []int32{0, 2}}, // duplicate within the batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[1] != first[2] {
+		t.Fatalf("duplicate got %d, first occurrence %d", first[2], first[1])
+	}
+	if got := s.Assigned(); got != 2 {
+		t.Fatalf("assigned %d, want 2 (duplicate must not double-count)", got)
+	}
+	// A batch with one out-of-range node must be rejected atomically.
+	before := s.Assigned()
+	if _, err := s.PushBatch([]oms.Node{{U: 2, Adj: []int32{3}}, {U: 99}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if got := s.Assigned(); got != before {
+		t.Fatalf("rejected batch assigned %d nodes", got-before)
+	}
+	// Re-pushing an assigned node returns its block unchanged.
+	again, err := s.PushBatch([]oms.Node{{U: 0, Adj: []int32{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != first[0] {
+		t.Fatalf("re-push moved node 0: %d -> %d", first[0], again[0])
+	}
+}
+
+// TestPushAssignedReplaysExactly: replaying (node, block) decisions
+// through PushAssigned reproduces the original session's state, and a
+// later Finish returns identical parts.
+func TestPushAssignedReplaysExactly(t *testing.T) {
+	g := oms.GenDelaunay(2000, 31)
+	st := oms.StreamStats{
+		N: g.NumNodes(), M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+	}
+	orig, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 16, Options: oms.Options{Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := batchWhole(t, orig, g, 256)
+
+	replay, err := oms.NewSession(oms.SessionConfig{Stats: st, K: 16, Options: oms.Options{Threads: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < g.NumNodes(); u++ {
+		b, err := replay.PushAssigned(u, g.NodeWeight(u), g.Neighbors(u), g.EdgeWeights(u), blocks[u])
+		if err != nil {
+			t.Fatalf("replay %d: %v", u, err)
+		}
+		if b != blocks[u] {
+			t.Fatalf("replay %d: got %d, want %d", u, b, blocks[u])
+		}
+	}
+	ws, rs := orig.ExportState(), replay.ExportState()
+	if ws.EdgesSeen != rs.EdgesSeen {
+		t.Fatalf("edgesSeen %d, want %d", rs.EdgesSeen, ws.EdgesSeen)
+	}
+	for i := range ws.Loads {
+		if ws.Loads[i] != rs.Loads[i] {
+			t.Fatalf("tree block %d load %d, want %d", i, rs.Loads[i], ws.Loads[i])
+		}
+	}
+	for u := range ws.Parts {
+		if ws.Parts[u] != rs.Parts[u] {
+			t.Fatalf("node %d part %d, want %d", u, rs.Parts[u], ws.Parts[u])
+		}
+	}
+}
