@@ -92,6 +92,28 @@ func main() {
 		}
 	}
 
+	if len(oldSnap.RefineResults) > 0 || len(newSnap.RefineResults) > 0 {
+		fmt.Printf("\n%-16s %-10s %12s %12s %7s %12s %12s %7s  %s\n",
+			"instance", "passes", "cut(old)", "cut(new)", "Δcut", "nps(old)", "nps(new)", "Δnps", "status")
+		newRefine := make(map[string]bench.RefinePerf, len(newSnap.RefineResults))
+		for _, r := range newSnap.RefineResults {
+			newRefine[fmt.Sprintf("%s/p%d", r.Instance, r.Passes)] = r
+		}
+		for _, o := range oldSnap.RefineResults {
+			key := fmt.Sprintf("%s/p%d", o.Instance, o.Passes)
+			n, ok := newRefine[key]
+			if !ok {
+				g.missing(key)
+				continue
+			}
+			// Refinement rows gate on quality only: a pass is an O(m)
+			// replay whose runtime is dominated by instance size, and
+			// the sweep's cut trajectory is the committed promise.
+			g.compare(o.Instance, fmt.Sprintf("p=%d", o.Passes), o.EdgeCut, n.EdgeCut, 0, 0, 0)
+		}
+		g.checkRefineInvariant(newSnap.RefineResults)
+	}
+
 	if len(g.failures) > 0 {
 		fmt.Printf("\nbenchgate: FAIL — %d regression(s):\n", len(g.failures))
 		for _, f := range g.failures {
@@ -140,6 +162,32 @@ func (g *gate) compare(instance, variant string, oldCut, newCut int64, oldNPS, n
 	}
 	fmt.Printf("%-16s %-10s %12d %12d %6.1f%% %12.0f %12.0f %6.1f%%  %s\n",
 		instance, variant, oldCut, newCut, dCut*100, oldNPS, newNPS, dNPS*100, status)
+}
+
+// checkRefineInvariant enforces the within-snapshot promise of the
+// refinement subsystem: every refined row's cut must be no worse than
+// its instance's passes=0 (one-pass) baseline.
+func (g *gate) checkRefineInvariant(rows []bench.RefinePerf) {
+	base := make(map[string]int64, len(rows))
+	for _, r := range rows {
+		if r.Passes == 0 {
+			base[r.Instance] = r.EdgeCut
+		}
+	}
+	for _, r := range rows {
+		if r.Passes == 0 {
+			continue
+		}
+		cut0, ok := base[r.Instance]
+		if !ok {
+			g.failures = append(g.failures, fmt.Sprintf("%s: refine rows without a passes=0 baseline", r.Instance))
+			continue
+		}
+		if r.EdgeCut > cut0 {
+			g.failures = append(g.failures, fmt.Sprintf("%s p=%d: refined cut %d worse than one-pass cut %d",
+				r.Instance, r.Passes, r.EdgeCut, cut0))
+		}
+	}
 }
 
 // rel returns (new-old)/old, tolerating a zero baseline.

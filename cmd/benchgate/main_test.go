@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"oms/internal/bench"
 )
 
 func TestGateVerdicts(t *testing.T) {
@@ -37,5 +39,32 @@ func TestGateVerdicts(t *testing.T) {
 	g.missing("a/x")
 	if len(g.failures) != 3 {
 		t.Fatalf("missing row not caught: %v", g.failures)
+	}
+}
+
+func TestRefineInvariant(t *testing.T) {
+	g := &gate{cutTol: 0.05, speedTol: 0.20, minRuntime: 0.001}
+
+	// Monotone sweep: fine.
+	g.checkRefineInvariant([]bench.RefinePerf{
+		{Instance: "a", Passes: 0, EdgeCut: 1000},
+		{Instance: "a", Passes: 1, EdgeCut: 900},
+		{Instance: "a", Passes: 2, EdgeCut: 880},
+	})
+	if len(g.failures) != 0 {
+		t.Fatalf("monotone sweep failed: %v", g.failures)
+	}
+	// A refined cut above the one-pass baseline fails.
+	g.checkRefineInvariant([]bench.RefinePerf{
+		{Instance: "b", Passes: 0, EdgeCut: 1000},
+		{Instance: "b", Passes: 1, EdgeCut: 1001},
+	})
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "worse than one-pass") {
+		t.Fatalf("refined regression not caught: %v", g.failures)
+	}
+	// Refined rows without a baseline fail rather than silently pass.
+	g.checkRefineInvariant([]bench.RefinePerf{{Instance: "c", Passes: 1, EdgeCut: 10}})
+	if len(g.failures) != 2 || !strings.Contains(g.failures[1], "baseline") {
+		t.Fatalf("missing baseline not caught: %v", g.failures)
 	}
 }

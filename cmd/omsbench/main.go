@@ -44,6 +44,7 @@ func main() {
 		jsonOut = flag.String("json", "", "write a machine-readable perf snapshot (edge cut, nodes/s, peak RSS) to this file and exit")
 		bthFlag = flag.String("batch-threads", "", "session-thread sweep of the -json batch-ingest scenario (default 1,2,4,8)")
 		bsize   = flag.Int("batch-size", 0, "nodes per PushBatch in the -json batch-ingest scenario (default 1024)")
+		rpFlag  = flag.String("refine-passes", "", "cumulative-pass sweep of the -json refinement scenario (default 1,2,3)")
 		seed    = flag.Uint64("seed", 1, "base seed")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 	)
@@ -99,6 +100,15 @@ func main() {
 		}
 	}
 	cfg.BatchSize = *bsize
+	if *rpFlag != "" {
+		for _, s := range strings.Split(*rpFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -refine-passes entry %q", s))
+			}
+			cfg.RefinePassSweep = append(cfg.RefinePassSweep, v)
+		}
+	}
 
 	// -json is the perf-trajectory mode: one fixed suite, machine-
 	// readable output (BENCH_oms.json), nothing else.

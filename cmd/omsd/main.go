@@ -27,6 +27,15 @@
 // with "threads": N, or set the -session-threads default) and
 // group-committed to the WAL as one frame each — the paper's
 // shared-memory parallel streaming (§3.4) from the wire down.
+//
+// Finished sessions can be refined in the background: POST
+// /v1/sessions/{id}/refine replays the session's WAL-recorded stream
+// through extra restream passes (the paper's remapping extension) on
+// -refine-workers idle cores and publishes each improved assignment as
+// a new immutable result version, served via GET
+// /v1/sessions/{id}/result?version=N|latest|best. Versions persist like
+// everything else under -data-dir, so a crash keeps the best completed
+// version.
 package main
 
 import (
@@ -70,11 +79,16 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	dataDir := fs.String("data-dir", "", "session durability directory; empty keeps sessions in memory only")
 	walSync := fs.Duration("wal-sync", 100*time.Millisecond, "batched WAL fsync interval (0 = fsync every chunk)")
 	snapshotEvery := fs.Int("snapshot-every", 4096, "checkpoint a session's engine state every this many logged nodes")
+	refineWorkers := fs.Int("refine-workers", 1, "background refinement workers (finished sessions restreamed concurrently)")
+	refinePasses := fs.Int("refine-passes", 1, "default restream passes when POST .../refine omits \"passes\"")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxNodes < 1 || *maxNodes > math.MaxInt32 {
 		return fmt.Errorf("omsd: -max-nodes %d outside [1, %d]", *maxNodes, math.MaxInt32)
+	}
+	if *refineWorkers < 1 || *refinePasses < 1 {
+		return fmt.Errorf("omsd: -refine-workers %d and -refine-passes %d must be at least 1", *refineWorkers, *refinePasses)
 	}
 
 	var store service.Store
@@ -96,6 +110,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		SessionThreads: *sessionThreads,
 		Store:          store,
 		SnapshotEvery:  *snapshotEvery,
+		RefineWorkers:  *refineWorkers,
+		RefinePasses:   *refinePasses,
 	})
 	defer mgr.Close()
 

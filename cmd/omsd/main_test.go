@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -390,5 +392,176 @@ func TestBatchCrashRecoveryParity(t *testing.T) {
 		if b < 0 || b >= k {
 			t.Fatalf("node %d unassigned or out of range after recovery: %d", u, b)
 		}
+	}
+}
+
+// TestRefineCrashRecoveryE2E is the refinement acceptance test against
+// the real daemon: ingest, finish, refine two passes off the WAL, crash
+// (one version durable, plus a planted torn version), restart — the
+// recovered session serves its completed versions byte-identically,
+// never the torn one, and the refined cut is no worse than one-pass.
+func TestRefineCrashRecoveryE2E(t *testing.T) {
+	dataDir := t.TempDir()
+	g := oms.GenRMATSocial(3000, 15000, 13)
+	n, m := g.NumNodes(), g.NumEdges()
+	const k = 16
+
+	base, stop := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0")
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"n":%d,"m":%d,"k":%d}`, n, m, k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := created.ID
+	resp, err = http.Post(base+"/v1/sessions/"+id+"/nodes",
+		"application/x-ndjson", strings.NewReader(ndjsonNodes(t, g, 0, n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/sessions/"+id+"/finish", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Refine two passes and wait for the job to finish.
+	resp, err = http.Post(base+"/v1/sessions/"+id+"/refine", "application/json",
+		strings.NewReader(`{"passes":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("refine status %d: %s", resp.StatusCode, body)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	type refineInfo struct {
+		State      string `json:"state"`
+		Error      string `json:"error"`
+		OnePassCut *int64 `json:"one_pass_edge_cut"`
+		Best       int32  `json:"best_version"`
+		Versions   []struct {
+			Version int32 `json:"version"`
+			EdgeCut int64 `json:"edge_cut"`
+		} `json:"versions"`
+	}
+	var info refineInfo
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("refine job never finished: %+v", info)
+		}
+		resp, err := http.Get(base + "/v1/sessions/" + id + "/refine")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if info.State == "done" {
+			break
+		}
+		if info.State == "failed" || info.State == "canceled" {
+			t.Fatalf("refine job %s: %s", info.State, info.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(info.Versions) != 2 || info.OnePassCut == nil {
+		t.Fatalf("refine finished oddly: %+v", info)
+	}
+	if worst := info.Versions[1].EdgeCut; worst > *info.OnePassCut {
+		t.Fatalf("refined cut %d worse than one-pass %d", worst, *info.OnePassCut)
+	}
+
+	fetch := func(base, version string) []byte {
+		resp, err := http.Get(base + "/v1/sessions/" + id + "/result?version=" + version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result version %s: %d %s", version, resp.StatusCode, body)
+		}
+		return body
+	}
+	v0 := fetch(base, "0")
+	v1 := fetch(base, "1")
+	v2 := fetch(base, "2")
+	latest := fetch(base, "latest")
+	if !bytes.Equal(latest, v2) {
+		t.Fatal("latest does not serve version 2")
+	}
+	if !bytes.Equal(fetch(base, "1"), v1) {
+		t.Fatal("version 1 not byte-stable")
+	}
+
+	// Crash. Plant a torn version-3 file — the bytes a crash mid-refine
+	// would leave if version writes were not atomic.
+	stop()
+	sdir := filepath.Join(dataDir, "sessions", id)
+	whole, err := os.ReadFile(filepath.Join(sdir, "version-000002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "version-000003"), whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base2, stop2 := startDaemon(t, "-data-dir", dataDir, "-wal-sync", "0")
+	defer stop2()
+	// The recovered session serves all completed versions byte-for-byte
+	// (the result payload carries no daemon-run-dependent field), never
+	// the torn one.
+	if got := fetch(base2, "0"); !bytes.Equal(got, v0) {
+		t.Fatal("version 0 not byte-stable across the crash")
+	}
+	if got := fetch(base2, "1"); !bytes.Equal(got, v1) {
+		t.Fatal("version 1 not byte-stable across the crash")
+	}
+	if got := fetch(base2, "2"); !bytes.Equal(got, v2) {
+		t.Fatal("version 2 not byte-stable across the crash")
+	}
+	resp, err = http.Get(base2 + "/v1/sessions/" + id + "/result?version=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("torn version served with status %d, want 404", resp.StatusCode)
+	}
+	var status struct {
+		Best     int32 `json:"best_version"`
+		Versions []struct {
+			Version int32 `json:"version"`
+			EdgeCut int64 `json:"edge_cut"`
+		} `json:"versions"`
+	}
+	resp, err = http.Get(base2 + "/v1/sessions/" + id + "/refine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(status.Versions) != 2 {
+		t.Fatalf("recovered %d versions, want 2", len(status.Versions))
+	}
+	if status.Best != info.Best {
+		t.Fatalf("best version %d after crash, was %d", status.Best, info.Best)
 	}
 }

@@ -43,6 +43,11 @@ type Config struct {
 	// BatchSize is the nodes-per-PushBatch of that scenario; 0 means
 	// 1024.
 	BatchSize int
+	// RefinePassSweep is the pass counts of the perf snapshot's
+	// quality-vs-passes refinement scenario; nil means {1, 2, 3}. Each
+	// snapshot row reports the edge cut after that many cumulative
+	// restream passes over the one-pass result.
+	RefinePassSweep []int
 }
 
 func (c Config) withDefaults() Config {

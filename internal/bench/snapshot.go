@@ -28,10 +28,16 @@ type PerfSnapshot struct {
 	// session PushBatch path (the omsd serving shape) swept over
 	// session-thread counts, measuring ingest throughput scaling and
 	// the edge-cut cost of racy parallel assignment.
-	BatchSize    int            `json:"batch_size,omitempty"`
-	BatchResults []BatchPerf    `json:"batch_results,omitempty"`
-	PeakRSS      int64          `json:"peak_rss_bytes"` // of the whole bench process
-	Totals       map[string]any `json:"totals"`
+	BatchSize    int         `json:"batch_size,omitempty"`
+	BatchResults []BatchPerf `json:"batch_results,omitempty"`
+	// RefineResults is the quality-vs-passes refinement scenario: the
+	// omsd background-refinement shape (restream passes over a finished
+	// session's recorded stream), swept over cumulative pass counts.
+	// The passes=0 row is the one-pass baseline the refined rows must
+	// never be worse than — benchgate holds that invariant.
+	RefineResults []RefinePerf   `json:"refine_results,omitempty"`
+	PeakRSS       int64          `json:"peak_rss_bytes"` // of the whole bench process
+	Totals        map[string]any `json:"totals"`
 }
 
 // PerfResult is one snapshot row.
@@ -57,6 +63,20 @@ type BatchPerf struct {
 	NodesPerSec float64 `json:"nodes_per_sec"`
 	// Speedup is NodesPerSec relative to this instance's threads=1 row.
 	Speedup float64 `json:"speedup"`
+}
+
+// RefinePerf is one refinement-scenario row: the edge cut after Passes
+// cumulative restream passes (0 = the one-pass result).
+type RefinePerf struct {
+	Instance   string  `json:"instance"`
+	N          int32   `json:"n"`
+	Passes     int     `json:"passes"`
+	EdgeCut    int64   `json:"edge_cut"`
+	Imbalance  float64 `json:"imbalance"`
+	RuntimeSec float64 `json:"runtime_sec"` // of this pass alone (0 for the baseline row)
+	// Improvement is 1 - cut/cut0: the fraction of the one-pass cut the
+	// refinement removed so far.
+	Improvement float64 `json:"improvement"`
 }
 
 // snapshotAlgs are the algorithms the perf snapshot tracks: the paper's
@@ -152,6 +172,11 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 	}
 	snap.BatchSize = batchSize
 	snap.BatchResults = batchRows
+	refineRows, err := runRefineScenario(cfg, instances, scale, k, progress)
+	if err != nil {
+		return nil, err
+	}
+	snap.RefineResults = refineRows
 	snap.PeakRSS = peakRSSBytes()
 	snap.Totals = map[string]any{
 		"wall_sec":  time.Since(start).Seconds(),
@@ -260,6 +285,90 @@ func runBatchScenario(cfg Config, instances []Instance, scale float64, k int32, 
 		rows = append(rows, insRows...)
 	}
 	return rows, batchSize, nil
+}
+
+// runRefineScenario measures the quality-vs-passes trajectory of the
+// background refinement path: a Record push session streamed in natural
+// order, finished, then restreamed one pass at a time (exactly the
+// engine walk omsd's refine jobs drive), with the edge cut recorded
+// after every pass. Sequential and seeded, so the cut columns are
+// deterministic — the runtime column is the only machine-dependent
+// part, and the gate treats sub-millisecond rows as informational.
+func runRefineScenario(cfg Config, instances []Instance, scale float64, k int32, progress io.Writer) ([]RefinePerf, error) {
+	sweep := cfg.RefinePassSweep
+	if len(sweep) == 0 {
+		sweep = []int{1, 2, 3}
+	}
+	maxPass := 0
+	want := make(map[int]bool, len(sweep))
+	for _, p := range sweep {
+		if p < 1 {
+			return nil, fmt.Errorf("bench: refine pass %d < 1", p)
+		}
+		want[p] = true
+		if p > maxPass {
+			maxPass = p
+		}
+	}
+	var rows []RefinePerf
+	for _, ins := range instances {
+		g := ins.BuildCached(scale)
+		n := g.NumNodes()
+		sess, err := oms.NewSession(oms.SessionConfig{
+			Stats: oms.StreamStats{
+				N: n, M: g.NumEdges(),
+				TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+			},
+			K:       k,
+			Options: oms.Options{Epsilon: 0.03, Seed: cfg.Seed},
+			Record:  true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for u := int32(0); u < n; u++ {
+			if _, err := sess.Push(u, g.NodeWeight(u), g.Neighbors(u), g.EdgeWeights(u)); err != nil {
+				return nil, err
+			}
+		}
+		res, err := sess.Finish()
+		if err != nil {
+			return nil, err
+		}
+		cut0 := metrics.EdgeCut(g, res.Parts)
+		rows = append(rows, RefinePerf{
+			Instance: ins.Name, N: n, Passes: 0,
+			EdgeCut:   cut0,
+			Imbalance: metrics.Imbalance(g, res.Parts, k),
+		})
+		for p := 1; p <= maxPass; p++ {
+			t0 := time.Now()
+			rres, err := sess.Restream(1)
+			if err != nil {
+				return nil, err
+			}
+			secs := time.Since(t0).Seconds()
+			if !want[p] {
+				continue
+			}
+			cut := metrics.EdgeCut(g, rres.Parts)
+			row := RefinePerf{
+				Instance: ins.Name, N: n, Passes: p,
+				EdgeCut:    cut,
+				Imbalance:  metrics.Imbalance(g, rres.Parts, k),
+				RuntimeSec: secs,
+			}
+			if cut0 > 0 {
+				row.Improvement = 1 - float64(cut)/float64(cut0)
+			}
+			rows = append(rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "refine %s passes=%d: cut %d (%.1f%% better), %.3fs\n",
+					ins.Name, p, cut, row.Improvement*100, secs)
+			}
+		}
+	}
+	return rows, nil
 }
 
 // WriteJSON writes the snapshot, indented for reviewable diffs.

@@ -302,6 +302,51 @@ func (o *OMS) RestreamPasses(src stream.Source, extraPasses int) ([]int32, error
 	return o.parts, nil
 }
 
+// RestreamPassesParallel is RestreamPasses with the retract-and-reassign
+// loop fanned out over the per-worker scratch of §3.4: each worker owns a
+// disjoint slice of the stream, retracts its nodes' weights atomically
+// and re-scores them with the same racy-neighbor-read scheme as the
+// parallel first pass. Every node is retracted and re-placed by exactly
+// one worker per pass, so loads stay exact; neighbor assignments read
+// mid-move may be one pass stale, which is the same benign race the
+// paper accepts for parallel streaming. threads <= 1 (or a single
+// configured worker) falls back to the deterministic sequential passes.
+func (o *OMS) RestreamPassesParallel(src stream.Source, extraPasses, threads int) ([]int32, error) {
+	if threads > len(o.scratch) {
+		threads = len(o.scratch)
+	}
+	if threads <= 1 {
+		return o.RestreamPasses(src, extraPasses)
+	}
+	for p := 0; p < extraPasses; p++ {
+		err := src.ForEachParallel(threads, func(w int, u int32, vwgt int32, adj []int32, ewgt []int32) {
+			o.unassignAtomic(u, vwgt)
+			o.assign(w, u, vwgt, adj, ewgt)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return o.parts, nil
+}
+
+// unassignAtomic removes u's weight from its current path with atomic
+// load updates (the parallel restream counterpart of unassign; only u's
+// owning worker calls it, so the parts slot itself is single-writer).
+func (o *OMS) unassignAtomic(u int32, vwgt int32) {
+	leaf := atomic.LoadInt32(&o.parts[u])
+	if leaf < 0 {
+		return
+	}
+	t := o.Tree
+	v := t.Root
+	for !t.IsLeaf(v) {
+		v = t.ChildContaining(v, leaf)
+		atomic.AddInt64(&o.loads[v], -int64(vwgt))
+	}
+	atomic.StoreInt32(&o.parts[u], -1)
+}
+
 // unassign removes u's weight from its current path (sequential passes
 // only).
 func (o *OMS) unassign(u int32, vwgt int32) {

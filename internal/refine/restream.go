@@ -1,0 +1,127 @@
+package refine
+
+import (
+	"context"
+	"fmt"
+
+	"oms"
+)
+
+// PassResult is one completed restream pass: the full assignment after
+// the pass and its measured edge cut (each undirected edge counted once
+// via its larger endpoint — exact under the paper's stream model, where
+// every node arrives with its complete adjacency list).
+type PassResult struct {
+	Pass    int
+	Parts   []int32
+	EdgeCut int64
+}
+
+// Restream rebuilds a partitioning engine from a finished session's
+// construction config and exported state, then drives passes additional
+// retract-and-reassign passes over src (the session's recorded stream,
+// typically a WAL replay). After each pass it measures the edge cut with
+// one more read of src and hands the result to publish; a publish error
+// aborts the remaining passes. The context is honored between passes —
+// a whole pass is the cancellation granularity, so every published
+// version is a complete one.
+//
+// The refinement engine is entirely private to this call: the live
+// session's engine and served one-pass result are never touched, which
+// is what lets refinement run concurrently with result reads.
+func Restream(ctx context.Context, cfg oms.SessionConfig, state oms.SessionState, src oms.Source, passes int, publish func(PassResult) error) error {
+	if passes < 1 {
+		return fmt.Errorf("refine: %d passes < 1", passes)
+	}
+	// The replica never records: RestoreState rejects Record engines
+	// (their replay buffer cannot be rebuilt from a checkpoint), and the
+	// recorded stream is exactly what src already is.
+	cfg.Record = false
+	eng, err := oms.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	if err := eng.RestoreState(state); err != nil {
+		return fmt.Errorf("refine: restore finished state: %w", err)
+	}
+	for p := 1; p <= passes; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := eng.RestreamFrom(src, 1)
+		if err != nil {
+			return err
+		}
+		cut, err := EdgeCut(src, res.Parts)
+		if err != nil {
+			return err
+		}
+		if err := publish(PassResult{Pass: p, Parts: res.Parts, EdgeCut: cut}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StateFromAssignment rebuilds the streaming state an engine would hold
+// if its finished assignment were parts: one replay of src charges every
+// node's weight down its recorded root-to-leaf path (the ForceAssign
+// entry, no scoring). It is how a refinement job continues from the
+// newest published version — a version stores only the O(n) assignment,
+// and the O(k) tree loads are a function of assignment and stream.
+func StateFromAssignment(cfg oms.SessionConfig, src oms.Source, parts []int32) (oms.SessionState, error) {
+	cfg.Record = false
+	eng, err := oms.NewSession(cfg)
+	if err != nil {
+		return oms.SessionState{}, err
+	}
+	n := int32(len(parts))
+	var perr error
+	err = src.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
+		if perr != nil || u < 0 || u >= n || parts[u] < 0 {
+			return
+		}
+		if _, err := eng.PushAssigned(u, vwgt, adj, ewgt, parts[u]); err != nil {
+			perr = err
+		}
+	})
+	if err == nil {
+		err = perr
+	}
+	if err != nil {
+		return oms.SessionState{}, fmt.Errorf("refine: rebuild state from assignment: %w", err)
+	}
+	return eng.ExportState(), nil
+}
+
+// EdgeCut measures the weight of cut edges of parts with one sequential
+// read of src. Each undirected edge is counted at its larger endpoint;
+// edges into unassigned nodes (-1) do not count, matching the service's
+// finish-summary metric.
+func EdgeCut(src oms.Source, parts []int32) (int64, error) {
+	var cut int64
+	n := int32(len(parts))
+	err := src.ForEach(func(u int32, _ int32, adj []int32, ewgt []int32) {
+		if u < 0 || u >= n {
+			return
+		}
+		pu := parts[u]
+		if pu < 0 {
+			return
+		}
+		for i, nb := range adj {
+			if nb <= u || nb >= n || parts[nb] < 0 || parts[nb] == pu {
+				continue
+			}
+			if ewgt != nil {
+				cut += int64(ewgt[i])
+			} else {
+				cut++
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cut, nil
+}

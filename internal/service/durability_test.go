@@ -56,6 +56,12 @@ func (l *faultLog) Seal() error {
 	return nil
 }
 
+func (l *faultLog) SaveVersion(v RefinedVersion) error { return nil }
+
+func (l *faultLog) LoadVersion(version int32) (RefinedVersion, error) {
+	return RefinedVersion{}, errDisk
+}
+
 func (l *faultLog) Close() error { return nil }
 
 // faultStore hands every session the same faultLog.
@@ -79,6 +85,10 @@ func (s *faultStore) Create(id string, spec CreateSpec) (SessionLog, error) {
 }
 
 func (s *faultStore) Recover() ([]RecoveredSession, error) { return nil, nil }
+
+func (s *faultStore) ReplaySource(id string) (oms.Source, error) {
+	return nil, errDisk
+}
 
 func (s *faultStore) Remove(id string) error {
 	s.mu.Lock()
@@ -107,8 +117,8 @@ func TestWALFaultKillsSession(t *testing.T) {
 	if !errors.Is(err, ErrDurability) {
 		t.Fatalf("ingest after append fault: %v, want ErrDurability", err)
 	}
-	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("get after wal fault: %v, want ErrNotFound", err)
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrGone) {
+		t.Fatalf("get after wal fault: %v, want ErrGone", err)
 	}
 }
 
@@ -156,8 +166,8 @@ func TestSealFaultFailsFinish(t *testing.T) {
 	if s.Finished() {
 		t.Fatal("session marked finished despite failed seal")
 	}
-	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("get after seal fault: %v, want ErrNotFound", err)
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrGone) {
+		t.Fatalf("get after seal fault: %v, want ErrGone", err)
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"oms"
+	"oms/internal/refine"
 )
 
 // ingestChunkSize is how many NDJSON nodes the server groups into one
@@ -41,7 +43,10 @@ const maxNodeLine = 16 << 20
 //	POST   /v1/sessions/{id}/batch   NDJSON batch ingest: larger atomic groups assigned in
 //	                                 parallel (session "threads") and WAL-committed as one frame
 //	POST   /v1/sessions/{id}/finish  seal the session, returns the summary
-//	GET    /v1/sessions/{id}/result  full assignment vector
+//	POST   /v1/sessions/{id}/refine  queue background restream refinement (passes, threads)
+//	GET    /v1/sessions/{id}/refine  refinement job status and version ledger
+//	GET    /v1/sessions/{id}/result  assignment vector; ?version=N|latest|best selects a
+//	                                 published refinement (default: the one-pass result)
 //	DELETE /v1/sessions/{id}         drop the session
 //	GET    /healthz                  liveness
 //	GET    /metrics                  counter registry, Prometheus text format
@@ -107,20 +112,53 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, sum)
 	})
+	mux.HandleFunc("POST /v1/sessions/{id}/refine", func(w http.ResponseWriter, r *http.Request) {
+		var spec RefineSpec
+		if r.Body != nil {
+			// An empty body means "server defaults".
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil && !errors.Is(err, io.EOF) {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad refine body: %w", err))
+				return
+			}
+		}
+		info, err := mgr.Refine(r.PathValue("id"), spec)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, info)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/refine", func(w http.ResponseWriter, r *http.Request) {
+		info, ok, err := mgr.RefineStatus(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("session %s has no refinement job", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
 	mux.HandleFunc("GET /v1/sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
-		res, err := s.Result()
+		res, err := s.ResultVersion(r.URL.Query().Get("version"))
 		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			writeError(w, statusOf(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"id": s.ID, "k": res.K, "lmax": res.Lmax, "parts": res.Parts,
-		})
+		body := map[string]any{
+			"id": s.ID, "version": res.Version, "pass": res.Pass,
+			"k": res.K, "lmax": res.Lmax, "parts": res.Parts,
+		}
+		if res.EdgeCut != nil {
+			body["edge_cut"] = *res.EdgeCut
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := mgr.Delete(r.PathValue("id")); err != nil {
@@ -239,8 +277,12 @@ func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request, ba
 
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoVersion):
 		return http.StatusNotFound
+	case errors.Is(err, ErrGone):
+		return http.StatusGone
+	case errors.Is(err, ErrNotFinished), errors.Is(err, ErrNoStream), errors.Is(err, refine.ErrActive):
+		return http.StatusConflict
 	case errors.Is(err, ErrLimit):
 		return http.StatusTooManyRequests
 	case errors.Is(err, oms.ErrSessionFinished):

@@ -362,7 +362,9 @@ func TestHTTPErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("deleted session status %d", resp.StatusCode)
+	// Deleted is 410 Gone — the id existed; retrying it is pointless —
+	// while a never-seen id stays 404.
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("deleted session status %d, want 410", resp.StatusCode)
 	}
 }

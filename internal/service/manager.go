@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -11,19 +12,37 @@ import (
 	"time"
 
 	"oms"
+	"oms/internal/refine"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
 var (
+	// ErrNotFound reports a session id the server has never seen (404):
+	// a typo or another server's id — retrying cannot help.
 	ErrNotFound = errors.New("service: no such session")
-	ErrLimit    = errors.New("service: session limit reached")
+	// ErrGone reports a session that existed but is dead (410): deleted,
+	// TTL-evicted, or killed by a durability fault. Clients should stop
+	// retrying the id.
+	ErrGone  = errors.New("service: session gone")
+	ErrLimit = errors.New("service: session limit reached")
 	// ErrDurability wraps WAL append/flush/seal failures: a server-side
 	// fault (500), after which the affected session is dead.
 	ErrDurability = errors.New("service: session durability failure")
+	// ErrNotFinished reports a refinement request against a session that
+	// has not sealed its stream yet (409).
+	ErrNotFinished = errors.New("service: session not finished")
+	// ErrNoStream reports a refinement request the server cannot serve
+	// because the session's stream was never retained: no durable log
+	// (-data-dir) and no record:true buffer (409).
+	ErrNoStream = errors.New("service: session stream not retained (refinement needs -data-dir or record:true)")
 )
 
 func errGone(id string) error {
-	return fmt.Errorf("%w: %s (finished-and-collected, evicted, or deleted)", ErrNotFound, id)
+	return fmt.Errorf("%w: %s (deleted, evicted, or killed by a fault)", ErrGone, id)
+}
+
+func errNotFound(id string) error {
+	return fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
 // CreateSpec is the session-creation declaration: the stream's global
@@ -165,6 +184,14 @@ type Config struct {
 	// many logged records, bounding recovery replay to the tail;
 	// default 4096. Ignored without a Store.
 	SnapshotEvery int
+	// RefineWorkers sizes the background refinement pool: how many
+	// finished sessions may restream concurrently; default 1. Refinement
+	// runs strictly off the ingest hot path — its workers only ever
+	// touch private engine replicas and published versions.
+	RefineWorkers int
+	// RefinePasses is the pass count a refine request without an
+	// explicit "passes" gets; default 1.
+	RefinePasses int
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +224,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
+	}
+	if c.RefineWorkers <= 0 {
+		c.RefineWorkers = 1
+	}
+	if c.RefinePasses <= 0 {
+		c.RefinePasses = 1
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -231,10 +264,11 @@ type sessionShard struct {
 // in restoreSession (mu, then shard) — no path acquires mu while
 // holding a shard lock, so that order cannot deadlock.
 type Manager struct {
-	cfg  Config
-	reg  *Registry
-	m    *serviceMetrics
-	pool *Pool
+	cfg     Config
+	reg     *Registry
+	m       *serviceMetrics
+	pool    *Pool
+	refiner *refine.Runner
 
 	shards [sessionShards]sessionShard
 
@@ -242,10 +276,47 @@ type Manager struct {
 	nSessions int   // live sessions across all shards
 	liveNodes int64 // sum of declared n over live sessions
 	seq       uint64
+	// tombs remembers recently dead session ids (deleted or evicted) so
+	// the HTTP layer can answer 410 Gone instead of 404 — a client that
+	// keeps retrying a dead id learns to stop. Bounded by a FIFO ring;
+	// ids older than the ring's capacity degrade to 404, which is merely
+	// the less informative answer.
+	tombs    map[string]struct{}
+	tombRing []string
+	tombNext int
 
 	closeOnce   sync.Once
 	janitorQuit chan struct{}
 	janitorDone chan struct{}
+}
+
+// tombstoneCap bounds the dead-id memory (a few MiB of ids at worst).
+const tombstoneCap = 65536
+
+// addTombstone records a dead session id; callers hold mg.mu.
+func (mg *Manager) addTombstone(id string) {
+	if mg.tombs == nil {
+		mg.tombs = make(map[string]struct{})
+	}
+	if _, ok := mg.tombs[id]; ok {
+		return
+	}
+	if len(mg.tombRing) < tombstoneCap {
+		mg.tombRing = append(mg.tombRing, id)
+	} else {
+		delete(mg.tombs, mg.tombRing[mg.tombNext])
+		mg.tombRing[mg.tombNext] = id
+		mg.tombNext = (mg.tombNext + 1) % tombstoneCap
+	}
+	mg.tombs[id] = struct{}{}
+}
+
+// tombstoned reports whether id belongs to a known-dead session.
+func (mg *Manager) tombstoned(id string) bool {
+	mg.mu.Lock()
+	_, ok := mg.tombs[id]
+	mg.mu.Unlock()
+	return ok
 }
 
 // shardFor maps a session id to its index stripe (FNV-1a).
@@ -280,9 +351,23 @@ func NewManager(cfg Config) *Manager {
 		reg:         reg,
 		m:           newServiceMetrics(reg),
 		pool:        NewPool(cfg.Workers),
+		tombs:       make(map[string]struct{}),
 		janitorQuit: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	mgr.refiner = refine.NewRunner(cfg.RefineWorkers, refine.Hooks{
+		Started: func(string) {},
+		Finished: func(_ string, final refine.State) {
+			mgr.m.refineActive.Add(-1)
+			switch final {
+			case refine.StateFailed:
+				mgr.m.refineFailed.Inc()
+			case refine.StateCanceled:
+				mgr.m.refineCanceled.Inc()
+			}
+		},
+		Pass: func(string, int) { mgr.m.refinePasses.Inc() },
+	})
 	for i := range mgr.shards {
 		mgr.shards[i].m = make(map[string]*Session)
 	}
@@ -305,6 +390,11 @@ func (mg *Manager) Close() { mg.closeOnce.Do(mg.close) }
 func (mg *Manager) close() {
 	close(mg.janitorQuit)
 	<-mg.janitorDone
+	// Stop refinement before the logs close: running jobs end at their
+	// next pass boundary, queued ones never start. Published versions
+	// are already durable; unpublished passes are simply lost (a restart
+	// may re-request them).
+	mg.refiner.Close()
 	var victims []*Session
 	mg.eachSession(func(s *Session) { victims = append(victims, s) })
 	for _, s := range victims {
@@ -507,6 +597,10 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 		s.result = res
 		s.summary = s.summarize(res)
 		s.finished.Store(true)
+		// Refined versions survived on their own durability (whole-file
+		// CRC; torn ones were dropped by the store) — the session keeps
+		// its best completed version across the crash.
+		s.restoreVersions(rec.Versions)
 	}
 
 	mg.mu.Lock()
@@ -547,11 +641,17 @@ func (mg *Manager) Get(id string) (*Session, error) {
 	sh.mu.RLock()
 	s, ok := sh.m[id]
 	sh.mu.RUnlock()
-	if !ok || s.closed.Load() {
+	if ok && !s.closed.Load() {
+		s.touch(mg.cfg.Now())
+		return s, nil
+	}
+	// Distinguish "never existed" (404 — give up on the id) from "was
+	// here, now dead" (410 — stop retrying): a closed-but-not-yet-
+	// collected session and a tombstoned id are both Gone.
+	if ok || mg.tombstoned(id) {
 		return nil, errGone(id)
 	}
-	s.touch(mg.cfg.Now())
-	return s, nil
+	return nil, errNotFound(id)
 }
 
 // Delete closes and removes a session. Removal from the shard decides
@@ -566,13 +666,18 @@ func (mg *Manager) Delete(id string) error {
 	}
 	sh.mu.Unlock()
 	if !ok {
-		return errGone(id)
+		if mg.tombstoned(id) {
+			return errGone(id)
+		}
+		return errNotFound(id)
 	}
 	mg.mu.Lock()
 	mg.nSessions--
 	mg.liveNodes -= int64(s.spec.N)
+	mg.addTombstone(id)
 	mg.mu.Unlock()
 	s.closed.Store(true)
+	mg.refiner.Drop(id)
 	mg.dropPersisted(s)
 	mg.m.sessionsDeleted.Inc()
 	mg.m.sessionsActive.Add(-1)
@@ -631,11 +736,20 @@ func (mg *Manager) EvictIdle() int {
 		sh := &mg.shards[i]
 		sh.mu.Lock()
 		for id, s := range sh.m {
-			if now.Sub(s.idleSince()) > mg.ttlOf(s) {
-				delete(sh.m, id)
-				victims = append(victims, s)
-				victimNodes += int64(s.spec.N)
+			if now.Sub(s.idleSince()) <= mg.ttlOf(s) {
+				continue
 			}
+			// A session whose refinement job is still queued or running
+			// is not idle — evicting it would destroy the result (and
+			// its versions) the server is actively computing. Published
+			// passes also refresh the TTL, so the clock restarts once
+			// the job ends.
+			if mg.refiner.Active(id) {
+				continue
+			}
+			delete(sh.m, id)
+			victims = append(victims, s)
+			victimNodes += int64(s.spec.N)
 		}
 		sh.mu.Unlock()
 	}
@@ -643,10 +757,14 @@ func (mg *Manager) EvictIdle() int {
 		mg.mu.Lock()
 		mg.nSessions -= len(victims)
 		mg.liveNodes -= victimNodes
+		for _, s := range victims {
+			mg.addTombstone(s.ID)
+		}
 		mg.mu.Unlock()
 	}
 	for _, s := range victims {
 		s.closed.Store(true)
+		mg.refiner.Drop(s.ID)
 		// Eviction means the client abandoned the stream; the persisted
 		// log (sealed or not) is garbage-collected with the session.
 		mg.dropPersisted(s)
@@ -654,6 +772,212 @@ func (mg *Manager) EvictIdle() int {
 		mg.m.sessionsActive.Add(-1)
 	}
 	return len(victims)
+}
+
+// maxRefinePasses caps one refinement request's pass count: each pass
+// is a full O(m) stream replay, so an uncapped request could park a
+// refine worker for hours.
+const maxRefinePasses = 64
+
+// RefineSpec is the POST .../refine body: how many restream passes to
+// run and with how many engine workers. Zeros take the server defaults
+// (-refine-passes; the session's own ingest thread width).
+type RefineSpec struct {
+	Passes  int `json:"passes,omitempty"`
+	Threads int `json:"threads,omitempty"`
+}
+
+// RefineInfo is the refine status payload: the job snapshot plus the
+// published-version ledger.
+type RefineInfo struct {
+	refine.Status
+	OnePassCut  *int64        `json:"one_pass_edge_cut,omitempty"`
+	BestVersion int32         `json:"best_version"`
+	Versions    []VersionInfo `json:"versions"`
+}
+
+// Refine submits a background refinement job for a finished session:
+// replay its recorded stream (the durable log, or the in-memory record
+// buffer without a store) through spec.Passes retract-and-reassign
+// passes, publishing each completed pass as a new immutable result
+// version. The call returns immediately with the queued job's status;
+// at most one job per session is active at a time.
+func (mg *Manager) Refine(id string, spec RefineSpec) (RefineInfo, error) {
+	s, err := mg.Get(id)
+	if err != nil {
+		return RefineInfo{}, err
+	}
+	if !s.Finished() {
+		return RefineInfo{}, fmt.Errorf("%w: %s (finish the stream before refining it)", ErrNotFinished, id)
+	}
+	passes := spec.Passes
+	if passes <= 0 {
+		passes = mg.cfg.RefinePasses
+	}
+	if passes > maxRefinePasses {
+		passes = maxRefinePasses
+	}
+	threads := spec.Threads
+	if threads <= 0 {
+		threads = s.spec.Threads
+	}
+	if threads > maxSessionThreads {
+		threads = maxSessionThreads
+	}
+
+	// The replay source: the durable log when the server persists
+	// sessions, else the session's own record buffer.
+	var src oms.Source
+	if mg.cfg.Store != nil {
+		src, err = mg.cfg.Store.ReplaySource(id)
+		if err != nil {
+			// A log the store cannot read back is a server-side fault
+			// (500), not a malformed request.
+			return RefineInfo{}, fmt.Errorf("%w: open replay of session %s: %w", ErrDurability, id, err)
+		}
+	} else if rec := s.eng.Source(); rec != nil {
+		src = rec
+	} else {
+		return RefineInfo{}, fmt.Errorf("%w: %s", ErrNoStream, id)
+	}
+
+	cfg, err := s.spec.sessionConfig()
+	if err != nil {
+		return RefineInfo{}, err
+	}
+	cfg.Options.Threads = threads
+	// The finished engine is immutable (every mutation path checks
+	// finished first), so exporting its state needs no queue trip.
+	state := s.eng.ExportState()
+
+	job := refine.Job{
+		ID:      id,
+		Passes:  passes,
+		Threads: threads,
+		Run: func(ctx context.Context, pass func(int)) error {
+			// Measure the starting point once per job, so "best" can
+			// compare refined versions against the one-pass result even
+			// for sessions that never recorded.
+			if s.OnePassCut() == nil {
+				cut0, err := refine.EdgeCut(src, state.Parts)
+				if err != nil {
+					return err
+				}
+				// Persist the baseline (parts-free version 0) before any
+				// refined version exists: "best" must keep comparing
+				// against the one-pass result after a crash, even for
+				// sessions that never recorded.
+				if s.log != nil {
+					if err := s.log.SaveVersion(RefinedVersion{Version: 0, Pass: 0, EdgeCut: cut0}); err != nil {
+						s.m.walErrors.Inc()
+						return fmt.Errorf("persist one-pass cut: %w", err)
+					}
+				}
+				s.setOnePassCut(cut0)
+			}
+			// Refinement ratchets: a second job (or one resumed after a
+			// crash) continues from the newest published version rather
+			// than re-deriving it from the one-pass state — versions
+			// store only the assignment, so its tree loads are rebuilt
+			// with one replay of the stream. Pass numbers stay
+			// cumulative across jobs for the same reason: the ledger
+			// reads as one trajectory of restream depth.
+			start := state
+			basePass := int32(0)
+			if latest := s.latestVersion(); latest != nil {
+				seed := latest.Parts
+				if seed == nil {
+					// Recovered versions keep only metadata in memory;
+					// the assignment reloads from its durable file.
+					loaded, err := s.log.LoadVersion(latest.Version)
+					if err != nil {
+						return fmt.Errorf("reload version %d: %w", latest.Version, err)
+					}
+					seed = loaded.Parts
+				}
+				st, err := refine.StateFromAssignment(cfg, src, seed)
+				if err != nil {
+					return err
+				}
+				start = st
+				basePass = latest.Pass
+			}
+			return refine.Restream(ctx, cfg, start, src, passes, func(pr refine.PassResult) error {
+				if s.closed.Load() {
+					// The session died under the job (delete, eviction,
+					// fault): that ends the job as canceled, not failed —
+					// nothing went wrong with the refinement itself.
+					return fmt.Errorf("%w: session %s gone", context.Canceled, id)
+				}
+				v := RefinedVersion{
+					Version: s.nextVersion(),
+					Pass:    basePass + int32(pr.Pass),
+					EdgeCut: pr.EdgeCut,
+					Parts:   pr.Parts,
+				}
+				// Durable before visible: a version a client can read
+				// must survive a crash (no store keeps them in memory
+				// only, like everything else without -data-dir).
+				if s.log != nil {
+					if err := s.log.SaveVersion(v); err != nil {
+						s.m.walErrors.Inc()
+						return fmt.Errorf("persist version %d: %w", v.Version, err)
+					}
+				}
+				s.addVersion(v)
+				// A published pass is server activity on the session:
+				// refresh the TTL so a long refinement (or a client that
+				// stopped polling) does not lose the session under the
+				// janitor while work is still landing.
+				s.touch(s.now())
+				s.m.refineVersions.Inc()
+				pass(pr.Pass)
+				return nil
+			})
+		},
+	}
+	// The active gauge rises before Submit: a fast worker (or a racing
+	// Close) may fire the Finished hook — which decrements — before
+	// Submit even returns, and the gauge must never dip below zero.
+	mg.m.refineActive.Inc()
+	st, err := mg.refiner.Submit(job)
+	if err != nil {
+		mg.m.refineActive.Add(-1)
+		return RefineInfo{}, err
+	}
+	mg.m.refineJobs.Inc()
+	return mg.refineInfo(s, st), nil
+}
+
+// RefineStatus reports the session's latest refinement job and version
+// ledger. ok is false when the session was never refined.
+func (mg *Manager) RefineStatus(id string) (RefineInfo, bool, error) {
+	s, err := mg.Get(id)
+	if err != nil {
+		return RefineInfo{}, false, err
+	}
+	st, ok := mg.refiner.Status(id)
+	if !ok {
+		vs := s.VersionList()
+		if len(vs) == 0 {
+			return RefineInfo{}, false, nil
+		}
+		// Versions recovered from the store outlive their job record:
+		// synthesize a done status whose pass counts agree with the
+		// ledger (the newest version's cumulative pass depth).
+		depth := int(vs[len(vs)-1].Pass)
+		st = refine.Status{ID: id, State: "done", Passes: depth, PassesDone: depth}
+	}
+	return mg.refineInfo(s, st), true, nil
+}
+
+func (mg *Manager) refineInfo(s *Session, st refine.Status) RefineInfo {
+	return RefineInfo{
+		Status:      st,
+		OnePassCut:  s.OnePassCut(),
+		BestVersion: s.BestVersion(),
+		Versions:    s.VersionList(),
+	}
 }
 
 func (mg *Manager) janitor() {

@@ -19,6 +19,7 @@ import (
 type Counter struct {
 	name string
 	help string
+	kind string // Prometheus metric type: "counter" or "gauge"
 	v    atomic.Int64
 }
 
@@ -49,14 +50,26 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns the counter registered under name, creating it with
-// the given help text on first use.
+// the given help text on first use. The metric is exported as a
+// Prometheus counter (monotonically increasing).
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter")
+}
+
+// Gauge returns the gauge registered under name, creating it with the
+// given help text on first use. Gauges may go up and down (Add with a
+// negative delta) and are exported with the Prometheus gauge type.
+func (r *Registry) Gauge(name, help string) *Counter {
+	return r.register(name, help, "gauge")
+}
+
+func (r *Registry) register(name, help, kind string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	c := &Counter{name: name, help: help}
+	c := &Counter{name: name, help: help, kind: kind}
 	r.counters[name] = c
 	r.order = append(r.order, c)
 	return c
@@ -74,7 +87,10 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// WriteText writes the counters in Prometheus text exposition format.
+// WriteText writes the counters in Prometheus text exposition format,
+// with the # HELP and # TYPE comment lines scrapers use to type each
+// series (counters stay counters in dashboards instead of defaulting to
+// untyped).
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	counters := append([]*Counter(nil), r.order...)
@@ -84,6 +100,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help); err != nil {
 				return err
 			}
+		}
+		kind := c.kind
+		if kind == "" {
+			kind = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", c.name, kind); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load()); err != nil {
 			return err
@@ -110,6 +133,13 @@ type serviceMetrics struct {
 	walRecords        *Counter
 	walSnapshots      *Counter
 	walErrors         *Counter
+
+	refineJobs     *Counter
+	refineFailed   *Counter
+	refineCanceled *Counter
+	refineActive   *Counter // gauge
+	refinePasses   *Counter
+	refineVersions *Counter
 }
 
 func newServiceMetrics(r *Registry) *serviceMetrics {
@@ -118,7 +148,7 @@ func newServiceMetrics(r *Registry) *serviceMetrics {
 		sessionsFinished: r.Counter("omsd_sessions_finished_total", "push sessions finished"),
 		sessionsEvicted:  r.Counter("omsd_sessions_evicted_total", "push sessions evicted by TTL"),
 		sessionsDeleted:  r.Counter("omsd_sessions_deleted_total", "push sessions deleted by clients"),
-		sessionsActive:   r.Counter("omsd_sessions_active", "currently live push sessions"),
+		sessionsActive:   r.Gauge("omsd_sessions_active", "currently live push sessions"),
 		nodesIngested:    r.Counter("omsd_nodes_ingested_total", "nodes assigned across all sessions"),
 		edgesIngested:    r.Counter("omsd_edges_ingested_total", "adjacency entries ingested across all sessions"),
 		chunksIngested:   r.Counter("omsd_chunks_ingested_total", "ingest chunks processed across all sessions"),
@@ -130,5 +160,12 @@ func newServiceMetrics(r *Registry) *serviceMetrics {
 		walRecords:        r.Counter("omsd_wal_records_total", "node records appended to session logs"),
 		walSnapshots:      r.Counter("omsd_wal_snapshots_total", "engine checkpoints written"),
 		walErrors:         r.Counter("omsd_wal_errors_total", "session log append/flush/snapshot/seal failures"),
+
+		refineJobs:     r.Counter("omsd_refine_jobs_total", "background refinement jobs accepted"),
+		refineFailed:   r.Counter("omsd_refine_jobs_failed_total", "background refinement jobs that ended in error"),
+		refineCanceled: r.Counter("omsd_refine_jobs_canceled_total", "background refinement jobs canceled by delete, eviction, or shutdown"),
+		refineActive:   r.Gauge("omsd_refine_jobs_active", "refinement jobs currently queued or running"),
+		refinePasses:   r.Counter("omsd_refine_passes_total", "restream passes completed across all refinement jobs"),
+		refineVersions: r.Counter("omsd_refine_versions_total", "refined result versions published"),
 	}
 }

@@ -94,7 +94,7 @@ func TestManagerLifecycle(t *testing.T) {
 	if err := mgr.Delete(s.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrGone) {
 		t.Fatalf("Get after Delete: %v", err)
 	}
 	if _, err := s.Ingest(context.Background(), mgr.Pool(), pathNodes(1)); err == nil {
@@ -138,7 +138,7 @@ func TestTTLEviction(t *testing.T) {
 	if n := mgr.EvictIdle(); n != 1 {
 		t.Fatalf("evicted %d sessions, want 1 (only the default-TTL one)", n)
 	}
-	if _, err := mgr.Get(stale.ID); !errors.Is(err, ErrNotFound) {
+	if _, err := mgr.Get(stale.ID); !errors.Is(err, ErrGone) {
 		t.Fatalf("stale session still resolvable: %v", err)
 	}
 	if _, err := mgr.Get(fresh.ID); err != nil {
@@ -172,7 +172,7 @@ func TestTTLOverrideClamped(t *testing.T) {
 	if n := mgr.EvictIdle(); n != 1 {
 		t.Fatalf("evicted %d, want 1 (override must clamp to MaxSessionTTL)", n)
 	}
-	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrNotFound) {
+	if _, err := mgr.Get(s.ID); !errors.Is(err, ErrGone) {
 		t.Fatalf("immortal session survived: %v", err)
 	}
 }
@@ -282,8 +282,8 @@ func TestCloseFailsOutQueuedJobs(t *testing.T) {
 	mgr.Close() // idempotent; testManager's cleanup closes again
 	select {
 	case r := <-done:
-		if !errors.Is(r.err, ErrNotFound) {
-			t.Fatalf("stranded job failed with %v, want ErrNotFound", r.err)
+		if !errors.Is(r.err, ErrGone) {
+			t.Fatalf("stranded job failed with %v, want ErrGone", r.err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("stranded job never failed out")

@@ -2,6 +2,23 @@ package service
 
 import "oms"
 
+// RefinedVersion is one published refinement result: the assignment
+// after Pass cumulative restream passes over the one-pass result
+// (cumulative across jobs — a later job continues the trajectory), with
+// its measured edge cut. Versions are immutable once published and
+// numbered from 1; version 0 is the session's one-pass result, stored
+// only as a parts-free baseline record carrying its measured cut.
+type RefinedVersion struct {
+	Version int32 `json:"version"`
+	Pass    int32 `json:"pass"`
+	EdgeCut int64 `json:"edge_cut"`
+	// Parts is nil for the version-0 baseline record, and may be nil in
+	// the session's in-memory ledger for cold versions whose assignment
+	// was pruned to bound memory (it is then reloaded from the store on
+	// demand).
+	Parts []int32 `json:"-"`
+}
+
 // Store is the session-persistence hook of the manager: when configured
 // (Config.Store), every created session gets a durable log, accepted
 // pushes are logged before they are acknowledged, Finish seals the log,
@@ -22,6 +39,12 @@ type Store interface {
 	Recover() ([]RecoveredSession, error)
 	// Remove garbage-collects one session's persisted state.
 	Remove(id string) error
+	// ReplaySource opens a restartable read-only stream over a session's
+	// durable log: the logged node and batch frames in append order, the
+	// exact stream the session ingested. The background refinement
+	// service restreams it; callers must not use it while the log can
+	// still grow (refinement only runs on finished — sealed — sessions).
+	ReplaySource(id string) (oms.Source, error)
 }
 
 // SessionLog is one session's durable record log. All calls are made
@@ -49,6 +72,16 @@ type SessionLog interface {
 	// Seal marks the session finished and forces the log to stable
 	// storage. A sealed log rejects further appends.
 	Seal() error
+	// SaveVersion durably persists one refined result version, atomically
+	// (write-rename like a checkpoint): after a crash either the whole
+	// version is back or none of it is — a torn version must never be
+	// served. Versions are keyed by v.Version; saving is allowed on a
+	// sealed log (refinement only runs after Finish).
+	SaveVersion(v RefinedVersion) error
+	// LoadVersion reads one previously saved version back, whole (CRC
+	// verified). The session serves cold versions through it after
+	// pruning their assignment from memory.
+	LoadVersion(version int32) (RefinedVersion, error)
 	// Close releases the log without removing its files.
 	Close() error
 }
@@ -74,4 +107,10 @@ type RecoveredSession struct {
 	// Log continues the session's durable log (appends fail on sealed
 	// logs). Never nil for a returned session.
 	Log SessionLog
+	// Versions are the refined result versions that survived the crash,
+	// ascending by version number, metadata only (Parts is nil; the
+	// session reloads assignments on demand through the log). Versions
+	// whose files are torn or corrupt are silently dropped — a
+	// half-written version is the crash's, not data.
+	Versions []RefinedVersion
 }

@@ -1,0 +1,277 @@
+// Durable-refinement tests: the full Store wiring of the background
+// restream service — WAL replay as the pass source, version files, and
+// crash recovery keeping the best completed version.
+package wal
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oms/internal/service"
+)
+
+// refineAndWait submits a refinement and polls until the job ends.
+func refineAndWait(t *testing.T, mgr *service.Manager, id string, spec service.RefineSpec) service.RefineInfo {
+	t.Helper()
+	if _, err := mgr.Refine(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, ok, err := mgr.RefineStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			switch info.State {
+			case "done":
+				return info
+			case "failed", "canceled":
+				t.Fatalf("refine job ended %s: %s", info.State, info.Error)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("refine job never finished")
+	return service.RefineInfo{}
+}
+
+// TestRefineFromWALAndCrashRecovery is the subsystem's acceptance run:
+// ingest through the durable manager, finish, refine two passes off the
+// WAL replay, then crash. The restarted manager must serve the same
+// versions byte-identically — including the best one — and a torn
+// version file planted in the crash window must never be served.
+func TestRefineFromWALAndCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	recs, cfg := testStream(t, 2000)
+	want := uninterrupted(t, cfg, recs)
+
+	st := openStore(t, dir)
+	mgr := service.NewManager(service.Config{Store: st, RefinePasses: 1})
+	s, err := mgr.Create(spec(cfg.Stats.N, cfg.Stats.M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	ingestAll(t, mgr, s, recs)
+	if _, err := s.Finish(context.Background(), mgr.Pool()); err != nil {
+		t.Fatal(err)
+	}
+
+	info := refineAndWait(t, mgr, id, service.RefineSpec{Passes: 2})
+	if len(info.Versions) != 2 {
+		t.Fatalf("refine published %d versions, want 2", len(info.Versions))
+	}
+	if info.OnePassCut == nil {
+		t.Fatal("refine measured no one-pass cut")
+	}
+	onePassCut := *info.OnePassCut
+	for _, v := range info.Versions {
+		if v.EdgeCut > onePassCut {
+			t.Fatalf("version %d cut %d worse than one-pass %d", v.Version, v.EdgeCut, onePassCut)
+		}
+	}
+	if info.Versions[1].EdgeCut >= onePassCut {
+		t.Fatalf("refinement did not improve the cut (%d -> %d)", onePassCut, info.Versions[1].EdgeCut)
+	}
+	v1, err := s.ResultVersion("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.ResultVersion("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := s.ResultVersion("best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestNum := info.BestVersion
+
+	// Crash: Close keeps all files. Then plant a torn version 3 — the
+	// exact bytes a crash mid-refine would leave if version writes were
+	// not atomic — plus a stale tmp from an interrupted rename.
+	mgr.Close()
+	sdir := filepath.Join(dir, "sessions", id)
+	whole, err := os.ReadFile(filepath.Join(sdir, "version-000002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "version-000003"), whole[:len(whole)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "version-000004.tmp"), whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2 := service.NewManager(service.Config{Store: openStore(t, dir)})
+	defer mgr2.Close()
+	if n, err := mgr2.RecoverSessions(); err != nil || n != 1 {
+		t.Fatalf("recover: %d sessions, err %v", n, err)
+	}
+	s2, err := mgr2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalI32(res2.Parts, want.Parts) {
+		t.Fatal("recovered one-pass result differs from the uninterrupted run")
+	}
+
+	// Both whole versions are back, byte-identical; the torn version 3
+	// and the tmp are gone as if never written.
+	r1, err := s2.ResultVersion("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.ResultVersion("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalI32(r1.Parts, v1.Parts) || !equalI32(r2.Parts, v2.Parts) {
+		t.Fatal("recovered versions differ from the published ones")
+	}
+	if *r1.EdgeCut != *v1.EdgeCut || *r2.EdgeCut != *v2.EdgeCut {
+		t.Fatal("recovered version cuts differ from the published ones")
+	}
+	if _, err := s2.ResultVersion("3"); err == nil {
+		t.Fatal("torn version 3 served after recovery")
+	}
+	if _, err := s2.ResultVersion("4"); err == nil {
+		t.Fatal("tmp version 4 served after recovery")
+	}
+	rbest, err := s2.ResultVersion("best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rbest.Version != bestNum || !equalI32(rbest.Parts, best.Parts) {
+		t.Fatalf("best version after recovery is %d, want %d (byte-identical)", rbest.Version, bestNum)
+	}
+	// The one-pass baseline cut is persisted (parts-free version 0), so
+	// "best" keeps competing against version 0 across the crash.
+	rinfo, ok, err := mgr2.RefineStatus(id)
+	if err != nil || !ok {
+		t.Fatalf("refine status after recovery: ok=%v err=%v", ok, err)
+	}
+	if rinfo.OnePassCut == nil || *rinfo.OnePassCut != onePassCut {
+		t.Fatalf("one-pass cut after recovery %v, want %d", rinfo.OnePassCut, onePassCut)
+	}
+	if rinfo.BestVersion != bestNum {
+		t.Fatalf("best_version flipped across the crash: %d, was %d", rinfo.BestVersion, bestNum)
+	}
+	// The synthesized post-restart status agrees with the ledger: two
+	// cumulative passes completed.
+	if rinfo.State != "done" || rinfo.PassesDone != 2 || rinfo.Passes != 2 {
+		t.Fatalf("post-restart status %+v, want done with 2/2 passes", rinfo.Status)
+	}
+
+	// Refinement can continue where it left off: new versions number
+	// after the recovered ones, and pass counts stay cumulative (this
+	// job's single pass is the trajectory's third).
+	info2 := refineAndWait(t, mgr2, id, service.RefineSpec{Passes: 1})
+	last := info2.Versions[len(info2.Versions)-1]
+	if last.Version != 3 || last.Pass != 3 {
+		t.Fatalf("post-recovery refinement published version %d pass %d, want version 3 pass 3", last.Version, last.Pass)
+	}
+	if last.EdgeCut > *r2.EdgeCut {
+		t.Fatalf("post-recovery pass worsened cut: %d -> %d", *r2.EdgeCut, last.EdgeCut)
+	}
+}
+
+// TestColdVersionsReloadFromStore: with more versions than the resident
+// cap, old versions' assignments are pruned from memory and reads
+// reload them from the durable version files, byte-identically.
+func TestColdVersionsReloadFromStore(t *testing.T) {
+	dir := t.TempDir()
+	recs, cfg := testStream(t, 800)
+	mgr := service.NewManager(service.Config{Store: openStore(t, dir)})
+	defer mgr.Close()
+	s, err := mgr.Create(spec(cfg.Stats.N, cfg.Stats.M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, mgr, s, recs)
+	if _, err := s.Finish(context.Background(), mgr.Pool()); err != nil {
+		t.Fatal(err)
+	}
+	v1first, err := func() ([]int32, error) {
+		info := refineAndWait(t, mgr, s.ID, service.RefineSpec{Passes: 2})
+		if len(info.Versions) != 2 {
+			t.Fatalf("published %d versions, want 2", len(info.Versions))
+		}
+		r, err := s.ResultVersion("1")
+		if err != nil {
+			return nil, err
+		}
+		return r.Parts, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push the ledger well past the resident cap.
+	for i := 0; i < 4; i++ {
+		refineAndWait(t, mgr, s.ID, service.RefineSpec{Passes: 1})
+	}
+	info, _, err := mgr.RefineStatus(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 6 {
+		t.Fatalf("ledger has %d versions, want 6", len(info.Versions))
+	}
+	if got, want := info.Versions[5].Pass, int32(6); got != want {
+		t.Fatalf("version 6 records pass %d, want cumulative %d", got, want)
+	}
+	// Version 1 is now cold; the read must come back identical via the
+	// store.
+	r1, err := s.ResultVersion("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalI32(r1.Parts, v1first) {
+		t.Fatal("cold version 1 reloaded differently from its first read")
+	}
+	// Every version remains addressable.
+	for v := 1; v <= 6; v++ {
+		if _, err := s.ResultVersion(fmt.Sprint(v)); err != nil {
+			t.Fatalf("version %d unreadable after pruning: %v", v, err)
+		}
+	}
+}
+
+// TestRefineCanceledByDelete: deleting a session cancels its job and
+// garbage-collects everything, including published versions.
+func TestRefineCanceledByDelete(t *testing.T) {
+	dir := t.TempDir()
+	recs, cfg := testStream(t, 500)
+	st := openStore(t, dir)
+	mgr := service.NewManager(service.Config{Store: st})
+	defer mgr.Close()
+	s, err := mgr.Create(spec(cfg.Stats.N, cfg.Stats.M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, mgr, s, recs)
+	if _, err := s.Finish(context.Background(), mgr.Pool()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Refine(s.ID, service.RefineSpec{Passes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Delete(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sessions", s.ID)); !os.IsNotExist(err) {
+		t.Fatalf("deleted session directory still present (err %v)", err)
+	}
+	if _, _, err := mgr.RefineStatus(s.ID); err == nil {
+		t.Fatal("refine status of deleted session did not error")
+	}
+}

@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"oms"
+	"oms/internal/service"
+	"oms/internal/stream"
+)
+
+// ReplaySource is a restartable stream.Source over one session's durable
+// record log: every ForEach walk re-reads the logged node and batch
+// frames from disk in append order — the exact stream the session
+// ingested, replayable as many times as a restreaming pass wants it,
+// without holding the O(n + m) stream in memory. It reads only the
+// prefix validated at open time, so a torn tail (or, defensively, bytes
+// appended later) never reaches the visitor.
+type ReplaySource struct {
+	path  string
+	stats stream.Stats
+	nodes int64 // validated node-record count at open time
+}
+
+// ReplaySource opens a read-only replay of the session's log. The log
+// should be sealed (the refinement service only replays finished
+// sessions); an unsealed log replays its currently durable prefix.
+func (st *Store) ReplaySource(id string) (oms.Source, error) {
+	dir := filepath.Join(st.dir, id)
+	env, err := readSpec(dir)
+	if err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(dir, logName)
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, err
+	}
+	nodes, _, _, err := scanLog(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	spec := env.Spec
+	stats := stream.Stats{
+		N:               spec.N,
+		M:               spec.M,
+		TotalNodeWeight: spec.TotalNodeWeight,
+		TotalEdgeWeight: spec.TotalEdgeWeight,
+	}
+	if stats.TotalNodeWeight == 0 {
+		stats.TotalNodeWeight = int64(spec.N)
+	}
+	if stats.TotalEdgeWeight == 0 {
+		stats.TotalEdgeWeight = spec.M
+	}
+	return &ReplaySource{path: logPath, stats: stats, nodes: nodes}, nil
+}
+
+// Stats implements stream.Source with the declared stream quantities
+// from the persisted session spec.
+func (r *ReplaySource) Stats() (stream.Stats, error) { return r.stats, nil }
+
+// Len returns how many node records one pass visits.
+func (r *ReplaySource) Len() int64 { return r.nodes }
+
+// ForEach implements stream.Source: one sequential pass over the logged
+// records in append order. Batch frames yield their nodes one by one;
+// the recorded block of a batch sub-record is irrelevant here (replay
+// for refinement re-scores every node anyway).
+//
+// Duplicate records are collapsed to their first occurrence: a batch
+// that repeated a node (or a client retry overlapping earlier ingest)
+// logs the node more than once, and while engine replay is idempotent
+// against that, stream consumers like cut measurement and parallel
+// restream are not — a duplicate visited twice would double-count cut
+// edges, and two workers could retract-and-reassign the same node
+// concurrently. First-occurrence-wins is exactly the engine's own push
+// semantics.
+func (r *ReplaySource) ForEach(fn stream.Visitor) error {
+	seen := r.newSeen()
+	return replayLog(r.path, 0, r.nodes, func(u, w int32, adj, ew []int32, _ int32) error {
+		if seen(u) {
+			return nil
+		}
+		fn(u, w, adj, ew)
+		return nil
+	})
+}
+
+// newSeen returns a first-occurrence filter for one pass.
+func (r *ReplaySource) newSeen() func(int32) bool {
+	seen := make([]bool, r.stats.N)
+	return func(u int32) bool {
+		if u < 0 || int64(u) >= int64(len(seen)) || seen[u] {
+			return true
+		}
+		seen[u] = true
+		return false
+	}
+}
+
+// ForEachParallel implements stream.Source. Like the METIS disk source,
+// log parsing is inherently sequential, so a producer goroutine scans
+// the frames and hands copied batches of consecutive records to worker
+// goroutines.
+func (r *ReplaySource) ForEachParallel(threads int, fn stream.ParallelVisitor) error {
+	if threads <= 1 {
+		return r.ForEach(func(u int32, vwgt int32, adj []int32, ewgt []int32) {
+			fn(0, u, vwgt, adj, ewgt)
+		})
+	}
+	type rec struct {
+		u, w int32
+		adj  []int32
+		ew   []int32
+	}
+	const batchRecords = 1024
+	ch := make(chan []rec, 2*threads)
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for batch := range ch {
+				for i := range batch {
+					fn(worker, batch[i].u, batch[i].w, batch[i].adj, batch[i].ew)
+				}
+			}
+		}(w)
+	}
+	seen := r.newSeen() // the producer filters, so workers never share a node
+	cur := make([]rec, 0, batchRecords)
+	err := replayLog(r.path, 0, r.nodes, func(u, w int32, adj, ew []int32, _ int32) error {
+		if seen(u) {
+			return nil
+		}
+		// replayLog already hands out per-record copies; keep them.
+		cur = append(cur, rec{u: u, w: w, adj: adj, ew: ew})
+		if len(cur) >= batchRecords {
+			ch <- cur
+			cur = make([]rec, 0, batchRecords)
+		}
+		return nil
+	})
+	if len(cur) > 0 {
+		ch <- cur
+	}
+	close(ch)
+	wg.Wait()
+	return err
+}
+
+// readSpec loads and validates a session directory's spec envelope.
+func readSpec(dir string) (specEnvelope, error) {
+	var env specEnvelope
+	sb, err := os.ReadFile(filepath.Join(dir, specName))
+	if err != nil {
+		return env, err
+	}
+	if err := json.Unmarshal(sb, &env); err != nil {
+		return env, fmt.Errorf("corrupt spec: %w", err)
+	}
+	return env, nil
+}
+
+var _ oms.Source = (*ReplaySource)(nil)
+var _ service.Store = (*Store)(nil)

@@ -14,10 +14,7 @@ import (
 // incompatible format changes.
 var snapMagic = [8]byte{'O', 'M', 'S', 'S', 'N', 'A', 'P', '1'}
 
-const (
-	snapName = "snap"
-	snapTmp  = "snap.tmp"
-)
+const snapName = "snap"
 
 // Snapshot atomically replaces the session's checkpoint with one
 // covering every record appended so far. The log is forced to stable
@@ -103,27 +100,7 @@ func writeSnapshot(dir string, count int64, st oms.SessionState) error {
 	out = append(out, snapMagic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	out = append(out, body...)
-
-	tmp := filepath.Join(dir, snapTmp)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(out); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
-		return err
-	}
-	return syncDir(dir)
+	return writeAtomic(dir, snapName, out)
 }
 
 // readSnapshot loads the session's checkpoint; a missing file returns

@@ -132,13 +132,9 @@ func (st *Store) Recover() ([]service.RecoveredSession, error) {
 func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
 	var rec service.RecoveredSession
 	dir := filepath.Join(st.dir, id)
-	sb, err := os.ReadFile(filepath.Join(dir, specName))
+	env, err := readSpec(dir)
 	if err != nil {
 		return rec, err
-	}
-	var env specEnvelope
-	if err := json.Unmarshal(sb, &env); err != nil {
-		return rec, fmt.Errorf("corrupt spec: %w", err)
 	}
 
 	// No O_CREATE: a session directory without its log (a failed create
@@ -192,6 +188,7 @@ func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
 	rec.Spec = env.Spec
 	rec.Sealed = sealed
 	rec.Log = l
+	rec.Versions = recoverVersions(dir)
 	rec.Replay = func(fn func(u, w int32, adj, ew []int32, block int32) error) error {
 		return replayLog(logPath, skip, nodes, fn)
 	}

@@ -355,6 +355,26 @@ func (s *Session) Restream(passes int) (*Result, error) {
 	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
 }
 
+// RestreamFrom improves the session's current assignment with extra
+// retract-and-reassign passes over an external recorded source — the
+// same stream the session ingested, replayed from outside (the omsd
+// refinement service replays a session's write-ahead log through here).
+// Unlike Restream it requires neither Record nor a prior Finish: the
+// canonical caller is a fresh engine rebuilt from the finished session's
+// exported state, which is never itself finished. Passes run with the
+// session's configured Options.Threads workers; one thread (the default)
+// keeps them sequential and deterministic.
+func (s *Session) RestreamFrom(src Source, passes int) (*Result, error) {
+	if passes < 0 {
+		return nil, fmt.Errorf("oms: negative restream passes %d", passes)
+	}
+	parts, err := s.o.RestreamPassesParallel(src, passes, s.o.Workers())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
+}
+
 // SessionState is a point-in-time checkpoint of a session's mutable
 // streaming state: the engine's per-tree-block loads and per-node
 // assignments plus the session's edge-budget progress. It is exactly
