@@ -32,11 +32,12 @@ import (
 
 func main() {
 	var (
-		oldPath    = flag.String("old", "BENCH_oms.json", "committed baseline snapshot")
-		newPath    = flag.String("new", "", "freshly measured snapshot")
-		cutTol     = flag.Float64("cut-tol", 0.05, "allowed relative edge-cut worsening")
-		speedTol   = flag.Float64("speed-tol", 0.20, "allowed relative nodes/s drop")
-		minRuntime = flag.Duration("min-runtime", time.Millisecond, "baseline runtime below which throughput is informational only")
+		oldPath        = flag.String("old", "BENCH_oms.json", "committed baseline snapshot")
+		newPath        = flag.String("new", "", "freshly measured snapshot")
+		cutTol         = flag.Float64("cut-tol", 0.05, "allowed relative edge-cut worsening")
+		speedTol       = flag.Float64("speed-tol", 0.20, "allowed relative nodes/s drop")
+		minRuntime     = flag.Duration("min-runtime", time.Millisecond, "baseline runtime below which throughput is informational only")
+		adaptiveCutTol = flag.Float64("adaptive-cut-tol", 0.10, "allowed adaptive-over-declared edge-cut overshoot (within one snapshot)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -112,6 +113,50 @@ func main() {
 			g.compare(o.Instance, fmt.Sprintf("p=%d", o.Passes), o.EdgeCut, n.EdgeCut, 0, 0, 0)
 		}
 		g.checkRefineInvariant(newSnap.RefineResults)
+	}
+
+	if len(oldSnap.AdaptiveResults) > 0 || len(newSnap.AdaptiveResults) > 0 {
+		fmt.Printf("\n%-16s %12s %12s %7s %10s %11s  %s\n",
+			"instance", "cut(decl)", "cut(adpt)", "ratio", "imb(adpt)", "balance_ok", "status")
+		newAdaptive := make(map[string]bench.AdaptivePerf, len(newSnap.AdaptiveResults))
+		for _, r := range newSnap.AdaptiveResults {
+			newAdaptive[r.Instance] = r
+		}
+		for _, o := range oldSnap.AdaptiveResults {
+			n, ok := newAdaptive[o.Instance]
+			if !ok {
+				g.missing(o.Instance + "/adaptive")
+				continue
+			}
+			// Across snapshots the adaptive cut gates like every other
+			// quality row.
+			if float64(n.AdaptiveCut) > float64(o.AdaptiveCut)*(1+g.cutTol)+16 {
+				g.failures = append(g.failures, fmt.Sprintf("%s adaptive: edge cut %d -> %d (tol %.0f%%)",
+					o.Instance, o.AdaptiveCut, n.AdaptiveCut, g.cutTol*100))
+			}
+		}
+		// Within the fresh snapshot the acceptance envelope holds
+		// unconditionally: adaptive within adaptive-cut-tol of the
+		// declared twin, and balanced within twice the epsilon slack.
+		for _, r := range newSnap.AdaptiveResults {
+			status := "ok"
+			if float64(r.AdaptiveCut) > float64(r.DeclaredCut)*(1+*adaptiveCutTol)+16 {
+				status = "FAIL cut"
+				g.failures = append(g.failures, fmt.Sprintf("%s adaptive: cut %d beyond %.0f%% of declared %d",
+					r.Instance, r.AdaptiveCut, *adaptiveCutTol*100, r.DeclaredCut))
+			}
+			if !r.BalanceOK {
+				if status == "ok" {
+					status = "FAIL balance"
+				} else {
+					status += "+balance"
+				}
+				g.failures = append(g.failures, fmt.Sprintf("%s adaptive: imbalance %.4f outside the 2x-epsilon envelope",
+					r.Instance, r.AdaptiveImb))
+			}
+			fmt.Printf("%-16s %12d %12d %6.2fx %10.4f %11v  %s\n",
+				r.Instance, r.DeclaredCut, r.AdaptiveCut, r.CutRatio, r.AdaptiveImb, r.BalanceOK, status)
+		}
 	}
 
 	if len(g.failures) > 0 {

@@ -28,6 +28,15 @@
 // group-committed to the WAL as one frame each — the paper's
 // shared-memory parallel streaming (§3.4) from the wire down.
 //
+// Sessions may be open-ended: create with "n": 0 (or "adaptive": true,
+// optionally alongside rough hints in n/m/total weights) and the daemon
+// estimates the stream's global stats online, re-adapting Fennel's
+// alpha and the per-block capacity targets as the estimates ratchet.
+// GET /v1/sessions/{id} reports the observed and estimated totals;
+// finish reconciles against the true totals — with -data-dir it also
+// runs one reconcile pass over the sealed WAL, restoring the declared-
+// stats balance guarantee — and reports the projection error.
+//
 // Finished sessions can be refined in the background: POST
 // /v1/sessions/{id}/refine replays the session's WAL-recorded stream
 // through extra restream passes (the paper's remapping extension) on

@@ -1,0 +1,73 @@
+// Adaptive quickstart: partition a stream whose size nobody declared.
+// An open-ended (adaptive) session estimates n, m, and the total
+// weights online, re-adapting Fennel's alpha and the per-block
+// capacities as the projections ratchet; Finish reconciles against the
+// true totals and — because this session retains its stream — repairs
+// the balance with one reconcile pass at exact capacities.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oms"
+)
+
+func main() {
+	fmt.Println("generating graph...")
+	g := oms.GenDelaunay(200_000, 42)
+	fmt.Printf("n=%d m=%d (the session will not be told)\n\n", g.NumNodes(), g.NumEdges())
+
+	// The declared-stats reference: everything known up front.
+	decl, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{
+			N: g.NumNodes(), M: g.NumEdges(),
+			TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+		},
+		K: 256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	push := func(s *oms.Session) {
+		for u := int32(0); u < g.NumNodes(); u++ {
+			if _, err := s.Push(u, 1, g.Neighbors(u), nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	push(decl)
+	declRes, err := decl.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("declared: cut=%-8d imbalance=%.4f\n", declRes.EdgeCut(g), declRes.Imbalance(g))
+
+	// The adaptive session: no stats at all. Record retains the stream,
+	// so it runs with the optimistic retained headroom and Finish ends
+	// with the reconcile pass.
+	adpt, err := oms.NewSession(oms.SessionConfig{K: 256, Adaptive: true, Record: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	push(adpt)
+	mid, _ := adpt.AdaptiveInfo()
+	fmt.Printf("\nbefore finish: observed n=%d, projected n=%d (revision %d)\n",
+		mid.Observed.N, mid.Estimated.N, mid.Revision)
+
+	adptRes, err := adpt.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := adpt.AdaptiveInfo()
+	fmt.Printf("reconciled:    true n=%d m=%d, projection overshot n by %.1f%%\n",
+		info.Observed.N, info.Observed.M, info.EstimateErrN*100)
+	fmt.Printf("adaptive: cut=%-8d imbalance=%.4f  time=%v\n",
+		adptRes.EdgeCut(g), adptRes.Imbalance(g), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("cut ratio adaptive/declared: %.3f\n",
+		float64(adptRes.EdgeCut(g))/float64(declRes.EdgeCut(g)))
+}

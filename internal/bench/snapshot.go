@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"syscall"
 	"time"
@@ -35,9 +36,16 @@ type PerfSnapshot struct {
 	// session's recorded stream), swept over cumulative pass counts.
 	// The passes=0 row is the one-pass baseline the refined rows must
 	// never be worse than — benchgate holds that invariant.
-	RefineResults []RefinePerf   `json:"refine_results,omitempty"`
-	PeakRSS       int64          `json:"peak_rss_bytes"` // of the whole bench process
-	Totals        map[string]any `json:"totals"`
+	RefineResults []RefinePerf `json:"refine_results,omitempty"`
+	// AdaptiveResults is the open-ended scenario: the same stream once
+	// through a declared-stats session and once through an adaptive
+	// session that never learns n or m until its stream seals (the omsd
+	// retained shape: optimistic projections plus the finish-time
+	// reconcile pass). benchgate holds the acceptance envelope — cut
+	// within 10% of declared, balance within twice the epsilon slack.
+	AdaptiveResults []AdaptivePerf `json:"adaptive_results,omitempty"`
+	PeakRSS         int64          `json:"peak_rss_bytes"` // of the whole bench process
+	Totals          map[string]any `json:"totals"`
 }
 
 // PerfResult is one snapshot row.
@@ -77,6 +85,30 @@ type RefinePerf struct {
 	// Improvement is 1 - cut/cut0: the fraction of the one-pass cut the
 	// refinement removed so far.
 	Improvement float64 `json:"improvement"`
+}
+
+// AdaptivePerf is one adaptive-vs-declared scenario row.
+type AdaptivePerf struct {
+	Instance string `json:"instance"`
+	N        int32  `json:"n"`
+	// DeclaredCut / DeclaredImb come from the declared-stats session,
+	// AdaptiveCut / AdaptiveImb from the open-ended one (after its
+	// finish-time reconcile pass).
+	DeclaredCut int64   `json:"declared_cut"`
+	AdaptiveCut int64   `json:"adaptive_cut"`
+	CutRatio    float64 `json:"cut_ratio"`
+	DeclaredImb float64 `json:"declared_imbalance"`
+	AdaptiveImb float64 `json:"adaptive_imbalance"`
+	// BalanceOK is the hard acceptance check: every block load within
+	// ceil((1+2*eps) * W/k) + 1 of the true totals — twice the declared
+	// epsilon slack, rounding included.
+	BalanceOK bool `json:"balance_ok"`
+	// Revisions counts how often the projection ratcheted.
+	Revisions int64 `json:"stats_revisions"`
+	// EstimateErrN is the relative projection overshoot of the node
+	// count at seal time.
+	EstimateErrN float64 `json:"estimate_err_n"`
+	RuntimeSec   float64 `json:"runtime_sec"`
 }
 
 // snapshotAlgs are the algorithms the perf snapshot tracks: the paper's
@@ -177,6 +209,11 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 		return nil, err
 	}
 	snap.RefineResults = refineRows
+	adaptiveRows, err := runAdaptiveScenario(cfg, instances, scale, k, progress)
+	if err != nil {
+		return nil, err
+	}
+	snap.AdaptiveResults = adaptiveRows
 	snap.PeakRSS = peakRSSBytes()
 	snap.Totals = map[string]any{
 		"wall_sec":  time.Since(start).Seconds(),
@@ -366,6 +403,109 @@ func runRefineScenario(cfg Config, instances []Instance, scale float64, k int32,
 				fmt.Fprintf(progress, "refine %s passes=%d: cut %d (%.1f%% better), %.3fs\n",
 					ins.Name, p, cut, row.Improvement*100, secs)
 			}
+		}
+	}
+	return rows, nil
+}
+
+// runAdaptiveScenario measures open-ended sessions against their
+// declared-stats twins: the identical stream in natural order, k fixed,
+// sequential and seeded, so both cut columns are deterministic. The
+// adaptive session is the retained shape omsd serves (Record here, WAL
+// in the daemon): optimistic projections while streaming, one
+// reconcile pass at exact totals inside Finish. The runtime column
+// covers the adaptive push + finish (including that pass).
+func runAdaptiveScenario(cfg Config, instances []Instance, scale float64, k int32, progress io.Writer) ([]AdaptivePerf, error) {
+	const eps = 0.03
+	var rows []AdaptivePerf
+	for _, ins := range instances {
+		g := ins.BuildCached(scale)
+		n := g.NumNodes()
+
+		push := func(s *oms.Session) error {
+			for u := int32(0); u < n; u++ {
+				if _, err := s.Push(u, g.NodeWeight(u), g.Neighbors(u), g.EdgeWeights(u)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		decl, err := oms.NewSession(oms.SessionConfig{
+			Stats: oms.StreamStats{
+				N: n, M: g.NumEdges(),
+				TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+			},
+			K:       k,
+			Options: oms.Options{Epsilon: eps, Seed: cfg.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := push(decl); err != nil {
+			return nil, err
+		}
+		declRes, err := decl.Finish()
+		if err != nil {
+			return nil, err
+		}
+
+		adpt, err := oms.NewSession(oms.SessionConfig{
+			K:       k,
+			Options: oms.Options{Epsilon: eps, Seed: cfg.Seed},
+			// Record = the retained adaptive shape: optimistic headroom
+			// plus the finish-time reconcile pass.
+			Adaptive: true,
+			Record:   true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := push(adpt); err != nil {
+			return nil, err
+		}
+		adptRes, err := adpt.Finish()
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(t0).Seconds()
+
+		declCut := metrics.EdgeCut(g, declRes.Parts)
+		adptCut := metrics.EdgeCut(g, adptRes.Parts)
+		row := AdaptivePerf{
+			Instance:    ins.Name,
+			N:           n,
+			DeclaredCut: declCut,
+			AdaptiveCut: adptCut,
+			DeclaredImb: metrics.Imbalance(g, declRes.Parts, k),
+			AdaptiveImb: metrics.Imbalance(g, adptRes.Parts, k),
+			RuntimeSec:  secs,
+		}
+		if declCut > 0 {
+			row.CutRatio = float64(adptCut) / float64(declCut)
+		}
+		// The balance envelope: twice the epsilon slack against the
+		// true totals, integer rounding included.
+		loads := make([]int64, k)
+		for u := int32(0); u < n; u++ {
+			loads[adptRes.Parts[u]] += int64(g.NodeWeight(u))
+		}
+		bound := int64(math.Ceil((1+2*eps)*float64(g.TotalNodeWeight())/float64(k))) + 1
+		row.BalanceOK = true
+		for _, l := range loads {
+			if l > bound {
+				row.BalanceOK = false
+			}
+		}
+		if info, ok := adpt.AdaptiveInfo(); ok {
+			row.Revisions = info.Revision
+			row.EstimateErrN = info.EstimateErrN
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "adaptive %s: cut %d vs declared %d (%.3fx), imb %.4f, balance_ok=%v\n",
+				ins.Name, adptCut, declCut, row.CutRatio, row.AdaptiveImb, row.BalanceOK)
 		}
 	}
 	return rows, nil

@@ -70,6 +70,18 @@ type Config struct {
 	// sequential, deterministic driver (the zero value is sequential on
 	// purpose: parallelism is opt-in as in the paper's experiments).
 	Threads int
+	// Adaptive opens an open-ended run: the stats passed to New become
+	// optional hints, an online estimator projects the final totals from
+	// what actually arrives, and alpha plus the per-tree-block
+	// capacities re-normalize as the projections ratchet (callers drive
+	// this via ObserveAdaptive). Finish-time reconciliation is
+	// Reconcile.
+	Adaptive bool
+	// AdaptiveHeadroom is the projection overshoot of the adaptive
+	// estimator; <= 0 selects onepass.DefaultHeadroom. The documented
+	// imbalance bound relative to the final observed totals is
+	// (1+Epsilon)(1+AdaptiveHeadroom) - 1, plus integer rounding.
+	AdaptiveHeadroom float64
 }
 
 // OMS is one streaming run's state: the multi-section tree, one load and
@@ -79,13 +91,24 @@ type OMS struct {
 	Tree *hierarchy.Tree
 	cfg  Config
 
-	lmax      int64
+	// lmax is atomic because adaptive runs ratchet it mid-stream while
+	// monitoring readers poll LmaxValue; declared runs set it once.
+	lmax      atomic.Int64
 	loads     []int64   // per tree node, atomically updated
 	caps      []int64   // t(v) * Lmax (§3.3 heterogeneous capacities)
 	alphas    []float64 // per tree node: adapted alpha/sqrt(t(v))
 	gamma     float64
 	hashDepth int32 // tree depths >= hashDepth score children by hashing
 	parts     []int32
+
+	// est estimates the stream stats of an open-ended run online; nil
+	// for declared runs. Mutations (ObserveAdaptive, ImportEstimator,
+	// Reconcile) are serialized with assignment by the caller.
+	est *onepass.Estimator
+	// coverage is one past the highest node or neighbor id observed in
+	// an adaptive run (<= len(parts), which over-allocates to amortize
+	// growth); serialized with assignment like est.
+	coverage int32
 
 	// scratch holds one levelScratch per configured worker: indexed
 	// access for the parallel drivers (Run, AssignNodeOn), where the
@@ -119,25 +142,25 @@ func New(tree *hierarchy.Tree, st stream.Stats, cfg Config) (*OMS, error) {
 		Tree:  tree,
 		cfg:   cfg,
 		gamma: gamma,
-		lmax:  onepass.Lmax(st.TotalNodeWeight, tree.K, cfg.Epsilon),
 		parts: make([]int32, st.N),
 	}
 	n := tree.NumNodes()
 	o.loads = make([]int64, n)
 	o.caps = make([]int64, n)
 	o.alphas = make([]float64, n)
-	alphaRoot := onepass.Alpha(tree.K, st.TotalEdgeWeight, st.N)
-	for v := int32(0); v < n; v++ {
-		t := tree.LeafCount(v)
-		o.caps[v] = int64(t) * o.lmax
-		if cfg.VanillaAlpha {
-			o.alphas[v] = alphaRoot
-		} else {
-			// §3.2/§3.3: a block covering t final blocks is scored with
-			// alpha / sqrt(t); for homogeneous hierarchies this equals
-			// the per-layer alpha_i = alpha / sqrt(prod_{r<i} a_r).
-			o.alphas[v] = alphaRoot / math.Sqrt(float64(t))
-		}
+	if cfg.Adaptive {
+		// st carries optional hints; the estimator floors its
+		// projections at them and the initial thresholds derive from
+		// the initial projection (zero without hints — the first
+		// observation ratchets before the first assignment).
+		o.est = onepass.NewEstimator(st, cfg.AdaptiveHeadroom)
+		o.readapt()
+	} else {
+		o.lmax.Store(onepass.Lmax(st.TotalNodeWeight, tree.K, cfg.Epsilon))
+		// §3.2/§3.3: a block covering t final blocks is scored with
+		// alpha / sqrt(t); for homogeneous hierarchies this equals the
+		// per-layer alpha_i = alpha / sqrt(prod_{r<i} a_r).
+		o.applyStats(st)
 	}
 	// Decisions at depth d partition one layer-(MaxDepth-d) subproblem;
 	// the bottom HashLayers layers hash (depth >= MaxDepth - HashLayers).
@@ -180,9 +203,6 @@ func (o *OMS) Assignments() []int32 { return o.parts }
 
 // K returns the number of final blocks.
 func (o *OMS) K() int32 { return o.Tree.K }
-
-// LmaxValue returns the leaf balance threshold.
-func (o *OMS) LmaxValue() int64 { return o.lmax }
 
 // TreeLoads returns a snapshot of the per-tree-block loads (for tests and
 // diagnostics).
@@ -246,9 +266,6 @@ func (o *OMS) ForceAssign(u int32, vwgt int32, leaf int32) {
 	}
 	atomic.StoreInt32(&o.parts[u], leaf)
 }
-
-// AssignmentOf returns the block of node u, or -1 while u is unassigned.
-func (o *OMS) AssignmentOf(u int32) int32 { return atomic.LoadInt32(&o.parts[u]) }
 
 // Run performs the single streaming pass (Algorithm 1) and returns the
 // partition vector. With cfg.Threads > 1 the node loop is parallelized in

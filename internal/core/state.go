@@ -17,7 +17,10 @@ func (o *OMS) ExportState() (loads []int64, parts []int32) {
 	for i := range o.loads {
 		loads[i] = atomic.LoadInt64(&o.loads[i])
 	}
-	parts = append([]int32(nil), o.parts...)
+	// Adaptive runs export only the covered prefix: the growth slack
+	// past it is all -1 by construction, and trimming keeps exports
+	// independent of the amortization schedule.
+	parts = append([]int32(nil), o.parts[:o.Coverage()]...)
 	return loads, parts
 }
 
@@ -30,7 +33,14 @@ func (o *OMS) ImportState(loads []int64, parts []int32) error {
 	if len(loads) != len(o.loads) {
 		return fmt.Errorf("core: import has %d tree-block loads, this tree has %d", len(loads), len(o.loads))
 	}
-	if len(parts) != len(o.parts) {
+	if o.est != nil {
+		// Adaptive runs size the assignment vector by what has arrived;
+		// grow to the checkpoint's coverage instead of comparing against
+		// a declaration.
+		o.growParts(int32(len(parts)))
+		o.parts = o.parts[:len(parts)]
+		o.coverage = int32(len(parts))
+	} else if len(parts) != len(o.parts) {
 		return fmt.Errorf("core: import has %d node assignments, this stream declares %d", len(parts), len(o.parts))
 	}
 	k := o.Tree.K

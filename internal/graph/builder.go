@@ -64,16 +64,29 @@ func (b *Builder) AddWeightedEdge(u, v, w int32) {
 	b.ws = append(b.ws, w)
 }
 
-// SetNodeWeight assigns c(u) = w (default 1).
+// SetNodeWeight assigns c(u) = w (default 1). The weight vector grows
+// with the largest node actually touched, not the declared n, so a
+// reader fed a short file with an enormous header cannot be tricked
+// into an O(n) allocation before the body disproves the claim; Finish
+// pads the tail.
 func (b *Builder) SetNodeWeight(u, w int32) {
 	if w < 0 {
 		panic("graph: negative node weight")
 	}
-	if b.vwgt == nil {
-		b.vwgt = make([]int32, b.n)
-		for i := range b.vwgt {
-			b.vwgt[i] = 1
+	if u < 0 || u >= b.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, b.n))
+	}
+	if int32(len(b.vwgt)) <= u {
+		grown := max(2*len(b.vwgt), int(u)+1, 64)
+		if grown > int(b.n) {
+			grown = int(b.n)
 		}
+		fresh := make([]int32, grown)
+		copy(fresh, b.vwgt)
+		for i := len(b.vwgt); i < grown; i++ {
+			fresh[i] = 1
+		}
+		b.vwgt = fresh
 	}
 	b.vwgt[u] = w
 }
@@ -131,6 +144,15 @@ func (b *Builder) Finish() *Graph {
 		}
 	}
 	outXadj[n] = write
+	if b.vwgt != nil && int32(len(b.vwgt)) != n {
+		// Pad the lazily grown weight vector to its declared length.
+		padded := make([]int32, n)
+		copy(padded, b.vwgt)
+		for i := len(b.vwgt); i < int(n); i++ {
+			padded[i] = 1
+		}
+		b.vwgt = padded
+	}
 	g := &Graph{
 		Xadj:   outXadj,
 		Adjncy: adj[:write:write],

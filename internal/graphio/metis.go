@@ -80,7 +80,11 @@ func ReadMetis(r io.Reader) (*graph.Graph, error) {
 	}
 	h := sc.Header()
 	b := graph.NewBuilder(h.N)
-	b.Reserve(int(h.M))
+	// The reserve is a performance hint, so cap it: a header may claim
+	// any edge count, and pre-allocating gigabytes on the header's word
+	// alone would let a short malformed file exhaust memory before the
+	// body disproves it (the builder grows by append past the hint).
+	b.Reserve(int(min(h.M, 1<<20)))
 	u := int32(0)
 	for sc.Next() {
 		if h.HasNodeWeights {

@@ -91,6 +91,11 @@ func StateFromAssignment(cfg oms.SessionConfig, src oms.Source, parts []int32) (
 	if err != nil {
 		return oms.SessionState{}, fmt.Errorf("refine: rebuild state from assignment: %w", err)
 	}
+	// Adaptive engines observed the whole stream just now but still
+	// carry the headroom-inflated projection; reconcile so the
+	// continuation restreams under the exact totals, like the session
+	// it continues from did after Finish (no-op for declared configs).
+	eng.ReconcileStats()
 	return eng.ExportState(), nil
 }
 

@@ -152,3 +152,52 @@ func TestRestreamRejectsBadPasses(t *testing.T) {
 		t.Fatal("0 passes accepted")
 	}
 }
+
+// TestStateFromAssignmentReconcilesAdaptive: a continuation rebuild on
+// an adaptive config must come back with the projection reconciled to
+// the exact observed totals — otherwise the continuation restreams
+// under headroom-inflated capacities and can publish versions outside
+// the balance guarantee the session's own finish satisfied.
+func TestStateFromAssignmentReconcilesAdaptive(t *testing.T) {
+	g := oms.GenDelaunay(1500, 3)
+	cfg := oms.SessionConfig{K: 8, Adaptive: true, AdaptiveHeadroom: 2, Record: true}
+	s, err := oms.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < g.NumNodes(); u++ {
+		if _, err := s.Push(u, 1, g.Neighbors(u), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StateFromAssignment(cfg, s.Source(), res.Parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Estimator == nil {
+		t.Fatal("adaptive rebuild exports no estimator state")
+	}
+	if st.Estimator.Est.N != g.NumNodes() || st.Estimator.Est.TotalNodeWeight != int64(g.NumNodes()) {
+		t.Fatalf("rebuild projection %+v not reconciled to the true totals (n=%d)", st.Estimator.Est, g.NumNodes())
+	}
+	// A replica restored from it carries the exact declared-equivalent
+	// threshold, so continuation passes refine under exact capacities
+	// (replicas never record, exactly as Restream builds them).
+	rcfg := cfg
+	rcfg.Record = false
+	replica, err := oms.NewSession(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(float64(g.NumNodes())*1.03/8) + 1 // ceil((1+eps) n/k)
+	if replica.Lmax() != want {
+		t.Fatalf("replica lmax %d, want reconciled %d", replica.Lmax(), want)
+	}
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// conformanceCase is one row of the endpoint × error-class table: a
+// request against a prepared session state, the status code the API
+// promises, and the machine-readable error code of the body.
+type conformanceCase struct {
+	name       string
+	method     string
+	route      string // pattern from Routes(), for coverage accounting
+	url        func(f *conformanceFixture) string
+	body       string
+	wantStatus int
+	wantCode   string // "" for success rows (no error body)
+}
+
+// conformanceFixture holds the prepared session states every row picks
+// from.
+type conformanceFixture struct {
+	srvURL     string
+	liveID     string // declared n=4 m=1, nothing pushed
+	finishedID string // declared, sealed
+	deletedID  string // was live, deleted (tombstoned)
+}
+
+func newConformanceFixture(t *testing.T) *conformanceFixture {
+	t.Helper()
+	mgr, srv := newTestServer(t, Config{})
+	f := &conformanceFixture{srvURL: srv.URL}
+
+	mk := func(spec CreateSpec) string {
+		s, err := mgr.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.ID
+	}
+	f.liveID = mk(CreateSpec{N: 4, M: 1, K: 2})
+	f.finishedID = mk(CreateSpec{N: 4, M: 3, K: 2})
+	fs, err := mgr.Get(f.finishedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Finish(context.Background(), mgr.Pool()); err != nil {
+		t.Fatal(err)
+	}
+	f.deletedID = mk(CreateSpec{N: 4, M: 3, K: 2})
+	if err := mgr.Delete(f.deletedID); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// conformanceTable enumerates every route with at least one row per
+// reachable error class. The TestHTTPConformance coverage check fails
+// if a registered route has no row here.
+func conformanceTable() []conformanceCase {
+	id := func(path string) func(*conformanceFixture) string {
+		return func(f *conformanceFixture) string { return f.srvURL + path }
+	}
+	withID := func(format string, pick func(*conformanceFixture) string) func(*conformanceFixture) string {
+		return func(f *conformanceFixture) string { return f.srvURL + fmt.Sprintf(format, pick(f)) }
+	}
+	live := func(f *conformanceFixture) string { return f.liveID }
+	finished := func(f *conformanceFixture) string { return f.finishedID }
+	deleted := func(f *conformanceFixture) string { return f.deletedID }
+	unknown := func(f *conformanceFixture) string { return "s0-deadbeef" }
+
+	node99 := `{"u":99,"adj":[]}` + "\n"
+	overBudget := `{"u":0,"adj":[1,2,3]}` + "\n" // 3 entries > 2m = 2
+
+	return []conformanceCase{
+		// POST /v1/sessions — create-time rejections.
+		{"create/bad-json", "POST", "POST /v1/sessions", id("/v1/sessions"), "{nope", http.StatusBadRequest, "bad_request"},
+		{"create/no-target", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4}`, http.StatusBadRequest, "bad_request"},
+		{"create/k-and-topology", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"topology":"2:2"}`, http.StatusBadRequest, "bad_request"},
+		{"create/bad-scorer", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"scorer":"quantum"}`, http.StatusBadRequest, "bad_request"},
+		{"create/ok", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"m":3,"k":2}`, http.StatusCreated, ""},
+
+		// GET /v1/sessions — listing has no error classes.
+		{"list/ok", "GET", "GET /v1/sessions", id("/v1/sessions"), "", http.StatusOK, ""},
+
+		// GET /v1/sessions/{id} — dead vs unknown ids.
+		{"status/unknown", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"status/deleted", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone"},
+		{"status/ok", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", live), "", http.StatusOK, ""},
+
+		// POST /v1/sessions/{id}/nodes — every push failure class.
+		{"nodes/unknown", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", unknown), node99, http.StatusNotFound, "session_not_found"},
+		{"nodes/deleted", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", deleted), node99, http.StatusGone, "session_gone"},
+		{"nodes/finished", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", finished), node99, http.StatusConflict, "session_finished"},
+		{"nodes/out-of-range", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnprocessableEntity, "node_out_of_range"},
+		{"nodes/over-budget", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded"},
+
+		// POST /v1/sessions/{id}/batch — the batch is atomic, so the
+		// same classes apply to the whole group.
+		{"batch/unknown", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", unknown), node99, http.StatusNotFound, "session_not_found"},
+		{"batch/deleted", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", deleted), node99, http.StatusGone, "session_gone"},
+		{"batch/finished", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", finished), node99, http.StatusConflict, "session_finished"},
+		{"batch/out-of-range", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnprocessableEntity, "node_out_of_range"},
+		{"batch/over-budget", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded"},
+
+		// POST /v1/sessions/{id}/finish.
+		{"finish/unknown", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"finish/deleted", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", deleted), "", http.StatusGone, "session_gone"},
+
+		// POST /v1/sessions/{id}/refine.
+		{"refine/unknown", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"refine/deleted", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", deleted), "", http.StatusGone, "session_gone"},
+		{"refine/not-finished", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", live), "", http.StatusConflict, "session_not_finished"},
+		{"refine/no-stream", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusConflict, "stream_not_retained"},
+		{"refine/bad-json", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "{nope", http.StatusBadRequest, "bad_request"},
+
+		// GET /v1/sessions/{id}/refine.
+		{"refine-status/unknown", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"refine-status/never-refined", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusNotFound, "refine_not_found"},
+
+		// GET /v1/sessions/{id}/result.
+		{"result/unknown", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"result/not-finished", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", live), "", http.StatusConflict, "session_not_finished"},
+		{"result/no-such-version", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=99", finished), "", http.StatusNotFound, "version_not_found"},
+		{"result/bad-selector", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=soon", finished), "", http.StatusBadRequest, "bad_request"},
+		{"result/ok", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", finished), "", http.StatusOK, ""},
+
+		// DELETE /v1/sessions/{id}.
+		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found"},
+		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone"},
+
+		// Operational endpoints.
+		{"healthz/ok", "GET", "GET /healthz", id("/healthz"), "", http.StatusOK, ""},
+		{"metrics/ok", "GET", "GET /metrics", id("/metrics"), "", http.StatusOK, ""},
+	}
+}
+
+// TestHTTPConformance replays the whole table and then verifies it
+// exercised every registered route, so new endpoints cannot ship
+// without conformance rows.
+func TestHTTPConformance(t *testing.T) {
+	f := newConformanceFixture(t)
+	covered := map[string]bool{}
+
+	for _, tc := range conformanceTable() {
+		t.Run(tc.name, func(t *testing.T) {
+			covered[tc.route] = true
+			var body io.Reader
+			if tc.body != "" {
+				body = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, tc.url(f), body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantCode == "" {
+				return
+			}
+			// Error bodies share one machine-readable shape.
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("error content type %q", ct)
+			}
+			var eb struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(raw, &eb); err != nil {
+				t.Fatalf("error body %q does not parse: %v", raw, err)
+			}
+			if eb.Error == "" {
+				t.Fatalf("error body %q has no error message", raw)
+			}
+			if eb.Code != tc.wantCode {
+				t.Fatalf("error code %q, want %q (body %s)", eb.Code, tc.wantCode, raw)
+			}
+		})
+	}
+
+	for _, rt := range Routes() {
+		key := rt.Method + " " + rt.Pattern
+		if !covered[key] {
+			t.Errorf("registered route %s has no conformance case", key)
+		}
+	}
+}

@@ -39,6 +39,13 @@ func (l *faultLog) AppendBatch(nodes []PushNode, blocks []int32) error {
 	return nil
 }
 
+func (l *faultLog) AppendStats(st oms.EstimatorState) error {
+	if l.failAppend {
+		return errDisk
+	}
+	return nil
+}
+
 func (l *faultLog) Flush() error {
 	if l.failFlush {
 		return errDisk

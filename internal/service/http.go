@@ -52,7 +52,42 @@ const maxNodeLine = 16 << 20
 //	GET    /metrics                  counter registry, Prometheus text format
 func NewServer(mgr *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	for _, rt := range Routes() {
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler(mgr))
+	}
+	return mux
+}
+
+// Route is one registered API endpoint. The table is exported so the
+// conformance suite can assert it exercises every route the server
+// mounts — a route added here without a conformance row fails the
+// test, not just review.
+type Route struct {
+	Method  string
+	Pattern string
+	handler func(*Manager) http.HandlerFunc
+}
+
+// Routes returns the full endpoint table NewServer mounts.
+func Routes() []Route {
+	return []Route{
+		{"POST", "/v1/sessions", handleCreate},
+		{"GET", "/v1/sessions", handleList},
+		{"GET", "/v1/sessions/{id}", handleStatus},
+		{"POST", "/v1/sessions/{id}/nodes", handleNodes},
+		{"POST", "/v1/sessions/{id}/batch", handleBatch},
+		{"POST", "/v1/sessions/{id}/finish", handleFinish},
+		{"POST", "/v1/sessions/{id}/refine", handleRefine},
+		{"GET", "/v1/sessions/{id}/refine", handleRefineStatus},
+		{"GET", "/v1/sessions/{id}/result", handleResult},
+		{"DELETE", "/v1/sessions/{id}", handleDelete},
+		{"GET", "/healthz", handleHealthz},
+		{"GET", "/metrics", handleMetrics},
+	}
+}
+
+func handleCreate(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		var spec CreateSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad create body: %w", err))
@@ -63,14 +98,21 @@ func NewServer(mgr *Manager) http.Handler {
 			writeError(w, statusOf(err), err)
 			return
 		}
+		// s.spec is the normalized spec (n: 0 became adaptive).
 		writeJSON(w, http.StatusCreated, map[string]any{
-			"id": s.ID, "k": s.K(), "n": spec.N, "lmax": s.Lmax(),
+			"id": s.ID, "k": s.K(), "n": spec.N, "adaptive": s.spec.Adaptive, "lmax": s.Lmax(),
 		})
-	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleList(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, mgr.List())
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleStatus(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -78,28 +120,56 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		// assigned tells a reconnecting client exactly where to resume
 		// its stream after a daemon restart recovered the session.
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"id": s.ID, "k": s.K(), "n": s.spec.N, "lmax": s.Lmax(),
 			"assigned": s.eng.Assigned(), "finished": s.Finished(),
-		})
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/nodes", func(w http.ResponseWriter, r *http.Request) {
+		}
+		if info, ok := s.eng.AdaptiveInfo(); ok {
+			// Open-ended sessions report their live estimation state:
+			// what has been observed, the projection in force, and how
+			// often it ratcheted.
+			body["adaptive"] = true
+			body["observed"] = statsBody(info.Observed)
+			body["estimated"] = statsBody(info.Estimated)
+			body["stats_revision"] = info.Revision
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// statsBody renders stream stats as a wire object.
+func statsBody(st oms.StreamStats) map[string]any {
+	return map[string]any{
+		"n": st.N, "m": st.M,
+		"total_node_weight": st.TotalNodeWeight,
+		"total_edge_weight": st.TotalEdgeWeight,
+	}
+}
+
+func handleNodes(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
 		ingest(mgr, s, w, r, false)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/batch", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleBatch(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
 		ingest(mgr, s, w, r, true)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/finish", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleFinish(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -111,8 +181,11 @@ func NewServer(mgr *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, sum)
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/refine", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleRefine(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		var spec RefineSpec
 		if r.Body != nil {
 			// An empty body means "server defaults".
@@ -127,20 +200,26 @@ func NewServer(mgr *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, info)
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}/refine", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleRefineStatus(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		info, ok, err := mgr.RefineStatus(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("session %s has no refinement job", r.PathValue("id")))
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrNoRefine, r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
-	})
-	mux.HandleFunc("GET /v1/sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleResult(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -159,23 +238,31 @@ func NewServer(mgr *Manager) http.Handler {
 			body["edge_cut"] = *res.EdgeCut
 		}
 		writeJSON(w, http.StatusOK, body)
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleDelete(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if err := mgr.Delete(r.PathValue("id")); err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleHealthz(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	}
+}
+
+func handleMetrics(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = mgr.Registry().WriteText(w)
-	})
-	return mux
+	}
 }
 
 // Assignment is one NDJSON response line of the ingest stream.
@@ -298,12 +385,48 @@ func statusOf(err error) int {
 	}
 }
 
+// errCode maps a failure to its stable machine-readable code, so
+// clients branch on "code" instead of parsing prose (the prose may
+// change; the codes are API).
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return "session_not_found"
+	case errors.Is(err, ErrNoVersion):
+		return "version_not_found"
+	case errors.Is(err, ErrNoRefine):
+		return "refine_not_found"
+	case errors.Is(err, ErrGone):
+		return "session_gone"
+	case errors.Is(err, ErrNotFinished):
+		return "session_not_finished"
+	case errors.Is(err, ErrNoStream):
+		return "stream_not_retained"
+	case errors.Is(err, refine.ErrActive):
+		return "refine_active"
+	case errors.Is(err, ErrLimit):
+		return "session_limit"
+	case errors.Is(err, oms.ErrSessionFinished):
+		return "session_finished"
+	case errors.Is(err, oms.ErrNodeOutOfRange):
+		return "node_out_of_range"
+	case errors.Is(err, oms.ErrEdgeBudget):
+		return "edge_budget_exceeded"
+	case errors.Is(err, ErrDurability):
+		return "durability_failure"
+	default:
+		return "bad_request"
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the API's uniform error body: human prose in
+// "error", the stable class in "code".
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, map[string]string{"error": err.Error(), "code": errCode(err)})
 }

@@ -31,6 +31,9 @@ var (
 	// ErrNotFinished reports a refinement request against a session that
 	// has not sealed its stream yet (409).
 	ErrNotFinished = errors.New("service: session not finished")
+	// ErrNoRefine reports a refine-status request for a session that was
+	// never refined (404).
+	ErrNoRefine = errors.New("service: session has no refinement job")
 	// ErrNoStream reports a refinement request the server cannot serve
 	// because the session's stream was never retained: no durable log
 	// (-data-dir) and no record:true buffer (409).
@@ -49,9 +52,23 @@ func errNotFound(id string) error {
 // stats plus the partitioning target and options, exactly the JSON body
 // of POST /v1/sessions.
 type CreateSpec struct {
-	// N and M are the declared node and edge counts of the stream.
+	// N and M are the declared node and edge counts of the stream. In
+	// adaptive sessions they are optional hints (lower bounds on the
+	// final totals) instead of declarations; n: 0 with no "adaptive"
+	// flag implies adaptive.
 	N int32 `json:"n"`
 	M int64 `json:"m"`
+	// Adaptive opens an open-ended session whose stream stats are
+	// estimated online: n, m, and the total weights need not be
+	// declared, Fennel's alpha and the per-block capacities re-adapt as
+	// the estimates ratchet, and finish reconciles against the true
+	// observed totals (running a reconcile pass over the write-ahead
+	// log when the server persists sessions).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// AdaptiveHeadroom overrides the estimator's projection overshoot;
+	// 0 keeps the automatic default (optimistic when the stream is
+	// retained for the finish-time reconcile pass, tight otherwise).
+	AdaptiveHeadroom float64 `json:"adaptive_headroom,omitempty"`
 	// TotalNodeWeight / TotalEdgeWeight default to N (unit weights) and
 	// M when omitted.
 	TotalNodeWeight int64 `json:"total_node_weight,omitempty"`
@@ -108,7 +125,9 @@ func (cs CreateSpec) sessionConfig() (oms.SessionConfig, error) {
 			TotalNodeWeight: cs.TotalNodeWeight,
 			TotalEdgeWeight: cs.TotalEdgeWeight,
 		},
-		K: cs.K,
+		K:                cs.K,
+		Adaptive:         cs.Adaptive,
+		AdaptiveHeadroom: cs.AdaptiveHeadroom,
 		Options: oms.Options{
 			Epsilon:      cs.Epsilon,
 			Scorer:       scorer,
@@ -274,7 +293,7 @@ type Manager struct {
 
 	mu        sync.Mutex
 	nSessions int   // live sessions across all shards
-	liveNodes int64 // sum of declared n over live sessions
+	liveNodes int64 // sum of charged node footprints over live sessions
 	seq       uint64
 	// tombs remembers recently dead session ids (deleted or evicted) so
 	// the HTTP layer can answer 410 Gone instead of 404 — a client that
@@ -410,21 +429,74 @@ func (mg *Manager) close() {
 }
 
 // admit checks the admission caps; callers hold mg.mu.
-func (mg *Manager) admit(n int32) error {
+func (mg *Manager) admit(n int64) error {
 	if mg.nSessions >= mg.cfg.MaxSessions {
 		return fmt.Errorf("%w (%d live)", ErrLimit, mg.cfg.MaxSessions)
 	}
-	if mg.liveNodes+int64(n) > mg.cfg.MaxTotalNodes {
+	if mg.liveNodes+n > mg.cfg.MaxTotalNodes {
 		return fmt.Errorf("%w: declared n %d would exceed the server's aggregate node budget %d (%d committed)",
 			ErrLimit, n, mg.cfg.MaxTotalNodes, mg.liveNodes)
 	}
 	return nil
 }
 
+// reserveNodes charges delta nodes of adaptive growth against the
+// aggregate budget, rejecting the growth when the budget is exhausted.
+// Adaptive sessions declare no n, so their footprint is accounted live:
+// each ingest job reserves the coverage it is about to add before the
+// engine grows, and releases whatever a rejection did not consume.
+func (mg *Manager) reserveNodes(delta int64) error {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	if mg.liveNodes+delta > mg.cfg.MaxTotalNodes {
+		return fmt.Errorf("%w: adaptive growth of %d nodes would exceed the server's aggregate node budget %d (%d committed)",
+			ErrLimit, delta, mg.cfg.MaxTotalNodes, mg.liveNodes)
+	}
+	mg.liveNodes += delta
+	return nil
+}
+
+// releaseNodes returns charged-but-unused budget.
+func (mg *Manager) releaseNodes(delta int64) {
+	if delta <= 0 {
+		return
+	}
+	mg.mu.Lock()
+	mg.liveNodes -= delta
+	mg.mu.Unlock()
+}
+
+// engineConfig turns a normalized spec into the engine config,
+// applying the server-side adaptive policy: node ids are capped by the
+// server's per-session cap, and persisted adaptive sessions default to
+// the optimistic retained headroom — their finish runs a reconcile
+// pass over the write-ahead log, so streaming-time optimism costs no
+// final balance. Create and recovery both go through here, so a
+// recovered session re-adapts exactly like the live one did.
+func (mg *Manager) engineConfig(spec CreateSpec) (oms.SessionConfig, error) {
+	cfg, err := spec.sessionConfig()
+	if err != nil {
+		return cfg, err
+	}
+	if cfg.Adaptive {
+		cfg.AdaptiveMaxN = mg.cfg.MaxNodes
+		if cfg.AdaptiveHeadroom == 0 && mg.cfg.Store != nil && !cfg.Record {
+			cfg.AdaptiveHeadroom = oms.RetainedAdaptiveHeadroom
+		}
+	}
+	return cfg, nil
+}
+
 // Create opens a session from the wire spec.
 func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	if spec.N > mg.cfg.MaxNodes {
 		return nil, fmt.Errorf("service: declared n %d exceeds the server's node cap %d", spec.N, mg.cfg.MaxNodes)
+	}
+	// n: 0 means open-ended — the stream's stats are estimated online.
+	// Normalize before the spec is used or persisted, so recovery sees
+	// the same decision.
+	if spec.N == 0 {
+		spec.Adaptive = true
 	}
 	// Normalize the batch-ingest width before the spec is used or
 	// persisted: 0 takes the server default, and the cap keeps a
@@ -440,12 +512,12 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	// Cheap pre-check before building the n-sized engine; the insert
 	// below re-checks under the same lock, so the caps still hold.
 	mg.mu.Lock()
-	err := mg.admit(spec.N)
+	err := mg.admit(int64(spec.N))
 	mg.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := spec.sessionConfig()
+	cfg, err := mg.engineConfig(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +532,11 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 		m:         mg.m,
 		now:       mg.cfg.Now,
 		snapEvery: mg.cfg.SnapshotEvery,
+		nodeCap:   mg.cfg.MaxNodes,
+		reserve:   mg.reserveNodes,
+		release:   mg.releaseNodes,
 	}
+	s.charged.Store(int64(spec.N))
 	now := mg.cfg.Now()
 	s.Created = now
 	s.touch(now)
@@ -478,10 +554,11 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 			return nil, fmt.Errorf("service: persist session: %w", err)
 		}
 		s.log = lg
+		s.replay = func() (oms.Source, error) { return mg.cfg.Store.ReplaySource(s.ID) }
 	}
 
 	mg.mu.Lock()
-	if err := mg.admit(spec.N); err != nil {
+	if err := mg.admit(int64(spec.N)); err != nil {
 		mg.mu.Unlock()
 		mg.dropPersisted(s)
 		return nil, err
@@ -499,6 +576,9 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 
 	mg.m.sessionsCreated.Inc()
 	mg.m.sessionsActive.Inc()
+	if spec.Adaptive {
+		mg.m.adaptiveSessions.Inc()
+	}
 	return s, nil
 }
 
@@ -549,7 +629,7 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 	if rec.Spec.N > mg.cfg.MaxNodes {
 		return fmt.Errorf("declared n %d exceeds the server's node cap %d", rec.Spec.N, mg.cfg.MaxNodes)
 	}
-	cfg, err := rec.Spec.sessionConfig()
+	cfg, err := mg.engineConfig(rec.Spec)
 	if err != nil {
 		return err
 	}
@@ -572,20 +652,39 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 		}
 		_, err := eng.Push(u, w, adj, ew)
 		return err
+	}, func(st oms.EstimatorState) error {
+		// Stats-revision records pin the adaptive estimator trajectory:
+		// applying them resynchronizes recovery with the exact
+		// projections the live session served, even across estimator-
+		// logic changes.
+		return eng.ApplyEstimator(st)
 	})
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
 	s := &Session{
-		ID:        rec.ID,
-		eng:       eng,
-		spec:      rec.Spec,
-		jobs:      make(chan job, mg.cfg.QueueDepth),
-		m:         mg.m,
-		now:       mg.cfg.Now,
-		log:       rec.Log,
-		snapEvery: mg.cfg.SnapshotEvery,
+		ID:           rec.ID,
+		eng:          eng,
+		spec:         rec.Spec,
+		jobs:         make(chan job, mg.cfg.QueueDepth),
+		m:            mg.m,
+		now:          mg.cfg.Now,
+		log:          rec.Log,
+		snapEvery:    mg.cfg.SnapshotEvery,
+		lastStatsRev: eng.StatsRevision(),
+		nodeCap:      mg.cfg.MaxNodes,
+		reserve:      mg.reserveNodes,
+		release:      mg.releaseNodes,
 	}
+	// Recovered adaptive sessions re-admit at the coverage they already
+	// grew to, not the hint — the footprint exists the moment replay
+	// finishes.
+	charge := int64(rec.Spec.N)
+	if c := int64(eng.Coverage()); eng.Adaptive() && c > charge {
+		charge = c
+	}
+	s.charged.Store(charge)
+	s.replay = func() (oms.Source, error) { return mg.cfg.Store.ReplaySource(s.ID) }
 	now := mg.cfg.Now()
 	s.Created = now
 	s.touch(now)
@@ -593,6 +692,19 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 		res, err := eng.Finish()
 		if err != nil {
 			return err
+		}
+		// Persisted adaptive sessions reproduce the finish-time
+		// reconcile pass over the sealed log — deterministic, so the
+		// recovered result matches the one acknowledged before the
+		// crash byte for byte.
+		if eng.Adaptive() && !rec.Spec.Record {
+			src, rerr := s.replay()
+			if rerr != nil {
+				return fmt.Errorf("reconcile replay: %w", rerr)
+			}
+			if res, err = eng.ReconcilePass(src); err != nil {
+				return fmt.Errorf("reconcile pass: %w", err)
+			}
 		}
 		s.result = res
 		s.summary = s.summarize(res)
@@ -604,7 +716,7 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 	}
 
 	mg.mu.Lock()
-	if err := mg.admit(rec.Spec.N); err != nil {
+	if err := mg.admit(charge); err != nil {
 		mg.mu.Unlock()
 		return err
 	}
@@ -618,7 +730,7 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 	sh.m[rec.ID] = s
 	sh.mu.Unlock()
 	mg.nSessions++
-	mg.liveNodes += int64(rec.Spec.N)
+	mg.liveNodes += charge
 	// Keep new ids unique: never reuse a recovered session's sequence
 	// number.
 	var seq uint64
@@ -671,12 +783,16 @@ func (mg *Manager) Delete(id string) error {
 		}
 		return errNotFound(id)
 	}
+	// Closed before the charge swap (the charged-nodes protocol): an
+	// in-flight ingest job that charged concurrently re-checks closed
+	// and releases its own addition, so the budget is returned exactly
+	// once however the race lands.
+	s.closed.Store(true)
 	mg.mu.Lock()
 	mg.nSessions--
-	mg.liveNodes -= int64(s.spec.N)
+	mg.liveNodes -= s.charged.Swap(0)
 	mg.addTombstone(id)
 	mg.mu.Unlock()
-	s.closed.Store(true)
 	mg.refiner.Drop(id)
 	mg.dropPersisted(s)
 	mg.m.sessionsDeleted.Inc()
@@ -689,6 +805,7 @@ type SessionInfo struct {
 	ID       string `json:"id"`
 	K        int32  `json:"k"`
 	N        int32  `json:"n"`
+	Adaptive bool   `json:"adaptive,omitempty"`
 	Assigned int32  `json:"assigned"`
 	Finished bool   `json:"finished"`
 	IdleMS   int64  `json:"idle_ms"`
@@ -704,6 +821,7 @@ func (mg *Manager) List() []SessionInfo {
 			ID:       s.ID,
 			K:        s.K(),
 			N:        s.spec.N,
+			Adaptive: s.spec.Adaptive,
 			Assigned: s.eng.Assigned(),
 			Finished: s.Finished(),
 			IdleMS:   now.Sub(s.idleSince()).Milliseconds(),
@@ -748,8 +866,12 @@ func (mg *Manager) EvictIdle() int {
 				continue
 			}
 			delete(sh.m, id)
+			// Closed before the charge swap, like Delete: the
+			// charged-nodes protocol keeps racing ingest jobs from
+			// double-releasing or leaking budget.
+			s.closed.Store(true)
 			victims = append(victims, s)
-			victimNodes += int64(s.spec.N)
+			victimNodes += s.charged.Swap(0)
 		}
 		sh.mu.Unlock()
 	}
@@ -763,7 +885,6 @@ func (mg *Manager) EvictIdle() int {
 		mg.mu.Unlock()
 	}
 	for _, s := range victims {
-		s.closed.Store(true)
 		mg.refiner.Drop(s.ID)
 		// Eviction means the client abandoned the stream; the persisted
 		// log (sealed or not) is garbage-collected with the session.
@@ -841,7 +962,10 @@ func (mg *Manager) Refine(id string, spec RefineSpec) (RefineInfo, error) {
 		return RefineInfo{}, fmt.Errorf("%w: %s", ErrNoStream, id)
 	}
 
-	cfg, err := s.spec.sessionConfig()
+	// engineConfig, not the bare spec: the replica must carry the same
+	// adaptive policy (node-id ceiling, retained headroom) as the live
+	// engine, or continuation jobs reject ids the session accepted.
+	cfg, err := mg.engineConfig(s.spec)
 	if err != nil {
 		return RefineInfo{}, err
 	}

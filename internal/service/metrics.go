@@ -128,6 +128,8 @@ type serviceMetrics struct {
 	batchesIngested  *Counter
 	pushErrors       *Counter
 	backpressure     *Counter
+	adaptiveSessions *Counter
+	statsRevisions   *Counter
 
 	sessionsRecovered *Counter
 	walRecords        *Counter
@@ -155,6 +157,8 @@ func newServiceMetrics(r *Registry) *serviceMetrics {
 		batchesIngested:  r.Counter("omsd_batches_ingested_total", "parallel ingest batches processed across all sessions"),
 		pushErrors:       r.Counter("omsd_push_errors_total", "rejected node pushes (range, weights, budget, after-finish)"),
 		backpressure:     r.Counter("omsd_backpressure_waits_total", "ingest enqueues that blocked on a full session queue"),
+		adaptiveSessions: r.Counter("omsd_adaptive_sessions_total", "open-ended (adaptive) push sessions opened"),
+		statsRevisions:   r.Counter("omsd_stats_revisions_total", "adaptive stats-revision records logged across all sessions"),
 
 		sessionsRecovered: r.Counter("omsd_sessions_recovered_total", "push sessions rebuilt from the store at startup"),
 		walRecords:        r.Counter("omsd_wal_records_total", "node records appended to session logs"),

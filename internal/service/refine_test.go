@@ -308,6 +308,7 @@ type nullLog struct{}
 
 func (nullLog) AppendNode(u, w int32, adj, ew []int32) error       { return nil }
 func (nullLog) AppendBatch(nodes []PushNode, blocks []int32) error { return nil }
+func (nullLog) AppendStats(st oms.EstimatorState) error            { return nil }
 func (nullLog) Flush() error                                       { return nil }
 func (nullLog) Snapshot(st oms.SessionState) error                 { return nil }
 func (nullLog) Seal() error                                        { return nil }

@@ -293,17 +293,27 @@ func TestCloseFailsOutQueuedJobs(t *testing.T) {
 func TestCreateSpecValidation(t *testing.T) {
 	mgr := testManager(t, Config{})
 	bad := []CreateSpec{
-		{N: 0, K: 2},                                // no nodes
-		{N: 4, K: 0},                                // no target
-		{N: 4, K: 2, Topology: "2:2"},               // both targets
-		{N: 4, K: 2, Scorer: "quantum"},             // unknown scorer
-		{N: 4, Topology: "nope"},                    // unparsable topology
-		{N: 4, Topology: "2:2", Distances: "1:2:3"}, // mismatched distances
+		{N: 0, K: 0},                                 // no target (adaptive or not)
+		{N: 4, K: 0},                                 // no target
+		{N: 4, K: 2, Topology: "2:2"},                // both targets
+		{N: 4, K: 2, Scorer: "quantum"},              // unknown scorer
+		{N: 4, Topology: "nope"},                     // unparsable topology
+		{N: 4, Topology: "2:2", Distances: "1:2:3"},  // mismatched distances
+		{Adaptive: true, K: 2, AdaptiveHeadroom: -1}, // negative headroom
 	}
 	for i, spec := range bad {
 		if _, err := mgr.Create(spec); err == nil {
 			t.Fatalf("spec %d accepted: %+v", i, spec)
 		}
+	}
+	// n: 0 with a target is not an error anymore — it opens an
+	// open-ended (adaptive) session.
+	ad, err := mgr.Create(CreateSpec{N: 0, K: 2})
+	if err != nil {
+		t.Fatalf("n=0 spec rejected: %v", err)
+	}
+	if !ad.eng.Adaptive() {
+		t.Fatal("n=0 session is not adaptive")
 	}
 	// Topology with defaulted distances works.
 	s, err := mgr.Create(CreateSpec{N: 64, M: 128, Topology: "4:4"})

@@ -73,6 +73,24 @@ type Session struct {
 	log       SessionLog
 	snapEvery int
 	sinceSnap int // fresh records since the last checkpoint
+	// lastStatsRev is the estimator revision last logged as a durable
+	// stats-revision record (adaptive sessions only; owning worker
+	// only).
+	lastStatsRev int64
+	// replay opens a read-only stream over the session's durable log;
+	// nil without a store. The finish path of adaptive sessions uses it
+	// for the reconcile pass.
+	replay func() (oms.Source, error)
+
+	// Adaptive growth accounting: charged is the node footprint this
+	// session holds against the manager's aggregate budget (the
+	// declared/hinted n at creation, ratcheted up with observed
+	// coverage); reserve/release move the shared budget. charged is
+	// atomic because removal paths read it off-worker.
+	charged atomic.Int64
+	nodeCap int32
+	reserve func(int64) error
+	release func(int64)
 
 	finished atomic.Bool
 	result   *oms.Result // set by the worker executing the finish job
@@ -99,6 +117,22 @@ type Summary struct {
 	Lmax     int64    `json:"lmax"`
 	EdgeCut  *int64   `json:"edge_cut,omitempty"`
 	Balance  *float64 `json:"imbalance,omitempty"`
+	// Adaptive reconciles an open-ended session against its true
+	// totals: what was actually observed, and how far the final
+	// projection overshot it.
+	Adaptive *AdaptiveSummary `json:"adaptive,omitempty"`
+}
+
+// AdaptiveSummary is the finish-time reconciliation report of an
+// adaptive session.
+type AdaptiveSummary struct {
+	ObservedN          int32   `json:"observed_n"`
+	ObservedM          int64   `json:"observed_m"`
+	ObservedNodeWeight int64   `json:"observed_node_weight"`
+	ObservedEdgeWeight int64   `json:"observed_edge_weight"`
+	StatsRevisions     int64   `json:"stats_revisions"`
+	EstimateErrN       float64 `json:"estimate_err_n"`
+	EstimateErrW       float64 `json:"estimate_err_w"`
 }
 
 func (s *Session) touch(now time.Time) { s.lastTouch.Store(now.UnixNano()) }
@@ -240,6 +274,11 @@ func (s *Session) Finish(ctx context.Context, p *Pool) (*Summary, error) {
 func (s *Session) run(j job) {
 	switch j.kind {
 	case jobChunk:
+		if err := s.chargeGrowth(j.nodes); err != nil {
+			s.m.pushErrors.Inc()
+			j.done <- jobResult{err: err}
+			return
+		}
 		blocks := make([]int32, 0, len(j.nodes))
 		var err error
 		for _, nd := range j.nodes {
@@ -270,6 +309,12 @@ func (s *Session) run(j job) {
 			s.m.nodesIngested.Inc()
 			s.m.edgesIngested.Add(int64(len(nd.Adj)))
 		}
+		if err == nil {
+			if lerr := s.maybeLogStats(); lerr != nil {
+				err = s.walFailure("append", lerr)
+				blocks = nil
+			}
+		}
 		if s.log != nil {
 			// One write-through per chunk — even a chunk that ends in a
 			// rejection, whose earlier nodes were accepted and are about
@@ -283,6 +328,7 @@ func (s *Session) run(j job) {
 		if err == nil {
 			s.maybeSnapshot()
 		}
+		s.settleGrowth()
 		s.m.chunksIngested.Inc()
 		j.done <- jobResult{blocks: blocks, err: err}
 	case jobBatch:
@@ -309,6 +355,22 @@ func (s *Session) run(j job) {
 				return
 			}
 		}
+		// Persisted adaptive sessions reconcile the partition over the
+		// sealed log: one sequential retract-and-reassign pass under
+		// the now-exact capacities (Record sessions already ran it
+		// inside Finish, over their in-memory buffer). Deterministic
+		// given the sealed log, so recovery reproduces the same result.
+		if s.eng.Adaptive() && !s.spec.Record && s.replay != nil {
+			src, rerr := s.replay()
+			if rerr != nil {
+				j.done <- jobResult{err: s.walFailure("replay", rerr)}
+				return
+			}
+			if res, err = s.eng.ReconcilePass(src); err != nil {
+				j.done <- jobResult{err: s.walFailure("reconcile", err)}
+				return
+			}
+		}
 		s.result = res
 		s.summary = s.summarize(res)
 		s.finished.Store(true)
@@ -322,6 +384,11 @@ func (s *Session) run(j job) {
 // workers, then group-commit it to the WAL as a single frame carrying
 // the assigned blocks — logged before the ack, like every push.
 func (s *Session) runBatch(nodes []PushNode) jobResult {
+	if err := s.chargeGrowth(nodes); err != nil {
+		s.m.pushErrors.Inc()
+		return jobResult{err: err}
+	}
+	defer s.settleGrowth()
 	batch := make([]oms.Node, len(nodes))
 	for i := range nodes {
 		if nodes[i].W == 0 {
@@ -345,6 +412,9 @@ func (s *Session) runBatch(nodes []PushNode) jobResult {
 		if lerr := s.log.AppendBatch(nodes, blocks); lerr != nil {
 			return jobResult{err: s.walFailure("append", lerr)}
 		}
+		if lerr := s.maybeLogStats(); lerr != nil {
+			return jobResult{err: s.walFailure("append", lerr)}
+		}
 		if lerr := s.log.Flush(); lerr != nil {
 			return jobResult{err: s.walFailure("flush", lerr)}
 		}
@@ -358,6 +428,108 @@ func (s *Session) runBatch(nodes []PushNode) jobResult {
 	s.m.nodesIngested.Add(int64(len(nodes)))
 	s.m.batchesIngested.Inc()
 	return jobResult{blocks: blocks}
+}
+
+// chargeGrowth reserves the coverage a chunk or batch is about to add
+// to an adaptive session before the engine grows: nodes and neighbors
+// up to the job's highest id, clamped to the server's per-session cap
+// (ids beyond it are rejected by the engine, not grown). A rejection
+// applies nothing — the whole job fails with the budget error. No-op
+// for declared sessions, whose footprint was admitted up front.
+// Charged-nodes protocol: charged is this session's contribution to
+// the manager's liveNodes. The owning worker moves it up (chargeGrowth)
+// and down (settleGrowth); removal (Delete/EvictIdle) swaps it to zero
+// and subtracts exactly what it took. Removal sets closed *before* the
+// swap, and the worker re-checks closed *after* its add and settles by
+// compare-and-swap, so every reserved node is subtracted exactly once
+// no matter how a removal interleaves with an in-flight job.
+func (s *Session) chargeGrowth(nodes []PushNode) error {
+	if s.reserve == nil || !s.eng.Adaptive() {
+		return nil
+	}
+	if s.closed.Load() {
+		return errGone(s.ID)
+	}
+	hi := int32(-1)
+	for i := range nodes {
+		if nodes[i].U > hi {
+			hi = nodes[i].U
+		}
+		for _, nb := range nodes[i].Adj {
+			if nb > hi {
+				hi = nb
+			}
+		}
+	}
+	if hi >= s.nodeCap {
+		hi = s.nodeCap - 1
+	}
+	need := int64(hi+1) - s.charged.Load()
+	if need <= 0 {
+		return nil
+	}
+	if err := s.reserve(need); err != nil {
+		return err
+	}
+	s.charged.Add(need)
+	if s.closed.Load() {
+		// A removal ran between the closed check and the add: it took
+		// whatever charge it saw; whatever remains (ours) is released
+		// here, and the job fails like any post-removal work.
+		s.release(s.charged.Swap(0))
+		return errGone(s.ID)
+	}
+	return nil
+}
+
+// settleGrowth returns whatever chargeGrowth over-reserved (a rejected
+// tail of the job never grew the engine), never dropping below the
+// admission-time charge (the hinted n). CAS against the removal swap:
+// if a concurrent Delete/eviction zeroed the charge, there is nothing
+// left for the worker to release.
+func (s *Session) settleGrowth() {
+	if s.release == nil || !s.eng.Adaptive() {
+		return
+	}
+	target := int64(s.eng.Coverage())
+	if target < int64(s.spec.N) {
+		target = int64(s.spec.N)
+	}
+	for {
+		cur := s.charged.Load()
+		over := cur - target
+		if over <= 0 {
+			return
+		}
+		if s.charged.CompareAndSwap(cur, target) {
+			s.release(over)
+			return
+		}
+	}
+}
+
+// maybeLogStats appends a durable stats-revision record when the
+// adaptive estimator advanced since the last one (no-op for declared
+// sessions, whose revision stays 0). Owning worker only, like every
+// log append.
+func (s *Session) maybeLogStats() error {
+	if s.log == nil {
+		return nil
+	}
+	rev := s.eng.StatsRevision()
+	if rev == s.lastStatsRev {
+		return nil
+	}
+	st, ok := s.eng.EstimatorSnapshot()
+	if !ok {
+		return nil
+	}
+	if err := s.log.AppendStats(st); err != nil {
+		return err
+	}
+	s.lastStatsRev = rev
+	s.m.statsRevisions.Inc()
+	return nil
 }
 
 // maybeSnapshot checkpoints the engine when enough fresh records have
@@ -631,6 +803,17 @@ func (s *Session) summarize(res *oms.Result) *Summary {
 		N:        int32(len(res.Parts)),
 		Assigned: s.eng.Assigned(),
 		Lmax:     res.Lmax,
+	}
+	if info, ok := s.eng.AdaptiveInfo(); ok {
+		sum.Adaptive = &AdaptiveSummary{
+			ObservedN:          info.Observed.N,
+			ObservedM:          info.Observed.M,
+			ObservedNodeWeight: info.Observed.TotalNodeWeight,
+			ObservedEdgeWeight: info.Observed.TotalEdgeWeight,
+			StatsRevisions:     info.Revision,
+			EstimateErrN:       info.EstimateErrN,
+			EstimateErrW:       info.EstimateErrW,
+		}
 	}
 	src := s.eng.Source()
 	if src == nil {

@@ -63,6 +63,12 @@ type SessionLog interface {
 	// assignment is not deterministic, so the decisions themselves are
 	// what must survive. Weights arrive normalized (no zeros).
 	AppendBatch(nodes []PushNode, blocks []int32) error
+	// AppendStats logs one stats-revision record of an adaptive session:
+	// the estimator state in force after every record appended so far.
+	// The service appends one whenever an acknowledged chunk or batch
+	// advanced the estimator revision, so recovery replays the exact
+	// adaptation trajectory.
+	AppendStats(st oms.EstimatorState) error
 	// Flush writes buffered records through to the operating system;
 	// the service calls it once per acknowledged chunk.
 	Flush() error
@@ -101,9 +107,12 @@ type RecoveredSession struct {
 	// Replay streams the logged records not covered by Snapshot, in
 	// append order. block is the assignment recorded at ingest time for
 	// group-committed batch records, or -1 for per-node records (whose
-	// deterministic sequential walk is re-derived instead). It may be
-	// called once, before the session goes live.
-	Replay func(fn func(u, w int32, adj, ew []int32, block int32) error) error
+	// deterministic sequential walk is re-derived instead). Logged
+	// stats-revision records past the snapshot point are handed to
+	// stats (may be nil), which recovery uses to pin an adaptive
+	// session's estimator trajectory. It may be called once, before the
+	// session goes live.
+	Replay func(fn func(u, w int32, adj, ew []int32, block int32) error, stats func(st oms.EstimatorState) error) error
 	// Log continues the session's durable log (appends fail on sealed
 	// logs). Never nil for a returned session.
 	Log SessionLog

@@ -88,14 +88,24 @@ func (r *ReplaySource) ForEach(fn stream.Visitor) error {
 		}
 		fn(u, w, adj, ew)
 		return nil
-	})
+	}, nil)
 }
 
-// newSeen returns a first-occurrence filter for one pass.
+// newSeen returns a first-occurrence filter for one pass. Adaptive
+// sessions declare no n, so the filter grows with the ids actually
+// logged instead of sizing itself from the spec.
 func (r *ReplaySource) newSeen() func(int32) bool {
 	seen := make([]bool, r.stats.N)
 	return func(u int32) bool {
-		if u < 0 || int64(u) >= int64(len(seen)) || seen[u] {
+		if u < 0 {
+			return true
+		}
+		if int(u) >= len(seen) {
+			grown := make([]bool, max(int(u)+1, 2*len(seen), 1024))
+			copy(grown, seen)
+			seen = grown
+		}
+		if seen[u] {
 			return true
 		}
 		seen[u] = true
@@ -145,7 +155,7 @@ func (r *ReplaySource) ForEachParallel(threads int, fn stream.ParallelVisitor) e
 			cur = make([]rec, 0, batchRecords)
 		}
 		return nil
-	})
+	}, nil)
 	if len(cur) > 0 {
 		ch <- cur
 	}

@@ -11,8 +11,12 @@ import (
 )
 
 // snapMagic begins every snapshot file; bump the trailing digit on
-// incompatible format changes.
-var snapMagic = [8]byte{'O', 'M', 'S', 'S', 'N', 'A', 'P', '1'}
+// incompatible format changes. Version 2 appends an optional adaptive
+// estimator block after the scalar header; version-1 files (no block)
+// are still read.
+var snapMagic = [8]byte{'O', 'M', 'S', 'S', 'N', 'A', 'P', '2'}
+
+var snapMagicV1 = [8]byte{'O', 'M', 'S', 'S', 'N', 'A', 'P', '1'}
 
 const snapName = "snap"
 
@@ -34,11 +38,17 @@ func (l *Log) Snapshot(st oms.SessionState) error {
 }
 
 // encodeSnapshot lays out the snapshot body (everything after magic and
-// CRC): count, edgesSeen, loads, parts.
+// CRC): count, edgesSeen, an estimator-presence flag (with the adaptive
+// estimator block when set), loads, parts.
 func encodeSnapshot(count int64, st oms.SessionState) []byte {
-	buf := make([]byte, 0, 16+8+8*len(st.Loads)+4*len(st.Parts))
+	buf := make([]byte, 0, 16+1+10*8+8+8*len(st.Loads)+4*len(st.Parts))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(count))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.EdgesSeen))
+	if est := st.Estimator; est != nil {
+		buf = appendEstimatorFields(append(buf, 1), *est)
+	} else {
+		buf = append(buf, 0)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Loads)))
 	for _, v := range st.Loads {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
@@ -50,12 +60,18 @@ func encodeSnapshot(count int64, st oms.SessionState) []byte {
 	return buf
 }
 
-// decodeSnapshot parses a snapshot file's contents.
+// decodeSnapshot parses a snapshot file's contents (current or v1
+// format).
 func decodeSnapshot(b []byte) (count int64, st oms.SessionState, err error) {
 	fail := func() (int64, oms.SessionState, error) {
 		return 0, oms.SessionState{}, fmt.Errorf("wal: corrupt snapshot")
 	}
-	if len(b) < len(snapMagic)+4 || [8]byte(b[:8]) != snapMagic {
+	if len(b) < len(snapMagic)+4 {
+		return fail()
+	}
+	magic := [8]byte(b[:8])
+	v1 := magic == snapMagicV1
+	if !v1 && magic != snapMagic {
 		return fail()
 	}
 	sum := binary.LittleEndian.Uint32(b[8:])
@@ -68,8 +84,29 @@ func decodeSnapshot(b []byte) (count int64, st oms.SessionState, err error) {
 	}
 	count = int64(binary.LittleEndian.Uint64(body[0:]))
 	st.EdgesSeen = int64(binary.LittleEndian.Uint64(body[8:]))
-	nLoads := int64(binary.LittleEndian.Uint32(body[16:]))
-	rest := body[20:]
+	rest := body[16:]
+	if !v1 {
+		// The estimator block sits between the scalars and the loads.
+		flag := rest[0]
+		rest = rest[1:]
+		switch flag {
+		case 0:
+		case 1:
+			est, err := decodeEstimatorFields(rest)
+			if err != nil {
+				return fail()
+			}
+			st.Estimator = &est
+			rest = rest[estimatorFieldsLen:]
+		default:
+			return fail()
+		}
+	}
+	if len(rest) < 4 {
+		return fail()
+	}
+	nLoads := int64(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
 	if int64(len(rest)) < 8*nLoads+4 {
 		return fail()
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"oms"
 	"oms/internal/service"
 )
 
@@ -189,8 +190,8 @@ func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
 	rec.Sealed = sealed
 	rec.Log = l
 	rec.Versions = recoverVersions(dir)
-	rec.Replay = func(fn func(u, w int32, adj, ew []int32, block int32) error) error {
-		return replayLog(logPath, skip, nodes, fn)
+	rec.Replay = func(fn func(u, w int32, adj, ew []int32, block int32) error, stats func(st oms.EstimatorState) error) error {
+		return replayLog(logPath, skip, nodes, fn, stats)
 	}
 	if env.ID != id {
 		l.Close()
@@ -241,6 +242,10 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 				return nodes, sealed, validEnd, nil
 			}
 			nodes += int64(len(entries))
+		case recStats:
+			if _, err := decodeStatsPayload(payload[1:]); err != nil {
+				return nodes, sealed, validEnd, nil
+			}
 		case recSeal:
 			// Nothing may follow a seal; stop at it either way.
 			return nodes, true, validEnd + size, nil
@@ -258,7 +263,14 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 // recorded assignment, replayed verbatim. The skip count is per node
 // record, so a snapshot boundary inside a batch frame skips exactly the
 // covered sub-records.
-func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int32, block int32) error) error {
+//
+// Stats-revision frames past the skipped prefix are handed to the
+// optional stats callback (nil ignores them): applying the recorded
+// estimator state makes adaptive recovery replay identically even
+// across estimator-logic changes — between frames determinism carries
+// the state, at frames the log resynchronizes it. Frames inside the
+// skipped prefix are superseded by the snapshot's own estimator state.
+func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int32, block int32) error, stats func(oms.EstimatorState) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -275,6 +287,17 @@ func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int
 			return err
 		}
 		switch payload[0] {
+		case recStats:
+			if stats == nil || seen < skip {
+				continue
+			}
+			st, err := decodeStatsPayload(payload[1:])
+			if err != nil {
+				return err
+			}
+			if err := stats(st); err != nil {
+				return err
+			}
 		case recNode:
 			seen++
 			if seen <= skip {

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"oms"
 	"oms/internal/service"
 )
 
@@ -55,6 +56,14 @@ const (
 	// the whole group: a crash mid-batch tears the single frame and the
 	// whole batch vanishes together, never a prefix of it.
 	recBatch = 3
+	// recStats is one stats-revision checkpoint of an adaptive (open-
+	// ended) session: the estimator state in force after the preceding
+	// records. Ratcheting is a deterministic function of the record
+	// sequence, so replay would re-derive the same state anyway — the
+	// frame pins it, resynchronizing recovery even if estimator
+	// internals drift between binary versions, and making divergence a
+	// loud recovery failure instead of silently different partitions.
+	recStats = 4
 )
 
 // maxFramePayload bounds one frame's payload during recovery scans; a
@@ -155,7 +164,12 @@ func decodeBatchPayload(p []byte) ([]batchEntry, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(p[0:]))
 	p = p[4:]
-	out := make([]batchEntry, 0, count)
+	// Pre-size from the payload actually present, not the declared
+	// count: each entry needs at least 17 bytes (block + node header),
+	// so a corrupt count cannot provoke an unbounded allocation before
+	// the per-entry decode fails it.
+	capHint := min(count, len(p)/17)
+	out := make([]batchEntry, 0, capHint)
 	for i := 0; i < count; i++ {
 		if len(p) < 4 {
 			return nil, errTornFrame
@@ -307,6 +321,78 @@ func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
 	}
 	l.nodes += int64(len(nodes))
 	return nil
+}
+
+// estimatorFieldsLen is the fixed encoded size of an estimator-state
+// block: ten little-endian int64 fields. Stats frames and snapshots
+// share the encoding through the two helpers below.
+const estimatorFieldsLen = 10 * 8
+
+// statsPayloadLen is the fixed encoded size of a stats frame payload.
+const statsPayloadLen = 1 + estimatorFieldsLen
+
+// appendEstimatorFields encodes the estimator state block.
+func appendEstimatorFields(buf []byte, st oms.EstimatorState) []byte {
+	for _, v := range []int64{
+		st.SeenNodes, st.SeenNodeWeight, st.SeenAdj, st.SeenEdgeWeight,
+		st.NextRatchet, st.Revision,
+		int64(st.Est.N), st.Est.M, st.Est.TotalNodeWeight, st.Est.TotalEdgeWeight,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// decodeEstimatorFields is the inverse of appendEstimatorFields over
+// exactly estimatorFieldsLen bytes.
+func decodeEstimatorFields(p []byte) (oms.EstimatorState, error) {
+	if len(p) < estimatorFieldsLen {
+		return oms.EstimatorState{}, errTornFrame
+	}
+	f := make([]int64, 10)
+	for i := range f {
+		f[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	st := oms.EstimatorState{
+		SeenNodes: f[0], SeenNodeWeight: f[1], SeenAdj: f[2], SeenEdgeWeight: f[3],
+		NextRatchet: f[4], Revision: f[5],
+	}
+	st.Est.N = int32(f[6])
+	st.Est.M, st.Est.TotalNodeWeight, st.Est.TotalEdgeWeight = f[7], f[8], f[9]
+	if st.SeenNodes < 0 || st.SeenNodeWeight < 0 || st.Revision < 0 || st.Est.N < 0 {
+		return oms.EstimatorState{}, errTornFrame
+	}
+	return st, nil
+}
+
+// appendStatsPayload encodes one estimator-state record.
+func appendStatsPayload(buf []byte, st oms.EstimatorState) []byte {
+	return appendEstimatorFields(append(buf, recStats), st)
+}
+
+// decodeStatsPayload is the inverse of appendStatsPayload, minus the
+// type byte already consumed by the caller.
+func decodeStatsPayload(p []byte) (oms.EstimatorState, error) {
+	if len(p) != statsPayloadLen-1 {
+		return oms.EstimatorState{}, errTornFrame
+	}
+	return decodeEstimatorFields(p)
+}
+
+// AppendStats buffers one stats-revision record: the adaptive
+// estimator state in force after every record appended so far. The
+// service logs one whenever a chunk or batch advanced the revision.
+func (l *Log) AppendStats(st oms.EstimatorState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return fmt.Errorf("wal: append to closed log")
+	case l.sealed:
+		return fmt.Errorf("wal: append to sealed log")
+	}
+	l.buf = appendStatsPayload(l.buf[:0], st)
+	return l.writeFrame(l.buf)
 }
 
 // writeFrame frames payload into the buffered writer; callers hold mu.

@@ -94,7 +94,7 @@ func TestLogRoundTripSealed(t *testing.T) {
 		}
 		i++
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestTornTailTruncatedAndResumable(t *testing.T) {
 		t.Fatalf("recovered %+v", got)
 	}
 	n := 0
-	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
+	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if n != half {
@@ -164,7 +164,7 @@ func TestTornTailTruncatedAndResumable(t *testing.T) {
 		t.Fatal(err)
 	}
 	n = 0
-	if err := again[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
+	if err := again[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if n != len(recs) {
@@ -233,7 +233,7 @@ func TestSnapshotBoundsReplayToTail(t *testing.T) {
 		n++
 		_, err := eng2.Push(u, w, adj, ew)
 		return err
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestCorruptSnapshotIgnored(t *testing.T) {
 		t.Fatal("corrupt snapshot was not discarded")
 	}
 	n := 0
-	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
+	if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if n != 500 {
@@ -503,7 +503,7 @@ func TestBatchFrameRoundTrip(t *testing.T) {
 		}
 		i++
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +566,7 @@ func TestTornBatchFrameDropsWholeGroup(t *testing.T) {
 			t.Fatalf("recovered %d sessions, want 1", len(got))
 		}
 		n := 0
-		if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }); err != nil {
+		if err := got[0].Replay(func(u, w int32, adj, ew []int32, block int32) error { n++; return nil }, nil); err != nil {
 			t.Fatal(err)
 		}
 		got[0].Log.Close()

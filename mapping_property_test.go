@@ -1,0 +1,129 @@
+package oms_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oms"
+)
+
+// randomTopology draws a random hierarchy spec (2-4 levels, factors
+// 2-5) with strictly positive non-decreasing distances.
+func randomTopology(rng *rand.Rand) *oms.Topology {
+	levels := 2 + rng.Intn(3)
+	spec, dist := "", ""
+	d := 1 + rng.Float64()
+	for i := 0; i < levels; i++ {
+		if i > 0 {
+			spec += ":"
+			dist += ":"
+		}
+		spec += fmt.Sprint(2 + rng.Intn(4))
+		dist += fmt.Sprintf("%.3f", d)
+		d *= 1 + rng.Float64()*9
+	}
+	return oms.MustTopology(spec, dist)
+}
+
+// randomGraph draws one of the generator families at a random size.
+func randomGraph(rng *rand.Rand) *oms.Graph {
+	n := int32(200 + rng.Intn(1800))
+	seed := rng.Uint64()
+	switch rng.Intn(4) {
+	case 0:
+		return oms.GenDelaunay(n, seed)
+	case 1:
+		return oms.GenRGG2D(n, seed)
+	case 2:
+		return oms.GenRMATSocial(n, int64(n)*4, seed)
+	default:
+		return oms.GenWattsStrogatz(n, 3, 0.1, seed)
+	}
+}
+
+// TestMappingCostEqualsWeightedLevelCuts is the satellite property: for
+// random graphs × random topologies × random (even invalid-balance)
+// assignments, Result.MappingCost equals the distance-weighted sum of
+// Result.LevelCuts, and the level cuts themselves sum to the edge cut.
+func TestMappingCostEqualsWeightedLevelCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng)
+		top := randomTopology(rng)
+		k := top.Spec.K()
+
+		parts := make([]int32, g.NumNodes())
+		for u := range parts {
+			parts[u] = rng.Int31n(k)
+		}
+		res := &oms.Result{Parts: parts, K: k}
+
+		cuts := res.LevelCuts(g, top)
+		if len(cuts) != top.Spec.Levels() {
+			t.Fatalf("trial %d: %d level cuts for %d levels", trial, len(cuts), top.Spec.Levels())
+		}
+		var weighted, total float64
+		for i, c := range cuts {
+			if c < 0 {
+				t.Fatalf("trial %d: negative level cut %v", trial, c)
+			}
+			weighted += c * top.Dist.D[i]
+			total += c
+		}
+		cost := res.MappingCost(g, top)
+		if diff := math.Abs(cost - weighted); diff > 1e-6*(1+math.Abs(cost)) {
+			t.Fatalf("trial %d: MappingCost %v != weighted LevelCuts %v (spec %s)", trial, cost, weighted, top.Spec)
+		}
+		if cut := float64(res.EdgeCut(g)); math.Abs(total-cut) > 1e-6*(1+cut) {
+			t.Fatalf("trial %d: LevelCuts sum %v != edge cut %v", trial, total, cut)
+		}
+	}
+}
+
+// TestPEDistanceSharedLevelConsistency pins the two topology oracles to
+// each other on randomized specs: for every PE pair, PEDistance is
+// exactly the distance of SharedLevel, both are symmetric, zero/-1 on
+// the diagonal, and adjacent PEs inside one innermost group share level
+// 0.
+func TestPEDistanceSharedLevelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		top := randomTopology(rng)
+		k := top.Spec.K()
+		if k > 256 {
+			continue // keep the O(k^2) scan quick
+		}
+		for x := int32(0); x < k; x++ {
+			for y := int32(0); y < k; y++ {
+				lvl := top.SharedLevel(x, y)
+				d := top.PEDistance(x, y)
+				if x == y {
+					if lvl != -1 || d != 0 {
+						t.Fatalf("trial %d: diagonal (%d): level %d dist %v", trial, x, lvl, d)
+					}
+					continue
+				}
+				if lvl < 0 || lvl >= top.Spec.Levels() {
+					t.Fatalf("trial %d: pair (%d,%d) level %d outside [0,%d)", trial, x, y, lvl, top.Spec.Levels())
+				}
+				if want := top.Dist.D[lvl]; d != want {
+					t.Fatalf("trial %d: pair (%d,%d): distance %v, level %d implies %v", trial, x, y, d, lvl, want)
+				}
+				if top.SharedLevel(y, x) != lvl || top.PEDistance(y, x) != d {
+					t.Fatalf("trial %d: asymmetry at (%d,%d)", trial, x, y)
+				}
+			}
+		}
+		// Neighbors within one innermost group are level-0 pairs.
+		a1 := top.Spec.Factors[0]
+		for p := int32(0); p+1 < k; p++ {
+			if p%a1 != a1-1 {
+				if lvl := top.SharedLevel(p, p+1); lvl != 0 {
+					t.Fatalf("trial %d: PEs %d,%d in one innermost group share level %d, want 0", trial, p, p+1, lvl)
+				}
+			}
+		}
+	}
+}

@@ -3,10 +3,12 @@ package oms
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"oms/internal/core"
 	"oms/internal/hierarchy"
+	"oms/internal/onepass"
 	"oms/internal/stream"
 	"oms/internal/util"
 )
@@ -52,7 +54,48 @@ type SessionConfig struct {
 	// enabling Restream and post-hoc quality metrics at O(n + m) extra
 	// memory. Off by default: the pure streaming regime is O(n + k).
 	Record bool
+	// Adaptive opens an open-ended session: the stream's n, m, and
+	// total weights need not be declared. Stats become optional hints
+	// (lower bounds on the final totals; zeros are ignored), an online
+	// estimator projects the totals from what actually arrives, and
+	// Fennel's alpha plus every tree-block capacity re-normalize as the
+	// projections ratchet. Finish reconciles against the true observed
+	// totals and reports the projection error (AdaptiveInfo).
+	//
+	// Balance caveat: capacities derived from projections overshoot the
+	// observed totals by at most AdaptiveHeadroom, so the imbalance
+	// guarantee relative to the final totals loosens from Epsilon to
+	// (1+Epsilon)(1+AdaptiveHeadroom)-1 ≈ Epsilon + AdaptiveHeadroom
+	// (plus integer rounding) — about twice the declared-stats slack at
+	// the defaults. Oversized hints widen it further (capacities never
+	// shrink).
+	Adaptive bool
+	// AdaptiveMaxN caps the node ids an adaptive session accepts, since
+	// no declared n bounds them; 0 selects DefaultAdaptiveMaxN. Memory
+	// grows with the largest id actually pushed, not with the cap.
+	AdaptiveMaxN int32
+	// AdaptiveHeadroom is the estimator's projection overshoot. 0 picks
+	// an automatic default by retention: RetainedAdaptiveHeadroom (2.0)
+	// for Record sessions — whose Finish repairs balance with a
+	// reconcile pass, so streaming-time optimism is free quality — and
+	// the tight onepass default (the paper's epsilon) otherwise, where
+	// the projection alone carries the imbalance bound.
+	AdaptiveHeadroom float64
 }
+
+// DefaultAdaptiveMaxN bounds node ids in adaptive sessions that do not
+// set their own cap (2^26, matching the omsd per-session node cap).
+const DefaultAdaptiveMaxN = 1 << 26
+
+// RetainedAdaptiveHeadroom is the automatic projection overshoot for
+// adaptive sessions whose stream is retained (Record sessions here; the
+// omsd service counts its write-ahead log as retention): the estimator
+// assumes the stream is roughly one third done at any instant, which
+// keeps early capacities roomy enough for arriving clusters to stay
+// together. The resulting streaming-time imbalance is repaired by the
+// finish-time reconcile pass, which re-places every node under exact
+// capacities.
+const RetainedAdaptiveHeadroom = 2.0
 
 // Node is one element of a PushBatch: id, weight (0 means 1), the
 // adjacency list, and optional parallel edge weights. The slices are not
@@ -91,35 +134,71 @@ type Session struct {
 	// requires the documented serialization.
 	assigned atomic.Int32
 	finished bool
+	// adaptive marks an open-ended session: n is the id ceiling rather
+	// than a declaration, the edge budget is unbounded, and estErrN /
+	// estErrW hold the Finish-time reconciliation report (atomic bits:
+	// monitoring readers poll AdaptiveInfo while the owning worker may
+	// be finishing).
+	adaptive bool
+	estErrN  atomic.Uint64
+	estErrW  atomic.Uint64
 }
 
 // NewSession opens a push session. Omitted stats default like the wire
 // API: TotalNodeWeight to N (unit weights) and TotalEdgeWeight to M.
 func NewSession(cfg SessionConfig) (*Session, error) {
 	opt := cfg.Options.withDefaults()
-	if cfg.Stats.N <= 0 {
-		return nil, fmt.Errorf("oms: session declares %d nodes", cfg.Stats.N)
-	}
-	if cfg.Stats.M < 0 || cfg.Stats.TotalNodeWeight < 0 || cfg.Stats.TotalEdgeWeight < 0 {
+	if cfg.Stats.N < 0 || cfg.Stats.M < 0 || cfg.Stats.TotalNodeWeight < 0 || cfg.Stats.TotalEdgeWeight < 0 {
 		return nil, fmt.Errorf("oms: negative declared stats %+v", cfg.Stats)
 	}
-	if cfg.Stats.TotalNodeWeight == 0 {
-		cfg.Stats.TotalNodeWeight = int64(cfg.Stats.N)
-	}
-	if cfg.Stats.TotalEdgeWeight == 0 {
-		cfg.Stats.TotalEdgeWeight = cfg.Stats.M
+	ccfg := opt.coreConfig()
+	if cfg.Adaptive {
+		// Stats are hints: zeros simply leave the estimator to its
+		// observations, and a hinted N does not default the weights (a
+		// hint is a floor, not a unit-weight declaration).
+		if cfg.AdaptiveMaxN < 0 {
+			return nil, fmt.Errorf("oms: negative adaptive node cap %d", cfg.AdaptiveMaxN)
+		}
+		if cfg.AdaptiveHeadroom < 0 {
+			return nil, fmt.Errorf("oms: negative adaptive headroom %v", cfg.AdaptiveHeadroom)
+		}
+		if cfg.AdaptiveHeadroom == 0 && cfg.Record {
+			cfg.AdaptiveHeadroom = RetainedAdaptiveHeadroom
+		}
+		ccfg.Adaptive = true
+		ccfg.AdaptiveHeadroom = cfg.AdaptiveHeadroom
+	} else {
+		if cfg.Stats.N == 0 {
+			return nil, fmt.Errorf("oms: session declares 0 nodes (open-ended streams set Adaptive)")
+		}
+		if cfg.Stats.TotalNodeWeight == 0 {
+			cfg.Stats.TotalNodeWeight = int64(cfg.Stats.N)
+		}
+		if cfg.Stats.TotalEdgeWeight == 0 {
+			cfg.Stats.TotalEdgeWeight = cfg.Stats.M
+		}
 	}
 	var o *core.OMS
 	var err error
 	if cfg.Topology != nil {
-		o, err = core.New(hierarchy.FromSpec(cfg.Topology.Spec), cfg.Stats, opt.coreConfig())
+		o, err = core.New(hierarchy.FromSpec(cfg.Topology.Spec), cfg.Stats, ccfg)
 	} else {
-		o, err = core.NewGP(cfg.K, opt.Base, cfg.Stats, opt.coreConfig())
+		o, err = core.NewGP(cfg.K, opt.Base, cfg.Stats, ccfg)
 	}
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{o: o, n: cfg.Stats.N, edgeBudget: 2 * cfg.Stats.M}
+	if cfg.Adaptive {
+		s.adaptive = true
+		s.n = cfg.AdaptiveMaxN
+		if s.n <= 0 {
+			s.n = DefaultAdaptiveMaxN
+		}
+		// No declared m bounds an open-ended stream; adjacency is not
+		// retained, so the budget is simply off.
+		s.edgeBudget = math.MaxInt64
+	}
 	if cfg.Record {
 		s.buf = stream.NewBuffer(cfg.Stats)
 	}
@@ -161,6 +240,11 @@ func (s *Session) Push(u int32, vwgt int32, adj []int32, ewgt []int32) (int32, e
 		return -1, fmt.Errorf("%w: node %d overruns 2m = %d", ErrEdgeBudget, u, s.edgeBudget)
 	}
 	s.edgesSeen += int64(len(adj))
+	// Open-ended sessions observe before assigning: the estimator
+	// accumulates the node, the assignment vector grows to cover it and
+	// its neighbors, and — on a ratchet — alpha and the capacities
+	// re-normalize before this node is scored.
+	s.o.ObserveAdaptive(u, vwgt, adj, ewgt)
 	b := s.o.AssignNode(u, vwgt, adj, ewgt)
 	s.assigned.Add(1)
 	if s.buf != nil {
@@ -252,14 +336,38 @@ func (s *Session) PushBatch(nodes []Node) ([]int32, error) {
 	}
 	s.edgesSeen += freshEdges
 
+	// Adaptive observation: ratchets rewrite the capacities and alphas
+	// the assignment reads, so with parallel workers every observation
+	// lands here, during single-threaded admission, before the fan-out
+	// (observation order is batch order — the same order a WAL replay
+	// of this batch observes, so recovered estimator state matches).
+	// With one worker the batch instead interleaves observe/assign per
+	// node below, preserving the documented bit-parity with the same
+	// sequence of Push calls.
+	interleave := s.adaptive && s.o.Workers() == 1
+	if s.adaptive && !interleave {
+		for _, i := range fresh {
+			nd := &nodes[i]
+			s.o.ObserveAdaptive(nd.U, nd.W, nd.Adj, nd.EW)
+		}
+	}
+
 	// Assignment pass: contiguous chunks of the fresh list per worker,
 	// each on its own engine scratch.
-	util.ParallelFor(len(fresh), s.o.Workers(), func(worker, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			nd := &nodes[fresh[j]]
-			s.o.AssignNodeOn(worker, nd.U, nd.W, nd.Adj, nd.EW)
+	if interleave {
+		for _, i := range fresh {
+			nd := &nodes[i]
+			s.o.ObserveAdaptive(nd.U, nd.W, nd.Adj, nd.EW)
+			s.o.AssignNodeOn(0, nd.U, nd.W, nd.Adj, nd.EW)
 		}
-	})
+	} else {
+		util.ParallelFor(len(fresh), s.o.Workers(), func(worker, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				nd := &nodes[fresh[j]]
+				s.o.AssignNodeOn(worker, nd.U, nd.W, nd.Adj, nd.EW)
+			}
+		})
+	}
 	s.assigned.Add(int32(len(fresh)))
 
 	// Record pass: fresh nodes in batch order (arrival order), exactly
@@ -304,6 +412,7 @@ func (s *Session) PushAssigned(u int32, vwgt int32, adj []int32, ewgt []int32, b
 		return -1, fmt.Errorf("%w: node %d overruns 2m = %d", ErrEdgeBudget, u, s.edgeBudget)
 	}
 	s.edgesSeen += int64(len(adj))
+	s.o.ObserveAdaptive(u, vwgt, adj, ewgt)
 	s.o.ForceAssign(u, vwgt, block)
 	s.assigned.Add(1)
 	if s.buf != nil {
@@ -321,8 +430,57 @@ func (s *Session) Finish() (*Result, error) {
 		return nil, fmt.Errorf("%w: Finish called twice", ErrSessionFinished)
 	}
 	s.finished = true
-	parts := append([]int32(nil), s.o.Assignments()...)
-	return &Result{Parts: parts, K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
+	// The threshold the streaming run actually obeyed — for adaptive
+	// sessions the final ratcheted value, which exceeds the reconciled
+	// one by up to the headroom.
+	lmax := s.o.LmaxValue()
+	// Open-ended sessions reconcile at the seal: the projection is
+	// replaced by the exact observed totals (its error is kept for
+	// AdaptiveInfo) and capacities re-normalize one final time, so
+	// later restream passes refine against exact capacities.
+	errN, errW := s.o.Reconcile()
+	s.estErrN.Store(math.Float64bits(errN))
+	s.estErrW.Store(math.Float64bits(errW))
+	// Retained adaptive sessions also reconcile the partition itself:
+	// one sequential retract-and-reassign pass over the recorded stream
+	// re-places every node under the now-exact capacities, repairing
+	// the imbalance the optimistic streaming-time projection allowed
+	// and recovering most of the cold-start cut. The omsd service runs
+	// the same pass over its write-ahead log for adaptive sessions that
+	// persist instead of record. Only then does the result report the
+	// reconciled threshold — Result.Lmax is the bound the run enforced,
+	// and without a reconcile pass the streaming bound is the honest
+	// one.
+	if s.adaptive && s.buf != nil {
+		if _, err := s.o.RestreamPasses(s.buf, 1); err != nil {
+			return nil, err
+		}
+		lmax = s.o.LmaxValue()
+	}
+	parts := append([]int32(nil), s.o.Assignments()[:s.o.Coverage()]...)
+	return &Result{Parts: parts, K: s.o.K(), Lmax: lmax}, nil
+}
+
+// ReconcilePass runs one sequential retract-and-reassign pass over src
+// — the same stream the session ingested, replayed from outside — with
+// the session's reconciled exact capacities: the finish-time repair of
+// an adaptive session whose stream is retained durably rather than in
+// memory (the omsd write-ahead log). Deterministic for a fixed src
+// order, so a recovered daemon reproduces the result byte-identically.
+// It requires a finished adaptive session.
+func (s *Session) ReconcilePass(src Source) (*Result, error) {
+	if !s.adaptive {
+		return nil, fmt.Errorf("oms: ReconcilePass on a declared-stats session")
+	}
+	if !s.finished {
+		return nil, fmt.Errorf("oms: ReconcilePass before Finish")
+	}
+	parts, err := s.o.RestreamPasses(src, 1)
+	if err != nil {
+		return nil, err
+	}
+	parts = parts[:s.o.Coverage()]
+	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
 }
 
 // Source returns the recorded replayable stream of a Record session
@@ -352,6 +510,7 @@ func (s *Session) Restream(passes int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	parts = parts[:s.o.Coverage()]
 	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
 }
 
@@ -372,6 +531,7 @@ func (s *Session) RestreamFrom(src Source, passes int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	parts = parts[:s.o.Coverage()]
 	return &Result{Parts: append([]int32(nil), parts...), K: s.o.K(), Lmax: s.o.LmaxValue()}, nil
 }
 
@@ -389,14 +549,110 @@ type SessionState struct {
 	Loads []int64
 	// Parts are the per-node assignments; -1 for nodes not yet pushed.
 	Parts []int32
+	// Estimator is the online stats estimator of an adaptive session
+	// (nil for declared sessions): restoring it makes the resumed
+	// session ratchet exactly where the checkpointed one would have.
+	Estimator *EstimatorState
 }
+
+// EstimatorState is the exported estimator state of an adaptive
+// session: the observed running totals, the ratchet trigger, and the
+// projection in force. An alias, like StreamStats, so checkpoint and
+// WAL encoders cannot drift from the estimator's own fields.
+type EstimatorState = onepass.EstimatorState
+
+// Adaptive reports whether the session estimates its stream stats
+// online.
+func (s *Session) Adaptive() bool { return s.adaptive }
+
+// AdaptiveInfo describes an adaptive session's estimation trajectory.
+// The error fields are zero until Finish reconciles.
+type AdaptiveInfo struct {
+	// Observed are the exact totals seen so far.
+	Observed StreamStats
+	// Estimated is the projection in force (equal to Observed after
+	// Finish reconciles).
+	Estimated StreamStats
+	// Revision counts projection changes so far.
+	Revision int64
+	// EstimateErrN / EstimateErrW are the relative projection errors
+	// ((estimate-observed)/observed) for the node count and total node
+	// weight at the moment Finish sealed the stream.
+	EstimateErrN float64
+	EstimateErrW float64
+}
+
+// AdaptiveInfo returns the estimation trajectory of an adaptive
+// session; ok is false for declared sessions. Safe to call concurrently
+// with a pushing worker (monitoring endpoints poll it).
+func (s *Session) AdaptiveInfo() (info AdaptiveInfo, ok bool) {
+	est := s.o.Estimator()
+	if est == nil {
+		return AdaptiveInfo{}, false
+	}
+	return AdaptiveInfo{
+		Observed:     est.Observed(),
+		Estimated:    est.Estimates(),
+		Revision:     est.Revision(),
+		EstimateErrN: math.Float64frombits(s.estErrN.Load()),
+		EstimateErrW: math.Float64frombits(s.estErrW.Load()),
+	}, true
+}
+
+// StatsRevision returns how many times an adaptive session's projection
+// has changed (0 forever on declared sessions). Durable stores log a
+// stats-revision frame whenever it advances.
+func (s *Session) StatsRevision() int64 {
+	if est := s.o.Estimator(); est != nil {
+		return est.Revision()
+	}
+	return 0
+}
+
+// Coverage returns how many leading entries of the assignment vector
+// are meaningful: the declared n, or — for adaptive sessions — one
+// past the highest node or neighbor id observed so far. It is the
+// session's live memory footprint in nodes; safe for concurrent
+// monitoring reads only between pushes (the omsd service reads it on
+// the owning worker).
+func (s *Session) Coverage() int32 { return s.o.Coverage() }
+
+// EstimatorSnapshot exports just the estimator state of an adaptive
+// session (ok false on declared sessions) — the payload of a durable
+// stats-revision record, much cheaper than a full ExportState.
+func (s *Session) EstimatorSnapshot() (EstimatorState, bool) {
+	if est, ok := s.o.ExportEstimator(); ok {
+		return est, true
+	}
+	return EstimatorState{}, false
+}
+
+// ApplyEstimator overwrites an adaptive session's estimator state and
+// re-derives the dependent thresholds — the replay entry for the
+// durable log's stats-revision frames, which resynchronize recovery
+// even if estimator internals drift between versions. Serialized with
+// pushes like every session call.
+func (s *Session) ApplyEstimator(st EstimatorState) error {
+	return s.o.ImportEstimator(st)
+}
+
+// ReconcileStats replaces an adaptive session's projection with the
+// exact observed totals and re-normalizes capacities, as Finish does
+// (no-op on declared sessions). The offline refinement path uses it
+// after rebuilding an engine by replay, where the whole stream has been
+// observed but no Finish ran.
+func (s *Session) ReconcileStats() { s.o.Reconcile() }
 
 // ExportState checkpoints the session. The caller must serialize it
 // against Push/Finish like every other session call; the returned state
 // shares no memory with the session.
 func (s *Session) ExportState() SessionState {
 	loads, parts := s.o.ExportState()
-	return SessionState{EdgesSeen: s.edgesSeen, Loads: loads, Parts: parts}
+	st := SessionState{EdgesSeen: s.edgesSeen, Loads: loads, Parts: parts}
+	if est, ok := s.o.ExportEstimator(); ok {
+		st.Estimator = &est
+	}
+	return st
 }
 
 // RestoreState loads a checkpoint into a freshly created session built
@@ -420,8 +676,16 @@ func (s *Session) RestoreState(st SessionState) error {
 	if st.EdgesSeen < 0 || st.EdgesSeen > s.edgeBudget {
 		return fmt.Errorf("oms: restored edge count %d outside [0, 2m = %d]", st.EdgesSeen, s.edgeBudget)
 	}
+	if s.adaptive != (st.Estimator != nil) {
+		return fmt.Errorf("oms: checkpoint adaptive=%v, session adaptive=%v", st.Estimator != nil, s.adaptive)
+	}
 	if err := s.o.ImportState(st.Loads, st.Parts); err != nil {
 		return err
+	}
+	if st.Estimator != nil {
+		if err := s.o.ImportEstimator(*st.Estimator); err != nil {
+			return err
+		}
 	}
 	s.edgesSeen = st.EdgesSeen
 	var assigned int32
