@@ -56,12 +56,15 @@ import (
 	"math"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"oms/internal/service"
+	"oms/internal/telemetry"
 	"oms/internal/wal"
 )
 
@@ -90,6 +93,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	snapshotEvery := fs.Int("snapshot-every", 4096, "checkpoint a session's engine state every this many logged nodes")
 	refineWorkers := fs.Int("refine-workers", 1, "background refinement workers (finished sessions restreamed concurrently)")
 	refinePasses := fs.Int("refine-passes", 1, "default restream passes when POST .../refine omits \"passes\"")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off; keep it off the public listener)")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON event lines on stderr instead of prose logs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,9 +105,42 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return fmt.Errorf("omsd: -refine-workers %d and -refine-passes %d must be at least 1", *refineWorkers, *refinePasses)
 	}
 
+	// Structured events replace the prose log lines when -log-json is
+	// set; infof keeps the prose for the default (human) mode.
+	var ev *telemetry.Logger
+	if *logJSON {
+		ev = telemetry.New(os.Stderr)
+	}
+	infof := func(format string, args ...any) {
+		if !*logJSON {
+			log.Printf(format, args...)
+		}
+	}
+
+	// The registry exists before the manager so the WAL store (created
+	// first — recovery needs it) can observe into the same histograms
+	// the manager exports, and so process-level gauges register here too.
+	reg := service.NewRegistry()
+	reg.GaugeFunc("omsd_build_info", "constant 1; the help text carries the build's "+runtime.Version(), func() int64 { return 1 })
+	reg.GaugeFunc("omsd_goroutines", "live goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("omsd_heap_alloc_bytes", "bytes of allocated heap objects", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	reg.GaugeFunc("omsd_gc_pause_total_ns", "cumulative GC stop-the-world pause", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.PauseTotalNs)
+	})
+
 	var store service.Store
 	if *dataDir != "" {
-		st, err := wal.Open(*dataDir, wal.Options{SyncInterval: *walSync})
+		st, err := wal.Open(*dataDir, wal.Options{
+			SyncInterval:  *walSync,
+			ObserveAppend: reg.Histogram(service.WALAppendHistogram, "WAL record encode+write time per append").Observe,
+			ObserveFsync:  reg.Histogram(service.WALFsyncHistogram, "WAL fsync stall per forced or batched sync").Observe,
+		})
 		if err != nil {
 			return fmt.Errorf("omsd: open data dir: %w", err)
 		}
@@ -121,19 +159,45 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		SnapshotEvery:  *snapshotEvery,
 		RefineWorkers:  *refineWorkers,
 		RefinePasses:   *refinePasses,
+		Registry:       reg,
+		Events:         ev,
 	})
 	defer mgr.Close()
 
+	recovered := 0
 	if store != nil {
 		n, err := mgr.RecoverSessions()
 		if err != nil {
 			// Partial recovery is served; the skipped sessions' data
 			// stays on disk for inspection.
-			log.Printf("omsd: session recovery: %v", err)
+			infof("omsd: session recovery: %v", err)
 		}
 		if n > 0 {
-			log.Printf("omsd recovered %d session(s) from %s", n, *dataDir)
+			infof("omsd recovered %d session(s) from %s", n, *dataDir)
 		}
+		recovered = n
+	}
+	// Ready only now: /v1/readyz answered 503 while recovery replayed
+	// logs, so a balancer never routes at a daemon mid-rebuild.
+	mgr.SetReady()
+
+	if *pprofAddr != "" {
+		// A side listener, never the public mux: profiles expose heap
+		// contents and must stay on an operator-only port.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("omsd: pprof listen: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", httppprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		go func() { _ = psrv.Serve(pln) }()
+		defer psrv.Close()
+		infof("omsd pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -147,7 +211,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	log.Printf("omsd listening on %s", ln.Addr())
+	infof("omsd listening on %s", ln.Addr())
+	ev.Emit(telemetry.EventDaemonReady, map[string]any{
+		"addr": ln.Addr().String(), "recovered": recovered, "go": runtime.Version(),
+	})
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -157,7 +224,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("omsd shutting down (draining up to %s)", *drain)
+	infof("omsd shutting down (draining up to %s)", *drain)
+	ev.Emit(telemetry.EventDaemonShutdown, map[string]any{"drain_ms": drain.Milliseconds()})
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,526 @@
+// Command omsstat samples an omsd /metrics endpoint and turns the
+// scrapes into an SLO verdict: a wide-format samples.csv (one row per
+// scrape, one column per series), a summary.json with per-histogram
+// p50/p95/p99 and per-gauge percentiles, and a nonzero exit when a
+// -thresholds bound is violated or a -require'd histogram is missing
+// or empty.
+//
+// Examples:
+//
+//	omsstat -url http://localhost:7600/metrics -samples 10 -interval 500ms -out stat/
+//	omsstat -url http://localhost:7600/metrics -thresholds push_p99_ms=5,backlog_p95=100
+//	omsstat -url http://localhost:7600/metrics -require omsd_http_push_seconds,omsd_wal_fsync_seconds
+//
+// Exit codes: 0 all thresholds and requirements hold, 1 at least one
+// violated, 2 usage or network error.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"oms/internal/promtext"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:7600/metrics", "metrics endpoint to sample")
+		interval   = flag.Duration("interval", 500*time.Millisecond, "delay between scrapes")
+		samples    = flag.Int("samples", 5, "number of scrapes")
+		out        = flag.String("out", ".", "directory for samples.csv and summary.json")
+		thresholds = flag.String("thresholds", "", "comma-separated bounds, e.g. push_p99_ms=5,backlog_p95=100")
+		require    = flag.String("require", "", "comma-separated histogram names that must exist with count > 0")
+	)
+	flag.Parse()
+
+	cfg := config{
+		url:      *url,
+		interval: *interval,
+		samples:  *samples,
+		outDir:   *out,
+		stdout:   os.Stdout,
+		stderr:   os.Stderr,
+	}
+	var err error
+	if cfg.thresholds, err = parseThresholds(*thresholds); err != nil {
+		fmt.Fprintln(os.Stderr, "omsstat:", err)
+		os.Exit(2)
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.require = append(cfg.require, name)
+			}
+		}
+	}
+	os.Exit(run(cfg))
+}
+
+type config struct {
+	url        string
+	interval   time.Duration
+	samples    int
+	outDir     string
+	thresholds []threshold
+	require    []string
+	client     *http.Client // nil = http.DefaultClient
+	stdout     io.Writer
+	stderr     io.Writer
+}
+
+// threshold is one -thresholds entry: a key naming a statistic (see
+// resolve) and the bound its value must not exceed.
+type threshold struct {
+	Key   string  `json:"key"`
+	Limit float64 `json:"limit"`
+}
+
+func parseThresholds(s string) ([]threshold, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []threshold
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("threshold %q is not key=limit", part)
+		}
+		limit, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %q: bad limit: %w", part, err)
+		}
+		out = append(out, threshold{Key: key, Limit: limit})
+	}
+	return out, nil
+}
+
+// scrape is one polled exposition document with its wall-clock instant.
+type scrape struct {
+	at   time.Time
+	fams map[string]promtext.Family
+}
+
+// summary is the summary.json document.
+type summary struct {
+	URL        string                  `json:"url"`
+	Samples    int                     `json:"samples"`
+	IntervalMS float64                 `json:"interval_ms"`
+	Histograms map[string]histoSummary `json:"histograms"`
+	Gauges     map[string]gaugeSummary `json:"gauges"`
+	Counters   map[string]ctrSummary   `json:"counters"`
+	Thresholds []thresholdResult       `json:"thresholds,omitempty"`
+	Require    []requireResult         `json:"require,omitempty"`
+	OK         bool                    `json:"ok"`
+}
+
+type histoSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// gaugeSummary aggregates one gauge series over the scrape sequence.
+type gaugeSummary struct {
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	P95  float64 `json:"p95"`
+	Last float64 `json:"last"`
+}
+
+// ctrSummary tracks a counter's growth across the scrape window.
+type ctrSummary struct {
+	First      float64 `json:"first"`
+	Last       float64 `json:"last"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+type thresholdResult struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+	OK     bool    `json:"ok"`
+}
+
+type requireResult struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	OK    bool   `json:"ok"`
+}
+
+func run(cfg config) int {
+	if cfg.samples < 1 || cfg.url == "" {
+		fmt.Fprintln(cfg.stderr, "omsstat: need -url and -samples >= 1")
+		return 2
+	}
+	client := cfg.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	scrapes := make([]scrape, 0, cfg.samples)
+	for i := 0; i < cfg.samples; i++ {
+		if i > 0 {
+			time.Sleep(cfg.interval)
+		}
+		sc, err := fetch(client, cfg.url)
+		if err != nil {
+			fmt.Fprintln(cfg.stderr, "omsstat:", err)
+			return 2
+		}
+		scrapes = append(scrapes, sc)
+	}
+
+	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
+		fmt.Fprintln(cfg.stderr, "omsstat:", err)
+		return 2
+	}
+	if err := writeCSV(filepath.Join(cfg.outDir, "samples.csv"), scrapes); err != nil {
+		fmt.Fprintln(cfg.stderr, "omsstat:", err)
+		return 2
+	}
+
+	sum, err := summarize(cfg, scrapes)
+	if err != nil {
+		fmt.Fprintln(cfg.stderr, "omsstat:", err)
+		return 2
+	}
+	f, err := os.Create(filepath.Join(cfg.outDir, "summary.json"))
+	if err != nil {
+		fmt.Fprintln(cfg.stderr, "omsstat:", err)
+		return 2
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(cfg.stderr, "omsstat:", err)
+		return 2
+	}
+
+	report(cfg.stdout, sum)
+	if !sum.OK {
+		return 1
+	}
+	return 0
+}
+
+func fetch(client *http.Client, url string) (scrape, error) {
+	at := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return scrape{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scrape{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return scrape{}, fmt.Errorf("GET %s: %w", url, err)
+	}
+	sc := scrape{at: at, fams: make(map[string]promtext.Family, len(fams))}
+	for _, f := range fams {
+		sc.fams[f.Name] = f
+	}
+	return sc, nil
+}
+
+// writeCSV writes the wide-format sample table: ts_unix_ms plus one
+// column per non-bucket series, the union over every scrape, sorted,
+// empty cell where a series had not appeared yet.
+func writeCSV(path string, scrapes []scrape) error {
+	cols := map[string]bool{}
+	for _, sc := range scrapes {
+		for _, f := range sc.fams {
+			for _, s := range f.Samples {
+				if !strings.HasSuffix(s.Name, "_bucket") {
+					cols[s.Name] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for n := range cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	w.Write(append([]string{"ts_unix_ms"}, names...))
+	for _, sc := range scrapes {
+		row := make([]string, 0, 1+len(names))
+		row = append(row, strconv.FormatInt(sc.at.UnixMilli(), 10))
+		vals := map[string]float64{}
+		for _, fam := range sc.fams {
+			for _, s := range fam.Samples {
+				vals[s.Name] = s.Value
+			}
+		}
+		for _, n := range names {
+			if v, ok := vals[n]; ok {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		w.Write(row)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func summarize(cfg config, scrapes []scrape) (*summary, error) {
+	last := scrapes[len(scrapes)-1]
+	sum := &summary{
+		URL:        cfg.url,
+		Samples:    len(scrapes),
+		IntervalMS: float64(cfg.interval) / float64(time.Millisecond),
+		Histograms: map[string]histoSummary{},
+		Gauges:     map[string]gaugeSummary{},
+		Counters:   map[string]ctrSummary{},
+		OK:         true,
+	}
+	// Histograms summarize the final scrape (cumulative state); gauges
+	// and counters aggregate the whole sequence.
+	hists := map[string]*promtext.Histogram{}
+	for name, fam := range last.fams {
+		switch fam.Type {
+		case "histogram":
+			h, err := fam.AsHistogram()
+			if err != nil {
+				return nil, err
+			}
+			hists[name] = h
+			sum.Histograms[name] = histoSummary{
+				Count: h.Count,
+				Sum:   h.Sum,
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+			}
+		case "gauge":
+			for _, s := range fam.Samples {
+				vals := seriesValues(scrapes, s.Name)
+				sum.Gauges[s.Name] = gaugeSummary{
+					Min:  sliceMin(vals),
+					Max:  sliceMax(vals),
+					Mean: sliceMean(vals),
+					P95:  percentile(vals, 0.95),
+					Last: vals[len(vals)-1],
+				}
+			}
+		case "counter":
+			for _, s := range fam.Samples {
+				vals := seriesValues(scrapes, s.Name)
+				c := ctrSummary{First: vals[0], Last: vals[len(vals)-1]}
+				if window := last.at.Sub(scrapes[0].at).Seconds(); window > 0 {
+					c.RatePerSec = (c.Last - c.First) / window
+				}
+				sum.Counters[s.Name] = c
+			}
+		}
+	}
+
+	for _, name := range cfg.require {
+		r := requireResult{Name: name}
+		if h, ok := hists[name]; ok {
+			r.Count = h.Count
+			r.OK = h.Count > 0
+		}
+		if !r.OK {
+			sum.OK = false
+		}
+		sum.Require = append(sum.Require, r)
+	}
+	for _, th := range cfg.thresholds {
+		metric, value, err := resolve(th.Key, hists, sum.Gauges, scrapes)
+		if err != nil {
+			return nil, err
+		}
+		r := thresholdResult{Key: th.Key, Metric: metric, Value: value, Limit: th.Limit, OK: value <= th.Limit}
+		if !r.OK {
+			sum.OK = false
+		}
+		sum.Thresholds = append(sum.Thresholds, r)
+	}
+	return sum, nil
+}
+
+// aliases maps the short stage names accepted in threshold keys to the
+// metric series they stand for.
+var aliases = map[string]string{
+	"push":       "omsd_http_push_seconds",
+	"batch":      "omsd_http_batch_seconds",
+	"finish":     "omsd_http_finish_seconds",
+	"refine":     "omsd_http_refine_seconds",
+	"queue_wait": "omsd_queue_wait_seconds",
+	"assign":     "omsd_assign_seconds",
+	"append":     "omsd_wal_append_seconds",
+	"fsync":      "omsd_wal_fsync_seconds",
+	"backlog":    "omsd_queue_backlog",
+	"runqueue":   "omsd_pool_runqueue",
+}
+
+// resolve turns a threshold key like push_p99_ms, fsync_p99_ms, or
+// backlog_p95 into (metric name, statistic value). The grammar is
+// <metric>_p<NN>[_ms]: metric is an alias or a full series name, pNN
+// the quantile, and the _ms suffix scales a seconds value to
+// milliseconds. Histograms take the quantile from their buckets;
+// anything else takes it over the per-scrape sampled values.
+func resolve(key string, hists map[string]*promtext.Histogram, gauges map[string]gaugeSummary, scrapes []scrape) (string, float64, error) {
+	spec := key
+	toMS := false
+	if rest, ok := strings.CutSuffix(spec, "_ms"); ok {
+		spec, toMS = rest, true
+	}
+	base, pstr, ok := cutLast(spec, "_p")
+	if !ok {
+		return "", 0, fmt.Errorf("threshold key %q: want <metric>_p<NN>[_ms]", key)
+	}
+	pct, err := strconv.ParseFloat(pstr, 64)
+	if err != nil || pct <= 0 || pct > 100 {
+		return "", 0, fmt.Errorf("threshold key %q: bad percentile %q", key, pstr)
+	}
+	q := pct / 100
+	metric := base
+	if full, ok := aliases[base]; ok {
+		metric = full
+	}
+	var value float64
+	if h, ok := hists[metric]; ok {
+		value = h.Quantile(q)
+	} else {
+		vals := seriesValues(scrapes, metric)
+		if len(vals) == 0 {
+			return "", 0, fmt.Errorf("threshold key %q: metric %s not present in any scrape", key, metric)
+		}
+		value = percentile(vals, q)
+	}
+	if toMS {
+		value *= 1000
+	}
+	return metric, value, nil
+}
+
+// cutLast cuts s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// seriesValues collects one series' value from every scrape it appears
+// in, in scrape order.
+func seriesValues(scrapes []scrape, name string) []float64 {
+	var out []float64
+	for _, sc := range scrapes {
+		for _, fam := range sc.fams {
+			for _, s := range fam.Samples {
+				if s.Name == name {
+					out = append(out, s.Value)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// percentile is the nearest-rank percentile of vals (not modified).
+func percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := int(float64(len(sorted))*q+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func sliceMin(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sliceMax(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sliceMean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// report prints the human-facing verdict: one line per threshold and
+// requirement, then the overall result.
+func report(w io.Writer, sum *summary) {
+	for _, r := range sum.Require {
+		status := "ok"
+		if !r.OK {
+			status = "MISSING"
+		}
+		fmt.Fprintf(w, "require %-36s count=%-8d %s\n", r.Name, r.Count, status)
+	}
+	for _, r := range sum.Thresholds {
+		status := "ok"
+		if !r.OK {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(w, "threshold %-24s %s = %.4g (limit %.4g) %s\n", r.Key, r.Metric, r.Value, r.Limit, status)
+	}
+	if sum.OK {
+		fmt.Fprintf(w, "omsstat: ok (%d scrapes, %d histograms)\n", sum.Samples, len(sum.Histograms))
+	} else {
+		fmt.Fprintf(w, "omsstat: FAILED\n")
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"oms/internal/service"
+)
+
+// syntheticServer serves a registry filled with a known workload: the
+// push histogram uniform over (0, 1ms], the fsync histogram with one
+// 20ms stall, a backlog gauge, and a counter that grows per scrape.
+func syntheticServer(t *testing.T) (*httptest.Server, *service.Registry) {
+	t.Helper()
+	reg := service.NewRegistry()
+	push := reg.Histogram("omsd_http_push_seconds", "push latency")
+	for i := 1; i <= 1000; i++ {
+		push.Observe(time.Duration(i) * time.Microsecond)
+	}
+	fsync := reg.Histogram("omsd_wal_fsync_seconds", "fsync stall")
+	fsync.Observe(20 * time.Millisecond)
+	reg.Gauge("omsd_queue_backlog", "backlog").Add(7)
+	ops := reg.Counter("ops_total", "ops")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ops.Add(10)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteText(w)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func runStat(t *testing.T, cfg config) (int, *summary, string) {
+	t.Helper()
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	cfg.outDir = dir
+	cfg.stdout, cfg.stderr = &out, &errw
+	if cfg.samples == 0 {
+		cfg.samples = 3
+	}
+	cfg.interval = time.Millisecond
+	code := run(cfg)
+	var sum *summary
+	if raw, err := os.ReadFile(filepath.Join(dir, "summary.json")); err == nil {
+		sum = &summary{}
+		if err := json.Unmarshal(raw, sum); err != nil {
+			t.Fatalf("summary.json does not parse: %v", err)
+		}
+	}
+	t.Logf("stdout:\n%s\nstderr:\n%s", out.String(), errw.String())
+	return code, sum, dir
+}
+
+func TestQuantilesMatchSnapshot(t *testing.T) {
+	srv, reg := syntheticServer(t)
+	code, sum, dir := runStat(t, config{url: srv.URL})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+
+	// The summary's quantiles must equal the live snapshot's (the same
+	// interpolation over the same buckets, transported through text).
+	var snap service.HistogramSnapshot
+	for _, h := range reg.Histograms() {
+		if h.Name() == "omsd_http_push_seconds" {
+			snap = h.Snapshot()
+		}
+	}
+	got := sum.Histograms["omsd_http_push_seconds"]
+	if got.Count != 1000 {
+		t.Fatalf("push count %d, want 1000", got.Count)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", got.P50, snap.Quantile(0.50)},
+		{"p95", got.P95, snap.Quantile(0.95)},
+		{"p99", got.P99, snap.Quantile(0.99)},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want snapshot's %v", c.name, c.got, c.want)
+		}
+	}
+	// Uniform (0, 1ms]: the p50 estimate must sit mid-range.
+	if got.P50 < 0.3e-3 || got.P50 > 0.7e-3 {
+		t.Errorf("p50 %v implausible for uniform (0,1ms]", got.P50)
+	}
+
+	g := sum.Gauges["omsd_queue_backlog"]
+	if g.Last != 7 || g.P95 != 7 {
+		t.Errorf("backlog gauge summary %+v, want constant 7", g)
+	}
+	c := sum.Counters["ops_total"]
+	if c.Last-c.First != 20 { // 3 scrapes, +10 each, first reading after the first bump
+		t.Errorf("counter first %v last %v, want growth of 20", c.First, c.Last)
+	}
+	if c.RatePerSec <= 0 {
+		t.Errorf("counter rate %v, want > 0", c.RatePerSec)
+	}
+
+	// samples.csv: header + one row per scrape, no _bucket columns.
+	f, err := os.Open(filepath.Join(dir, "samples.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("csv has %d rows, want header + 3 scrapes", len(rows))
+	}
+	if rows[0][0] != "ts_unix_ms" {
+		t.Fatalf("csv header %v", rows[0])
+	}
+	for _, col := range rows[0] {
+		if strings.HasSuffix(col, "_bucket") {
+			t.Fatalf("csv leaked bucket column %q", col)
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	srv, _ := syntheticServer(t)
+
+	// Generous bounds hold: push p99 under 5ms, backlog p95 under 100.
+	ths, err := parseThresholds("push_p99_ms=5,backlog_p95=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, sum, _ := runStat(t, config{url: srv.URL, thresholds: ths})
+	if code != 0 || !sum.OK {
+		t.Fatalf("exit %d ok=%v, want passing thresholds", code, sum.OK)
+	}
+	if sum.Thresholds[0].Metric != "omsd_http_push_seconds" {
+		t.Fatalf("push alias resolved to %q", sum.Thresholds[0].Metric)
+	}
+
+	// The 20ms fsync stall must blow a 5ms p99 bound and exit 1.
+	ths, err = parseThresholds("fsync_p99_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, sum, _ = runStat(t, config{url: srv.URL, thresholds: ths})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on violated threshold", code)
+	}
+	r := sum.Thresholds[0]
+	if r.OK || r.Metric != "omsd_wal_fsync_seconds" || r.Value <= 5 {
+		t.Fatalf("violation record %+v", r)
+	}
+}
+
+func TestRequire(t *testing.T) {
+	srv, _ := syntheticServer(t)
+	code, sum, _ := runStat(t, config{url: srv.URL,
+		require: []string{"omsd_http_push_seconds", "omsd_wal_fsync_seconds"}})
+	if code != 0 || !sum.OK {
+		t.Fatalf("exit %d, want 0 when required histograms are populated", code)
+	}
+	code, sum, _ = runStat(t, config{url: srv.URL, require: []string{"omsd_http_nope_seconds"}})
+	if code != 1 || sum.OK {
+		t.Fatalf("exit %d ok=%v, want 1 on missing required histogram", code, sum.OK)
+	}
+}
+
+func TestNetworkError(t *testing.T) {
+	code, _, _ := runStat(t, config{url: "http://127.0.0.1:1/metrics"})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 on unreachable endpoint", code)
+	}
+}
+
+func TestParseThresholdErrors(t *testing.T) {
+	for _, bad := range []string{"push_p99_ms", "push_p99_ms=abc"} {
+		if _, err := parseThresholds(bad); err == nil {
+			t.Errorf("parseThresholds(%q) accepted a malformed spec", bad)
+		}
+	}
+	srv, _ := syntheticServer(t)
+	for _, badKey := range []string{"push=5", "push_p0_ms=5", "nosuch_p99=5"} {
+		ths, err := parseThresholds(badKey)
+		if err != nil {
+			continue // rejected at parse time is fine too
+		}
+		if code, _, _ := runStat(t, config{url: srv.URL, thresholds: ths}); code != 2 {
+			t.Errorf("threshold %q: exit %d, want 2 on unresolvable key", badKey, code)
+		}
+	}
+}

@@ -45,7 +45,22 @@ type PerfSnapshot struct {
 	// within 10% of declared, balance within twice the epsilon slack.
 	AdaptiveResults []AdaptivePerf `json:"adaptive_results,omitempty"`
 	PeakRSS         int64          `json:"peak_rss_bytes"` // of the whole bench process
-	Totals          map[string]any `json:"totals"`
+	// Runtime captures Go-runtime pressure during the snapshot run;
+	// absent in snapshots older than the field.
+	Runtime *RuntimeStats  `json:"runtime,omitempty"`
+	Totals  map[string]any `json:"totals"`
+}
+
+// RuntimeStats is the Go-runtime side of the perf trajectory: GC pause
+// accumulated across the whole suite, allocations per Push on the hot
+// ingest path (the number the allocation-free telemetry contract rides
+// on), and the peak goroutine count a background sampler observed
+// (dominated by the batch sweep's worker fan-out).
+type RuntimeStats struct {
+	GCPauseTotalNS  uint64  `json:"gc_pause_total_ns"`
+	NumGC           uint32  `json:"num_gc"`
+	PushAllocsPerOp float64 `json:"push_allocs_per_op"`
+	PeakGoroutines  int     `json:"peak_goroutines"`
 }
 
 // PerfResult is one snapshot row.
@@ -148,6 +163,9 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 		GoVersion: runtime.Version(),
 	}
 	start := time.Now()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	peak := sampleGoroutinePeak()
 	for _, ins := range instances {
 		g := ins.BuildCached(scale)
 		n := g.NumNodes()
@@ -214,6 +232,19 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 		return nil, err
 	}
 	snap.AdaptiveResults = adaptiveRows
+	rt := &RuntimeStats{PeakGoroutines: peak.stop()}
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	rt.GCPauseTotalNS = ms1.PauseTotalNs - ms0.PauseTotalNs
+	rt.NumGC = ms1.NumGC - ms0.NumGC
+	if rt.PushAllocsPerOp, err = measurePushAllocs(instances[0], scale, k, cfg); err != nil {
+		return nil, err
+	}
+	snap.Runtime = rt
+	if progress != nil {
+		fmt.Fprintf(progress, "runtime: %.2f allocs/push, %d goroutines peak, %.1fms gc pause\n",
+			rt.PushAllocsPerOp, rt.PeakGoroutines, float64(rt.GCPauseTotalNS)/1e6)
+	}
 	snap.PeakRSS = peakRSSBytes()
 	snap.Totals = map[string]any{
 		"wall_sec":  time.Since(start).Seconds(),
@@ -516,6 +547,73 @@ func (s *PerfSnapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// goroutinePeak polls runtime.NumGoroutine in the background; stop()
+// joins the sampler and reports the maximum it saw.
+type goroutinePeak struct {
+	stopc chan struct{}
+	done  chan struct{}
+	peak  int
+}
+
+func sampleGoroutinePeak() *goroutinePeak {
+	p := &goroutinePeak{stopc: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if n := runtime.NumGoroutine(); n > p.peak {
+				p.peak = n
+			}
+			select {
+			case <-p.stopc:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return p
+}
+
+func (p *goroutinePeak) stop() int {
+	close(p.stopc)
+	<-p.done
+	return p.peak
+}
+
+// measurePushAllocs counts heap allocations per Push over one full
+// sequential stream of the given instance. The session is created
+// outside the window, so the figure is the steady-state ingest cost —
+// including the per-stage telemetry, which must stay allocation-free.
+func measurePushAllocs(ins Instance, scale float64, k int32, cfg Config) (float64, error) {
+	g := ins.BuildCached(scale)
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, nil
+	}
+	sess, err := oms.NewSession(oms.SessionConfig{
+		Stats: oms.StreamStats{
+			N: n, M: g.NumEdges(),
+			TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+		},
+		K:       k,
+		Options: oms.Options{Epsilon: 0.03, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for u := int32(0); u < n; u++ {
+		if _, err := sess.Push(u, g.NodeWeight(u), g.Neighbors(u), g.EdgeWeights(u)); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n), nil
 }
 
 // peakRSSBytes reports the process's peak resident set via getrusage.

@@ -1,0 +1,345 @@
+// Package promtext parses the Prometheus text exposition format
+// (version 0.0.4): the /metrics wire syntax of # HELP and # TYPE
+// comment lines followed by sample lines with optional labels. It is
+// deliberately dependency-free — the service package's round-trip
+// tests and the omsstat sampler both consume it, and neither may pull
+// a client library the build does not vendor.
+//
+// The parser covers the subset a scraper needs: families keyed by
+// metric name, HELP unescaping, histogram child series (_bucket with
+// le labels, _sum, _count) attached to their family, and quantile
+// estimation over cumulative buckets.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one sample line: the full series name (including any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the metadata from its # HELP / # TYPE
+// lines plus every sample that belongs to it. Untyped samples with no
+// preceding metadata form a family of their own with an empty Type.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", ... or ""
+	Samples []Sample
+}
+
+// Parse reads an exposition document and returns its families in
+// first-appearance order. Unparseable lines are errors (a scraper that
+// silently skips them hides exporter bugs); empty input parses to an
+// empty, valid document.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	byName := make(map[string]*Family)
+	var order []*Family
+	family := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, family); err != nil {
+				return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		owner := family(familyOf(s.Name, byName))
+		owner.Samples = append(owner.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, len(order))
+	for i, f := range order {
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// familyOf resolves which family a sample belongs to: its own name when
+// metadata exists for it, else the histogram/summary base name when the
+// sample carries a child-series suffix and the base family is typed.
+func familyOf(name string, byName map[string]*Family) string {
+	if _, ok := byName[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := byName[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseComment handles # HELP and # TYPE; other comments are ignored.
+func parseComment(line string, family func(string) *Family) error {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " ")
+	keyword, rest, _ := strings.Cut(rest, " ")
+	switch keyword {
+	case "HELP":
+		name, help, ok := strings.Cut(rest, " ")
+		if !ok && name == "" {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		family(name).Help = unescapeHelp(help)
+	case "TYPE":
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok || name == "" || typ == "" {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		family(name).Type = typ
+	}
+	return nil
+}
+
+// unescapeHelp reverses the exposition format's HELP escaping: \\ and
+// \n are the only defined sequences.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("sample line %q has no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample line %q has %d value fields, want value [timestamp]", line, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample line %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block from the front of s and
+// returns the remainder. Label values use the full escaping set:
+// \\, \", and \n.
+func parseLabels(s string) (map[string]string, string, error) {
+	out := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return out, s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || i == start {
+			return nil, "", fmt.Errorf("malformed label block %q", s)
+		}
+		key := s[start:i]
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s in %q has an unquoted value", key, s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[key] = val.String()
+	}
+}
+
+// Histogram is a family's merged cumulative-bucket view: finite upper
+// bounds ascending with their cumulative counts, plus the total count
+// and value sum.
+type Histogram struct {
+	Bounds []float64 // finite le bounds, ascending
+	Cum    []uint64  // cumulative counts aligned with Bounds
+	Count  uint64    // total observations (the +Inf cumulative)
+	Sum    float64
+}
+
+// AsHistogram assembles the family's child series into a Histogram.
+// It fails on a family that is not typed histogram or whose buckets
+// are incoherent (no +Inf, non-monotone cumulative counts).
+func (f Family) AsHistogram() (*Histogram, error) {
+	if f.Type != "histogram" {
+		return nil, fmt.Errorf("promtext: family %s has type %q, not histogram", f.Name, f.Type)
+	}
+	h := &Histogram{}
+	type bkt struct {
+		le  float64
+		cum uint64
+	}
+	var bkts []bkt
+	sawInf := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("promtext: %s bucket sample without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("promtext: %s bucket le %q: %w", f.Name, leStr, err)
+			}
+			if s.Value < 0 {
+				return nil, fmt.Errorf("promtext: %s bucket count %v negative", f.Name, s.Value)
+			}
+			if math.IsInf(le, +1) {
+				sawInf = true
+				h.Count = uint64(s.Value)
+				continue
+			}
+			bkts = append(bkts, bkt{le: le, cum: uint64(s.Value)})
+		case f.Name + "_sum":
+			h.Sum = s.Value
+		case f.Name + "_count":
+			if !sawInf {
+				h.Count = uint64(s.Value)
+			}
+		}
+	}
+	if !sawInf {
+		return nil, fmt.Errorf("promtext: histogram %s has no +Inf bucket", f.Name)
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	var prev uint64
+	for _, b := range bkts {
+		if b.cum < prev {
+			return nil, fmt.Errorf("promtext: histogram %s cumulative counts decrease at le=%v", f.Name, b.le)
+		}
+		prev = b.cum
+		h.Bounds = append(h.Bounds, b.le)
+		h.Cum = append(h.Cum, b.cum)
+	}
+	if len(bkts) > 0 && h.Count < prev {
+		return nil, fmt.Errorf("promtext: histogram %s total %d below last finite cumulative %d", f.Name, h.Count, prev)
+	}
+	return h, nil
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) with the standard
+// Prometheus linear interpolation inside the target bucket.
+// Observations beyond the last finite bound report that bound; an
+// empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	for i, cum := range h.Cum {
+		if float64(cum) < rank {
+			continue
+		}
+		upper := h.Bounds[i]
+		lower := 0.0
+		prev := uint64(0)
+		if i > 0 {
+			lower = h.Bounds[i-1]
+			prev = h.Cum[i-1]
+		}
+		inBucket := float64(cum - prev)
+		if inBucket == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(prev))/inBucket
+	}
+	// Rank falls in the +Inf bucket: no upper edge to interpolate to.
+	return h.Bounds[len(h.Bounds)-1]
+}

@@ -1,0 +1,136 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const doc = `# HELP http_requests_total Requests with a\nnewline and a back\\slash.
+# TYPE http_requests_total counter
+http_requests_total{method="post",code="200"} 1027
+http_requests_total{method="get",path="/a\"b\\c"} 3
+
+# TYPE up gauge
+up 1
+
+# HELP lat_seconds request latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.05"} 24
+lat_seconds_bucket{le="0.1"} 33
+lat_seconds_bucket{le="0.2"} 100
+lat_seconds_bucket{le="+Inf"} 144
+lat_seconds_sum 53.42
+lat_seconds_count 144
+
+untyped_sample 7 1712345678
+`
+
+func TestParse(t *testing.T) {
+	fams, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	req := byName["http_requests_total"]
+	if req.Type != "counter" || len(req.Samples) != 2 {
+		t.Fatalf("counter family %+v", req)
+	}
+	if want := "Requests with a\nnewline and a back\\slash."; req.Help != want {
+		t.Fatalf("HELP unescape got %q, want %q", req.Help, want)
+	}
+	if req.Samples[0].Labels["method"] != "post" || req.Samples[0].Value != 1027 {
+		t.Fatalf("sample %+v", req.Samples[0])
+	}
+	if got := req.Samples[1].Labels["path"]; got != `/a"b\c` {
+		t.Fatalf("label value unescape got %q", got)
+	}
+
+	if up := byName["up"]; up.Type != "gauge" || up.Samples[0].Value != 1 {
+		t.Fatalf("gauge family %+v", up)
+	}
+	// The timestamped, untyped sample forms its own family.
+	if u := byName["untyped_sample"]; u.Type != "" || u.Samples[0].Value != 7 {
+		t.Fatalf("untyped family %+v", u)
+	}
+
+	h, err := byName["lat_seconds"].AsHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 144 || h.Sum != 53.42 {
+		t.Fatalf("histogram totals %+v", h)
+	}
+	if len(h.Bounds) != 3 || h.Bounds[2] != 0.2 || h.Cum[2] != 100 {
+		t.Fatalf("histogram buckets %+v", h)
+	}
+	// p50: rank 72 falls in the (0.1, 0.2] bucket, 33 before it, 67 in
+	// it: 0.1 + 0.1*(72-33)/67.
+	want := 0.1 + 0.1*(72.0-33.0)/67.0
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	// p99: rank beyond the last finite cumulative degrades to the last
+	// finite bound.
+	if got := h.Quantile(0.99); got != 0.2 {
+		t.Fatalf("p99 = %v, want last finite bound 0.2", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"metric_no_value\n",
+		"metric 1 2 3\n",
+		"metric{le=\"0.1} 1\n", // unterminated label value
+		"metric{le=0.1} 1\n",   // unquoted label value
+		"metric notanumber\n",  // bad value
+		"{le=\"0.1\"} 1\n",     // no metric name
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed line", bad)
+		}
+	}
+	// Valid oddities that must NOT error.
+	for _, ok := range []string{
+		"",
+		"\n\n",
+		"# just a comment\n",
+		"m_inf +Inf\n",
+		"m_neg -42.5\n",
+	} {
+		if _, err := Parse(strings.NewReader(ok)); err != nil {
+			t.Errorf("Parse(%q) = %v, want nil", ok, err)
+		}
+	}
+}
+
+func TestAsHistogramErrors(t *testing.T) {
+	// Not a histogram.
+	fams, err := Parse(strings.NewReader("# TYPE g gauge\ng 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fams[0].AsHistogram(); err == nil {
+		t.Error("AsHistogram on a gauge family did not error")
+	}
+	// Histogram without +Inf.
+	fams, err = Parse(strings.NewReader("# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_count 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fams[0].AsHistogram(); err == nil {
+		t.Error("AsHistogram without +Inf bucket did not error")
+	}
+	// Non-monotone cumulative counts.
+	fams, err = Parse(strings.NewReader("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fams[0].AsHistogram(); err == nil {
+		t.Error("AsHistogram with decreasing cumulative counts did not error")
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // conformanceCase is one row of the endpoint × error-class table: a
@@ -22,15 +24,17 @@ type conformanceCase struct {
 	body       string
 	wantStatus int
 	wantCode   string // "" for success rows (no error body)
+	wantCT     string // response Content-Type prefix, "" skips the check
 }
 
 // conformanceFixture holds the prepared session states every row picks
 // from.
 type conformanceFixture struct {
-	srvURL     string
-	liveID     string // declared n=4 m=1, nothing pushed
-	finishedID string // declared, sealed
-	deletedID  string // was live, deleted (tombstoned)
+	srvURL      string
+	notReadyURL string // second server whose manager never marked ready
+	liveID      string // declared n=4 m=1, nothing pushed
+	finishedID  string // declared, sealed
+	deletedID   string // was live, deleted (tombstoned)
 }
 
 func newConformanceFixture(t *testing.T) *conformanceFixture {
@@ -58,6 +62,14 @@ func newConformanceFixture(t *testing.T) *conformanceFixture {
 	if err := mgr.Delete(f.deletedID); err != nil {
 		t.Fatal(err)
 	}
+
+	// A second server whose manager is never marked ready: readyz must
+	// answer 503 there while everything above answers on the ready one.
+	notReady := NewManager(Config{JanitorPeriod: time.Hour})
+	t.Cleanup(notReady.Close)
+	nrSrv := httptest.NewServer(NewServer(notReady))
+	t.Cleanup(nrSrv.Close)
+	f.notReadyURL = nrSrv.URL
 	return f
 }
 
@@ -81,64 +93,72 @@ func conformanceTable() []conformanceCase {
 
 	return []conformanceCase{
 		// POST /v1/sessions — create-time rejections.
-		{"create/bad-json", "POST", "POST /v1/sessions", id("/v1/sessions"), "{nope", http.StatusBadRequest, "bad_request"},
-		{"create/no-target", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4}`, http.StatusBadRequest, "bad_request"},
-		{"create/k-and-topology", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"topology":"2:2"}`, http.StatusBadRequest, "bad_request"},
-		{"create/bad-scorer", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"scorer":"quantum"}`, http.StatusBadRequest, "bad_request"},
-		{"create/ok", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"m":3,"k":2}`, http.StatusCreated, ""},
+		{"create/bad-json", "POST", "POST /v1/sessions", id("/v1/sessions"), "{nope", http.StatusBadRequest, "bad_request", ""},
+		{"create/no-target", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4}`, http.StatusBadRequest, "bad_request", ""},
+		{"create/k-and-topology", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"topology":"2:2"}`, http.StatusBadRequest, "bad_request", ""},
+		{"create/bad-scorer", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"scorer":"quantum"}`, http.StatusBadRequest, "bad_request", ""},
+		{"create/ok", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"m":3,"k":2}`, http.StatusCreated, "", ""},
 
 		// GET /v1/sessions — listing has no error classes.
-		{"list/ok", "GET", "GET /v1/sessions", id("/v1/sessions"), "", http.StatusOK, ""},
+		{"list/ok", "GET", "GET /v1/sessions", id("/v1/sessions"), "", http.StatusOK, "", ""},
 
 		// GET /v1/sessions/{id} — dead vs unknown ids.
-		{"status/unknown", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"status/deleted", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone"},
-		{"status/ok", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", live), "", http.StatusOK, ""},
+		{"status/unknown", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"status/deleted", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", ""},
+		{"status/ok", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", live), "", http.StatusOK, "", ""},
 
 		// POST /v1/sessions/{id}/nodes — every push failure class.
-		{"nodes/unknown", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", unknown), node99, http.StatusNotFound, "session_not_found"},
-		{"nodes/deleted", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", deleted), node99, http.StatusGone, "session_gone"},
-		{"nodes/finished", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", finished), node99, http.StatusConflict, "session_finished"},
-		{"nodes/out-of-range", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnprocessableEntity, "node_out_of_range"},
-		{"nodes/over-budget", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded"},
+		{"nodes/unknown", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", unknown), node99, http.StatusNotFound, "session_not_found", ""},
+		{"nodes/deleted", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", deleted), node99, http.StatusGone, "session_gone", ""},
+		{"nodes/finished", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", finished), node99, http.StatusConflict, "session_finished", ""},
+		{"nodes/out-of-range", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", ""},
+		{"nodes/over-budget", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", ""},
 
 		// POST /v1/sessions/{id}/batch — the batch is atomic, so the
 		// same classes apply to the whole group.
-		{"batch/unknown", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", unknown), node99, http.StatusNotFound, "session_not_found"},
-		{"batch/deleted", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", deleted), node99, http.StatusGone, "session_gone"},
-		{"batch/finished", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", finished), node99, http.StatusConflict, "session_finished"},
-		{"batch/out-of-range", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnprocessableEntity, "node_out_of_range"},
-		{"batch/over-budget", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded"},
+		{"batch/unknown", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", unknown), node99, http.StatusNotFound, "session_not_found", ""},
+		{"batch/deleted", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", deleted), node99, http.StatusGone, "session_gone", ""},
+		{"batch/finished", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", finished), node99, http.StatusConflict, "session_finished", ""},
+		{"batch/out-of-range", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", ""},
+		{"batch/over-budget", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", ""},
 
 		// POST /v1/sessions/{id}/finish.
-		{"finish/unknown", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"finish/deleted", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", deleted), "", http.StatusGone, "session_gone"},
+		{"finish/unknown", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"finish/deleted", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", deleted), "", http.StatusGone, "session_gone", ""},
 
 		// POST /v1/sessions/{id}/refine.
-		{"refine/unknown", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"refine/deleted", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", deleted), "", http.StatusGone, "session_gone"},
-		{"refine/not-finished", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", live), "", http.StatusConflict, "session_not_finished"},
-		{"refine/no-stream", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusConflict, "stream_not_retained"},
-		{"refine/bad-json", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "{nope", http.StatusBadRequest, "bad_request"},
+		{"refine/unknown", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"refine/deleted", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", deleted), "", http.StatusGone, "session_gone", ""},
+		{"refine/not-finished", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", live), "", http.StatusConflict, "session_not_finished", ""},
+		{"refine/no-stream", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusConflict, "stream_not_retained", ""},
+		{"refine/bad-json", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "{nope", http.StatusBadRequest, "bad_request", ""},
 
 		// GET /v1/sessions/{id}/refine.
-		{"refine-status/unknown", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"refine-status/never-refined", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusNotFound, "refine_not_found"},
+		{"refine-status/unknown", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"refine-status/never-refined", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusNotFound, "refine_not_found", ""},
 
 		// GET /v1/sessions/{id}/result.
-		{"result/unknown", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"result/not-finished", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", live), "", http.StatusConflict, "session_not_finished"},
-		{"result/no-such-version", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=99", finished), "", http.StatusNotFound, "version_not_found"},
-		{"result/bad-selector", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=soon", finished), "", http.StatusBadRequest, "bad_request"},
-		{"result/ok", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", finished), "", http.StatusOK, ""},
+		{"result/unknown", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"result/not-finished", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", live), "", http.StatusConflict, "session_not_finished", ""},
+		{"result/no-such-version", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=99", finished), "", http.StatusNotFound, "version_not_found", ""},
+		{"result/bad-selector", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=soon", finished), "", http.StatusBadRequest, "bad_request", ""},
+		{"result/ok", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", finished), "", http.StatusOK, "", ""},
 
 		// DELETE /v1/sessions/{id}.
-		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found"},
-		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone"},
+		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", ""},
+		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", ""},
 
-		// Operational endpoints.
-		{"healthz/ok", "GET", "GET /healthz", id("/healthz"), "", http.StatusOK, ""},
-		{"metrics/ok", "GET", "GET /metrics", id("/metrics"), "", http.StatusOK, ""},
+		// Operational endpoints. The metrics row pins the Prometheus text
+		// exposition content type; readyz distinguishes a started daemon
+		// (200) from one still recovering (503 on the not-ready server).
+		{name: "healthz/ok", method: "GET", route: "GET /healthz", url: id("/healthz"), wantStatus: http.StatusOK},
+		{name: "healthz-v1/ok", method: "GET", route: "GET /v1/healthz", url: id("/v1/healthz"), wantStatus: http.StatusOK},
+		{name: "readyz/ok", method: "GET", route: "GET /v1/readyz", url: id("/v1/readyz"), wantStatus: http.StatusOK},
+		{name: "readyz/not-ready", method: "GET", route: "GET /v1/readyz",
+			url:        func(f *conformanceFixture) string { return f.notReadyURL + "/v1/readyz" },
+			wantStatus: http.StatusServiceUnavailable, wantCode: "not_ready"},
+		{name: "metrics/ok", method: "GET", route: "GET /metrics", url: id("/metrics"),
+			wantStatus: http.StatusOK, wantCT: "text/plain; version=0.0.4"},
 	}
 }
 
@@ -171,6 +191,11 @@ func TestHTTPConformance(t *testing.T) {
 			}
 			if resp.StatusCode != tc.wantStatus {
 				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantCT != "" {
+				if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, tc.wantCT) {
+					t.Fatalf("content type %q, want prefix %q", ct, tc.wantCT)
+				}
 			}
 			if tc.wantCode == "" {
 				return

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log-spaced (power-of-two) upper bounds
+// over nanoseconds, from 2^histoMinExp ns (~1µs) through
+// 2^histoMaxExp ns (~17s), plus the +Inf overflow bucket. Every
+// histogram in the registry shares the layout, so omsstat and dashboards
+// can merge and compare series without per-metric bucket metadata.
+const (
+	histoMinExp     = 10 // 2^10 ns = 1.024µs, the first upper bound
+	histoMaxExp     = 34 // 2^34 ns ≈ 17.18s, the last finite upper bound
+	histoBuckets    = histoMaxExp - histoMinExp + 1
+	histoAllBuckets = histoBuckets + 1 // + the +Inf bucket
+)
+
+// histoShardsFor sizes the stripe count: the next power of two at or
+// above GOMAXPROCS, capped so an over-provisioned box does not pay
+// kilobytes per histogram. Power of two keeps shard selection a mask.
+func histoShardsFor() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// histoShard is one stripe of a histogram: per-bucket counts plus the
+// running sum of observed nanoseconds. Padded to its own cache lines by
+// construction (the arrays dominate), written only with atomics.
+type histoShard struct {
+	counts   [histoAllBuckets]atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// Histogram is a lock-free latency histogram with fixed log-spaced
+// buckets. Observations stripe across per-P shards (selected by the
+// runtime's per-thread cheap RNG, so concurrent observers rarely share
+// a cache line) and are merged only at scrape time. Observe is
+// allocation-free and wait-free: one atomic add into a bucket counter
+// and one into the shard's sum.
+type Histogram struct {
+	name   string
+	help   string
+	shards []histoShard
+	mask   uint32
+}
+
+func newHistogram(name, help string) *Histogram {
+	n := histoShardsFor()
+	return &Histogram{name: name, help: help, shards: make([]histoShard, n), mask: uint32(n - 1)}
+}
+
+// bucketIndex maps an observed duration (nanoseconds) to its bucket:
+// the first upper bound it does not exceed, computed from the position
+// of the highest set bit — no float math, no search loop.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histoMinExp {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns-1)) - histoMinExp
+	if idx >= histoAllBuckets {
+		return histoAllBuckets - 1 // +Inf
+	}
+	return idx
+}
+
+// Observe records one duration. Negative durations (clock steps under
+// an injected test clock) clamp to zero rather than corrupting a
+// bucket index.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	sh := &h.shards[rand.Uint32()&h.mask]
+	sh.counts[bucketIndex(ns)].Add(1)
+	sh.sumNanos.Add(ns)
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// HistogramSnapshot is a merged point-in-time view of a histogram:
+// per-bucket (non-cumulative) counts aligned with BucketBounds(), the
+// total count, and the sum of observations in seconds.
+type HistogramSnapshot struct {
+	Buckets [histoAllBuckets]uint64
+	Count   uint64
+	SumSec  float64
+}
+
+// Snapshot merges the shards. Shards are written concurrently, so the
+// merge is a racy-but-monotone view: every completed Observe before the
+// call is included, in-flight ones may or may not be.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var nanos int64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			c := sh.counts[b].Load()
+			s.Buckets[b] += c
+			s.Count += c
+		}
+		nanos += sh.sumNanos.Load()
+	}
+	s.SumSec = float64(nanos) / 1e9
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.shards {
+		for b := range h.shards[i].counts {
+			n += h.shards[i].counts[b].Load()
+		}
+	}
+	return n
+}
+
+// BucketBounds returns the shared finite upper bounds in seconds,
+// ascending; the implicit last bucket is +Inf.
+func BucketBounds() []float64 {
+	out := make([]float64, histoBuckets)
+	for i := range out {
+		out[i] = float64(int64(1)<<(histoMinExp+i)) / 1e9
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds from the
+// merged buckets with the standard Prometheus linear interpolation
+// inside the target bucket. Observations beyond the last finite bound
+// report that bound (there is no upper edge to interpolate toward).
+// Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for b := 0; b < histoAllBuckets; b++ {
+		cum += s.Buckets[b]
+		if float64(cum) < rank {
+			continue
+		}
+		if b == histoAllBuckets-1 {
+			return float64(int64(1)<<histoMaxExp) / 1e9
+		}
+		upper := float64(int64(1)<<(histoMinExp+b)) / 1e9
+		lower := 0.0
+		if b > 0 {
+			lower = float64(int64(1)<<(histoMinExp+b-1)) / 1e9
+		}
+		inBucket := float64(s.Buckets[b])
+		if inBucket == 0 {
+			return upper
+		}
+		before := float64(cum) - inBucket
+		return lower + (upper-lower)*(rank-before)/inBucket
+	}
+	return float64(int64(1)<<histoMaxExp) / 1e9
+}
+
+// writeText emits the histogram in Prometheus text exposition format:
+// cumulative _bucket series with le labels, then _sum and _count.
+func (h *Histogram) writeText(w io.Writer) error {
+	if h.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.name, escapeHelp(h.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+		return err
+	}
+	s := h.Snapshot()
+	var cum uint64
+	for b := 0; b < histoBuckets; b++ {
+		cum += s.Buckets[b]
+		le := strconv.FormatFloat(float64(int64(1)<<(histoMinExp+b))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(s.SumSec, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, s.Count)
+	return err
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) snapshotInto(into map[string]int64) {
+	into[h.name+"_count"] = int64(h.Count())
+}

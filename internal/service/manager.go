@@ -9,10 +9,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oms"
 	"oms/internal/refine"
+	"oms/internal/telemetry"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -211,6 +213,14 @@ type Config struct {
 	// RefinePasses is the pass count a refine request without an
 	// explicit "passes" gets; default 1.
 	RefinePasses int
+	// Registry receives the manager's metrics; nil creates a fresh one.
+	// Injecting a registry lets the daemon register process-level
+	// gauges and wire the WAL store's latency observers onto the same
+	// registry before the manager exists.
+	Registry *Registry
+	// Events receives structured session-lifecycle events (created,
+	// recovered, sealed, evicted, refined, faulted); nil disables them.
+	Events *telemetry.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -286,8 +296,14 @@ type Manager struct {
 	cfg     Config
 	reg     *Registry
 	m       *serviceMetrics
+	ev      *telemetry.Logger
 	pool    *Pool
 	refiner *refine.Runner
+
+	// ready gates /v1/readyz: false until the owner declares startup
+	// complete (omsd flips it after WAL recovery, so load balancers do
+	// not route traffic at a daemon still replaying logs).
+	ready atomic.Bool
 
 	shards [sessionShards]sessionShard
 
@@ -364,11 +380,15 @@ func (mg *Manager) eachSession(fn func(*Session)) {
 // janitor. Close releases both.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
-	reg := NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	mgr := &Manager{
 		cfg:         cfg,
 		reg:         reg,
 		m:           newServiceMetrics(reg),
+		ev:          cfg.Events,
 		pool:        NewPool(cfg.Workers),
 		tombs:       make(map[string]struct{}),
 		janitorQuit: make(chan struct{}),
@@ -376,7 +396,7 @@ func NewManager(cfg Config) *Manager {
 	}
 	mgr.refiner = refine.NewRunner(cfg.RefineWorkers, refine.Hooks{
 		Started: func(string) {},
-		Finished: func(_ string, final refine.State) {
+		Finished: func(id string, final refine.State) {
 			mgr.m.refineActive.Add(-1)
 			switch final {
 			case refine.StateFailed:
@@ -384,15 +404,38 @@ func NewManager(cfg Config) *Manager {
 			case refine.StateCanceled:
 				mgr.m.refineCanceled.Inc()
 			}
+			mgr.ev.Emit(telemetry.EventRefineDone, map[string]any{
+				"session": id, "state": final.String(),
+			})
 		},
 		Pass: func(string, int) { mgr.m.refinePasses.Inc() },
 	})
 	for i := range mgr.shards {
 		mgr.shards[i].m = make(map[string]*Session)
 	}
+	// Backlog visibility: queued-but-undrained jobs across all session
+	// queues, and sessions waiting for a worker turn. Evaluated at
+	// scrape time — a stored gauge would go stale between updates and
+	// cost an atomic on every enqueue/dequeue.
+	reg.GaugeFunc("omsd_queue_backlog", "ingest/finish jobs queued across all live sessions, not yet picked up by a worker", func() int64 {
+		var n int64
+		mgr.eachSession(func(s *Session) { n += int64(len(s.jobs)) })
+		return n
+	})
+	reg.GaugeFunc("omsd_pool_runqueue", "sessions queued for a worker scheduling turn", func() int64 {
+		return int64(mgr.pool.Backlog())
+	})
 	go mgr.janitor()
 	return mgr
 }
+
+// SetReady declares startup complete: /v1/readyz starts answering 200.
+// omsd calls it after WAL recovery; a manager never marked ready keeps
+// reporting 503 (traffic should not be routed to it).
+func (mg *Manager) SetReady() { mg.ready.Store(true) }
+
+// Ready reports whether the manager has been marked ready.
+func (mg *Manager) Ready() bool { return mg.ready.Load() }
 
 // Registry exposes the counter registry (the /metrics endpoint).
 func (mg *Manager) Registry() *Registry { return mg.reg }
@@ -530,6 +573,7 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 		spec:      spec,
 		jobs:      make(chan job, mg.cfg.QueueDepth),
 		m:         mg.m,
+		ev:        mg.ev,
 		now:       mg.cfg.Now,
 		snapEvery: mg.cfg.SnapshotEvery,
 		nodeCap:   mg.cfg.MaxNodes,
@@ -579,6 +623,9 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	if spec.Adaptive {
 		mg.m.adaptiveSessions.Inc()
 	}
+	mg.ev.Emit(telemetry.EventSessionCreated, map[string]any{
+		"session": s.ID, "k": s.K(), "n": spec.N, "adaptive": spec.Adaptive,
+	})
 	return s, nil
 }
 
@@ -668,6 +715,7 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 		spec:         rec.Spec,
 		jobs:         make(chan job, mg.cfg.QueueDepth),
 		m:            mg.m,
+		ev:           mg.ev,
 		now:          mg.cfg.Now,
 		log:          rec.Log,
 		snapEvery:    mg.cfg.SnapshotEvery,
@@ -741,6 +789,9 @@ func (mg *Manager) restoreSession(rec RecoveredSession) error {
 
 	mg.m.sessionsRecovered.Inc()
 	mg.m.sessionsActive.Inc()
+	mg.ev.Emit(telemetry.EventSessionRecovered, map[string]any{
+		"session": s.ID, "assigned": eng.Assigned(), "sealed": rec.Sealed,
+	})
 	return nil
 }
 
@@ -797,6 +848,9 @@ func (mg *Manager) Delete(id string) error {
 	mg.dropPersisted(s)
 	mg.m.sessionsDeleted.Inc()
 	mg.m.sessionsActive.Add(-1)
+	mg.ev.Emit(telemetry.EventSessionDeleted, map[string]any{
+		"session": id, "lifetime_ms": mg.cfg.Now().Sub(s.Created).Milliseconds(),
+	})
 	return nil
 }
 
@@ -891,6 +945,9 @@ func (mg *Manager) EvictIdle() int {
 		mg.dropPersisted(s)
 		mg.m.sessionsEvicted.Inc()
 		mg.m.sessionsActive.Add(-1)
+		mg.ev.Emit(telemetry.EventSessionEvicted, map[string]any{
+			"session": s.ID, "idle_ms": now.Sub(s.idleSince()).Milliseconds(),
+		})
 	}
 	return len(victims)
 }

@@ -42,6 +42,15 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
+// Backlog reports how many sessions are waiting for a scheduling turn
+// (the /metrics omsd_pool_runqueue gauge).
+func (p *Pool) Backlog() int {
+	p.mu.Lock()
+	n := len(p.queue)
+	p.mu.Unlock()
+	return n
+}
+
 // submit queues a session for a worker; it never blocks.
 func (p *Pool) submit(s *Session) {
 	p.mu.Lock()

@@ -276,19 +276,33 @@ func TestMetricsTypedExposition(t *testing.T) {
 			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
 		}
 	}
-	// Every sample line must be preceded by its TYPE comment.
+	// Every sample line must be preceded by its TYPE comment. Histogram
+	// samples belong to their family's metadata: the series name is the
+	// family name plus a _bucket/_sum/_count suffix (and a {le=...}
+	// label on buckets).
 	lines := strings.Split(strings.TrimSpace(text), "\n")
-	typed := map[string]bool{}
+	typed := map[string]string{}
 	for _, ln := range lines {
 		if strings.HasPrefix(ln, "# TYPE ") {
-			typed[strings.Fields(ln)[2]] = true
+			f := strings.Fields(ln)
+			typed[f[2]] = f[3]
 			continue
 		}
 		if strings.HasPrefix(ln, "#") {
 			continue
 		}
-		name := strings.Fields(ln)[0]
-		if !typed[name] {
+		name, _, _ := strings.Cut(strings.Fields(ln)[0], "{")
+		if _, ok := typed[name]; ok {
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				base = b
+				break
+			}
+		}
+		if typed[base] != "histogram" {
 			t.Fatalf("sample %q has no preceding # TYPE", ln)
 		}
 	}

@@ -32,6 +32,7 @@ func testManager(t *testing.T, cfg Config) *Manager {
 		cfg.JanitorPeriod = time.Hour // tests drive eviction explicitly
 	}
 	mgr := NewManager(cfg)
+	mgr.SetReady() // tests exercise a fully started daemon unless they say otherwise
 	t.Cleanup(mgr.Close)
 	return mgr
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"oms"
+	"oms/internal/telemetry"
 )
 
 // PushNode is one node of an ingest chunk: id, weight (0 means 1), the
@@ -39,6 +40,10 @@ type job struct {
 	kind  jobKind
 	nodes []PushNode
 	done  chan jobResult
+	// at is the enqueue instant; the worker observes dequeue-at minus
+	// at into the queue-wait histogram (backpressure as a distribution,
+	// not just a stall counter).
+	at time.Time
 }
 
 // jobResult carries a processed job's outcome back to the enqueuer.
@@ -104,6 +109,7 @@ type Session struct {
 	onePassCut *int64 // measured against the recorded stream at refine start
 
 	m   *serviceMetrics
+	ev  *telemetry.Logger
 	now func() time.Time
 }
 
@@ -165,7 +171,8 @@ func (s *Session) enqueue(ctx context.Context, p *Pool, j job) error {
 	if s.closed.Load() {
 		return errGone(s.ID)
 	}
-	s.touch(s.now())
+	j.at = s.now()
+	s.touch(j.at)
 	select {
 	case s.jobs <- j:
 	default:
@@ -199,6 +206,11 @@ func (s *Session) enqueue(ctx context.Context, p *Pool, j job) error {
 func (s *Session) walFailure(op string, err error) error {
 	s.m.walErrors.Inc()
 	s.closed.Store(true)
+	s.ev.Emit(telemetry.EventSessionFault, map[string]any{
+		"session": s.ID,
+		"op":      op,
+		"error":   err.Error(),
+	})
 	return fmt.Errorf("%w: session %s wal %s (session closed): %w", ErrDurability, s.ID, op, err)
 }
 
@@ -272,6 +284,9 @@ func (s *Session) Finish(ctx context.Context, p *Pool) (*Summary, error) {
 // run executes one queued job on the worker that currently owns the
 // session. All engine access happens here, serialized by the pool.
 func (s *Session) run(j job) {
+	if !j.at.IsZero() {
+		s.m.queueWait.Observe(s.now().Sub(j.at))
+	}
 	switch j.kind {
 	case jobChunk:
 		if err := s.chargeGrowth(j.nodes); err != nil {
@@ -281,6 +296,7 @@ func (s *Session) run(j job) {
 		}
 		blocks := make([]int32, 0, len(j.nodes))
 		var err error
+		var assignDur time.Duration
 		for _, nd := range j.nodes {
 			w := nd.W
 			if w == 0 {
@@ -288,7 +304,9 @@ func (s *Session) run(j job) {
 			}
 			before := s.eng.Assigned()
 			var b int32
+			t0 := s.now()
 			b, err = s.eng.Push(nd.U, w, nd.Adj, nd.EW)
+			assignDur += s.now().Sub(t0)
 			if err != nil {
 				s.m.pushErrors.Inc()
 				break
@@ -330,6 +348,7 @@ func (s *Session) run(j job) {
 		}
 		s.settleGrowth()
 		s.m.chunksIngested.Inc()
+		s.m.assign.Observe(assignDur)
 		j.done <- jobResult{blocks: blocks, err: err}
 	case jobBatch:
 		j.done <- s.runBatch(j.nodes)
@@ -375,6 +394,16 @@ func (s *Session) run(j job) {
 		s.summary = s.summarize(res)
 		s.finished.Store(true)
 		s.m.sessionsFinished.Inc()
+		fields := map[string]any{
+			"session":     s.ID,
+			"k":           s.summary.K,
+			"assigned":    s.summary.Assigned,
+			"lifetime_ms": s.now().Sub(s.Created).Milliseconds(),
+		}
+		if s.summary.EdgeCut != nil {
+			fields["edge_cut"] = *s.summary.EdgeCut
+		}
+		s.ev.Emit(telemetry.EventSessionSealed, fields)
 		j.done <- jobResult{result: res}
 	}
 }
@@ -397,7 +426,9 @@ func (s *Session) runBatch(nodes []PushNode) jobResult {
 		batch[i] = oms.Node{U: nodes[i].U, W: nodes[i].W, Adj: nodes[i].Adj, EW: nodes[i].EW}
 	}
 	before := s.eng.Assigned()
+	t0 := s.now()
 	blocks, err := s.eng.PushBatch(batch)
+	s.m.assign.Observe(s.now().Sub(t0))
 	if err != nil {
 		// Batches are atomic: a rejection applied nothing and logged
 		// nothing, so there is nothing to flush either.

@@ -1,0 +1,71 @@
+// Package telemetry is omsd's structured event log: one JSON object per
+// line, machine-parseable, for the session lifecycle facts operators
+// grep for (created, recovered, sealed, evicted, refined, faulted) that
+// the ad-hoc log.Printf lines used to bury in prose. The daemon enables
+// it with -log-json; a nil *Logger is a no-op, so call sites emit
+// unconditionally.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types the service emits. The strings are API for log pipelines:
+// change them and downstream filters silently go dark, so they only
+// ever grow.
+const (
+	EventSessionCreated   = "session_created"
+	EventSessionRecovered = "session_recovered"
+	EventSessionSealed    = "session_sealed"
+	EventSessionEvicted   = "session_evicted"
+	EventSessionDeleted   = "session_deleted"
+	EventSessionFault     = "session_fault"
+	EventRefineDone       = "refine_done"
+	EventDaemonReady      = "daemon_ready"
+	EventDaemonShutdown   = "daemon_shutdown"
+)
+
+// Logger writes newline-delimited JSON events. Safe for concurrent use;
+// the zero-value pointer (nil) drops every event, so wiring is optional
+// at every call site.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// New returns a Logger writing to w.
+func New(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// NewWithClock injects a clock (tests pin timestamps with it).
+func NewWithClock(w io.Writer, now func() time.Time) *Logger {
+	return &Logger{w: w, now: now}
+}
+
+// Emit writes one event line: {"ts":...,"event":...,<fields>}. Field
+// keys "ts" and "event" are reserved and overwritten if present. A nil
+// logger is a no-op. Marshal failures drop the event (the log is
+// advisory; the serving path must never fail on it).
+func (l *Logger) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	if fields == nil {
+		fields = make(map[string]any, 2)
+	}
+	fields["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	fields["event"] = event
+	b, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmitShape(t *testing.T) {
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 123456789, time.UTC)
+	l := NewWithClock(&buf, func() time.Time { return fixed })
+
+	l.Emit(EventSessionCreated, map[string]any{"session": "s1-feed", "k": 4})
+	l.Emit(EventSessionSealed, nil) // nil fields must not panic
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if got["event"] != EventSessionCreated || got["session"] != "s1-feed" || got["k"] != float64(4) {
+		t.Fatalf("line 0 fields %v", got)
+	}
+	if got["ts"] != fixed.Format(time.RFC3339Nano) {
+		t.Fatalf("ts %v, want the injected clock's instant", got["ts"])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if got["event"] != EventSessionSealed {
+		t.Fatalf("line 1 event %v", got["event"])
+	}
+}
+
+func TestNilLoggerNoop(t *testing.T) {
+	var l *Logger
+	l.Emit(EventSessionFault, map[string]any{"x": 1}) // must not panic
+}
+
+// TestEmitConcurrent: lines from concurrent emitters never interleave
+// (each line stays one valid JSON object). Run under -race.
+func TestEmitConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit(EventRefineDone, map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("%d lines, want 800", len(lines))
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d interleaved or corrupt: %q", i, ln)
+		}
+	}
+}

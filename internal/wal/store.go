@@ -23,6 +23,13 @@ type Options struct {
 	// close). Zero or negative fsyncs on every flush — maximally
 	// durable, slowest.
 	SyncInterval time.Duration
+	// ObserveAppend and ObserveFsync, when set, receive the duration of
+	// every record encode+write and every fsync stall, across all session
+	// logs. omsd points them at the service registry's WAL histograms;
+	// the hooks are plain functions because wal must not import service's
+	// metric types back (wal already sits below service).
+	ObserveAppend func(time.Duration)
+	ObserveFsync  func(time.Duration)
 }
 
 // Store is the on-disk session store, implementing service.Store over a
@@ -208,6 +215,8 @@ func (st *Store) newLog(f *os.File, dir string) *Log {
 		dir:       dir,
 		syncEvery: st.opt.SyncInterval,
 		lastSync:  time.Now(),
+		obsAppend: st.opt.ObserveAppend,
+		obsFsync:  st.opt.ObserveFsync,
 	}
 }
 

@@ -241,6 +241,10 @@ type Log struct {
 	syncEvery time.Duration
 	dirty     bool // bytes possibly not yet fsynced
 	lastSync  time.Time
+	// obsAppend/obsFsync observe append and fsync latencies into the
+	// daemon's histograms; nil when the store is not instrumented.
+	obsAppend func(time.Duration)
+	obsFsync  func(time.Duration)
 	// syncTimer fsyncs a dirty tail the stream went idle on, so the
 	// batched-sync exposure is bounded by wall clock, not by when the
 	// next chunk happens to arrive.
@@ -259,12 +263,32 @@ func (l *Log) AppendNode(u, w int32, adj, ew []int32) error {
 	case l.sealed:
 		return fmt.Errorf("wal: append to sealed log")
 	}
+	t0 := time.Now()
 	l.buf = appendNodePayload(l.buf[:0], u, w, adj, ew)
 	if err := l.writeFrame(l.buf); err != nil {
 		return err
 	}
+	l.observeAppend(t0)
 	l.nodes++
 	return nil
+}
+
+// observeAppend reports one append's encode+write latency to the
+// store's hook; callers hold mu.
+func (l *Log) observeAppend(t0 time.Time) {
+	if l.obsAppend != nil {
+		l.obsAppend(time.Since(t0))
+	}
+}
+
+// syncFile fsyncs the log file, timing the stall; callers hold mu.
+func (l *Log) syncFile() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	if l.obsFsync != nil {
+		l.obsFsync(time.Since(t0))
+	}
+	return err
 }
 
 // AppendBatch buffers one ingest batch as a group-committed frame: all
@@ -304,6 +328,7 @@ func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
 	case l.sealed:
 		return fmt.Errorf("wal: append to sealed log")
 	}
+	t0 := time.Now()
 	frame := append(l.buf[:0], recBatch)
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(nodes)))
 	for i := range nodes {
@@ -319,6 +344,7 @@ func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
 	if err := l.writeFrame(frame); err != nil {
 		return err
 	}
+	l.observeAppend(t0)
 	l.nodes += int64(len(nodes))
 	return nil
 }
@@ -433,7 +459,7 @@ func (l *Log) flushLocked(force bool) error {
 	}
 	now := time.Now()
 	if force || l.syncEvery <= 0 || now.Sub(l.lastSync) >= l.syncEvery {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			return err
 		}
 		l.dirty = false
@@ -469,7 +495,7 @@ func (l *Log) timedSync() {
 	if err := l.w.Flush(); err != nil {
 		return
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncFile(); err != nil {
 		return
 	}
 	l.dirty = false
