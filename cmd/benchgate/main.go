@@ -4,6 +4,7 @@
 // regressed beyond tolerance.
 //
 //	benchgate -old BENCH_oms.json -new BENCH_new.json
+//	benchgate -old BENCH_oms.json -new-load BENCH_load.json
 //
 // Gates, per matched row (instance × algorithm, and instance × threads
 // for the batch-ingest scenario):
@@ -15,6 +16,16 @@
 //     and are reported informationally instead;
 //   - a row present in the baseline but missing from the fresh
 //     snapshot fails (silent coverage loss reads as a pass otherwise).
+//
+// -new-load adds the live-load gate over the snapshot's load_results
+// section (written by omsload -bench-json): the fresh run must use the
+// baseline's profile, carry every baseline class, keep hard errors
+// under -load-err-tol, and keep each class's client p99 within
+// -load-p99-tol of the committed baseline — classes whose baseline p99
+// is under -load-min-p99-ms are informational (client-side sub-ms
+// latencies are runner noise). Without -new-load the load gate is
+// skipped entirely, so the offline bench job never depends on a live
+// daemon.
 //
 // The full side-by-side table is always printed, so the job log shows
 // the trajectory even when the gate passes.
@@ -38,27 +49,56 @@ func main() {
 		speedTol       = flag.Float64("speed-tol", 0.20, "allowed relative nodes/s drop")
 		minRuntime     = flag.Duration("min-runtime", time.Millisecond, "baseline runtime below which throughput is informational only")
 		adaptiveCutTol = flag.Float64("adaptive-cut-tol", 0.10, "allowed adaptive-over-declared edge-cut overshoot (within one snapshot)")
+		newLoadPath    = flag.String("new-load", "", "fresh snapshot carrying load_results (omsload -bench-json output); enables the load gate")
+		loadP99Tol     = flag.Float64("load-p99-tol", 0.50, "allowed relative client-p99 worsening per load class")
+		loadMinP99     = flag.Float64("load-min-p99-ms", 1.0, "baseline class p99 (ms) below which the load gate is informational only")
+		loadErrTol     = flag.Float64("load-err-tol", 0.05, "allowed hard-error fraction per load class in the fresh run")
 	)
 	flag.Parse()
-	if *newPath == "" {
-		fatal(fmt.Errorf("-new is required"))
+	if *newPath == "" && *newLoadPath == "" {
+		fatal(fmt.Errorf("-new (and/or -new-load) is required"))
 	}
 	oldSnap, err := load(*oldPath)
 	if err != nil {
 		fatal(err)
 	}
-	newSnap, err := load(*newPath)
-	if err != nil {
-		fatal(err)
+
+	g := &gate{cutTol: *cutTol, speedTol: *speedTol, minRuntime: minRuntime.Seconds()}
+
+	if *newPath != "" {
+		newSnap, err := load(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		gateOffline(g, oldSnap, newSnap, *oldPath, *newPath, *cutTol, *speedTol, *adaptiveCutTol)
 	}
+	if *newLoadPath != "" {
+		loadSnap, err := load(*newLoadPath)
+		if err != nil {
+			fatal(err)
+		}
+		g.checkLoad(oldSnap.Load, loadSnap.Load, *loadP99Tol, *loadMinP99, *loadErrTol)
+	}
+
+	if len(g.failures) > 0 {
+		fmt.Printf("\nbenchgate: FAIL — %d regression(s):\n", len(g.failures))
+		for _, f := range g.failures {
+			fmt.Println("  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: ok")
+}
+
+// gateOffline runs the original snapshot-vs-snapshot comparisons over
+// the offline bench scenarios.
+func gateOffline(g *gate, oldSnap, newSnap *bench.PerfSnapshot, oldPath, newPath string, cutTol, speedTol, adaptiveCutTol float64) {
 	if oldSnap.Scale != newSnap.Scale || oldSnap.K != newSnap.K {
 		fatal(fmt.Errorf("snapshots disagree on the shared config: old scale=%g k=%d, new scale=%g k=%d",
 			oldSnap.Scale, oldSnap.K, newSnap.Scale, newSnap.K))
 	}
-
-	g := &gate{cutTol: *cutTol, speedTol: *speedTol, minRuntime: minRuntime.Seconds()}
 	fmt.Printf("benchgate: %s vs %s (scale %g, k %d; cut tol %.0f%%, speed tol %.0f%%)\n\n",
-		*oldPath, *newPath, newSnap.Scale, newSnap.K, *cutTol*100, *speedTol*100)
+		oldPath, newPath, newSnap.Scale, newSnap.K, cutTol*100, speedTol*100)
 
 	fmt.Printf("%-16s %-10s %12s %12s %7s %12s %12s %7s  %s\n",
 		"instance", "algorithm", "cut(old)", "cut(new)", "Δcut", "nps(old)", "nps(new)", "Δnps", "status")
@@ -140,10 +180,10 @@ func main() {
 		// declared twin, and balanced within twice the epsilon slack.
 		for _, r := range newSnap.AdaptiveResults {
 			status := "ok"
-			if float64(r.AdaptiveCut) > float64(r.DeclaredCut)*(1+*adaptiveCutTol)+16 {
+			if float64(r.AdaptiveCut) > float64(r.DeclaredCut)*(1+adaptiveCutTol)+16 {
 				status = "FAIL cut"
 				g.failures = append(g.failures, fmt.Sprintf("%s adaptive: cut %d beyond %.0f%% of declared %d",
-					r.Instance, r.AdaptiveCut, *adaptiveCutTol*100, r.DeclaredCut))
+					r.Instance, r.AdaptiveCut, adaptiveCutTol*100, r.DeclaredCut))
 			}
 			if !r.BalanceOK {
 				if status == "ok" {
@@ -158,15 +198,6 @@ func main() {
 				r.Instance, r.DeclaredCut, r.AdaptiveCut, r.CutRatio, r.AdaptiveImb, r.BalanceOK, status)
 		}
 	}
-
-	if len(g.failures) > 0 {
-		fmt.Printf("\nbenchgate: FAIL — %d regression(s):\n", len(g.failures))
-		for _, f := range g.failures {
-			fmt.Println("  -", f)
-		}
-		os.Exit(1)
-	}
-	fmt.Println("\nbenchgate: ok")
 }
 
 // gate accumulates row comparisons and their verdicts.
@@ -207,6 +238,81 @@ func (g *gate) compare(instance, variant string, oldCut, newCut int64, oldNPS, n
 	}
 	fmt.Printf("%-16s %-10s %12d %12d %6.1f%% %12.0f %12.0f %6.1f%%  %s\n",
 		instance, variant, oldCut, newCut, dCut*100, oldNPS, newNPS, dNPS*100, status)
+}
+
+// checkLoad gates the live-load scenario: the fresh load_results (from
+// omsload -bench-json) against the committed baseline. Error budgets
+// and run completeness are enforced unconditionally; p99 comparisons
+// need a baseline and skip sub-ms classes (client-side timing noise on
+// shared runners).
+func (g *gate) checkLoad(old, fresh *bench.LoadSection, p99Tol, minP99Ms, errTol float64) {
+	if fresh == nil {
+		g.failures = append(g.failures, "load: -new-load snapshot has no load_results section")
+		return
+	}
+	if fresh.Partial {
+		g.failures = append(g.failures, fmt.Sprintf("load: fresh %s run is partial — an interrupted run cannot gate", fresh.Profile))
+	}
+	if old != nil && old.Profile != fresh.Profile {
+		g.failures = append(g.failures, fmt.Sprintf("load: profile mismatch — baseline ran %q, fresh ran %q (apples to apples only)",
+			old.Profile, fresh.Profile))
+		return
+	}
+	if old == nil {
+		fmt.Printf("\nload_results (%s): no committed baseline — p99s informational\n", fresh.Profile)
+	} else {
+		fmt.Printf("\nload_results (%s; p99 tol %.0f%%, err tol %.0f%%)\n", fresh.Profile, p99Tol*100, errTol*100)
+	}
+	fmt.Printf("%-10s %8s %6s %12s %12s %7s  %s\n",
+		"class", "requests", "errors", "p99(old)ms", "p99(new)ms", "Δp99", "status")
+
+	oldClasses := map[string]bench.LoadPerf{}
+	if old != nil {
+		for _, c := range old.Classes {
+			oldClasses[c.Class] = c
+		}
+	}
+	for _, n := range fresh.Classes {
+		status := "ok"
+		if n.Requests > 0 && float64(n.Errors) > errTol*float64(n.Requests) {
+			status = "FAIL err"
+			g.failures = append(g.failures, fmt.Sprintf("load/%s: %d hard errors in %d requests (budget %.0f%%)",
+				n.Class, n.Errors, n.Requests, errTol*100))
+		}
+		o, hasBase := oldClasses[n.Class]
+		oldP99 := 0.0
+		if hasBase {
+			oldP99 = o.P99Ms
+			switch {
+			case o.P99Ms < minP99Ms:
+				if status == "ok" {
+					status = "ok (p99 info)"
+				}
+			case n.P99Ms > o.P99Ms*(1+p99Tol)+minP99Ms:
+				if status == "ok" {
+					status = "FAIL p99"
+				} else {
+					status += "+p99"
+				}
+				g.failures = append(g.failures, fmt.Sprintf("load/%s: client p99 %.2fms -> %.2fms (tol %.0f%%)",
+					n.Class, o.P99Ms, n.P99Ms, p99Tol*100))
+			}
+		}
+		fmt.Printf("%-10s %8d %6d %12.2f %12.2f %6.1f%%  %s\n",
+			n.Class, n.Requests, n.Errors, oldP99, n.P99Ms, rel(n.P99Ms, oldP99)*100, status)
+	}
+
+	if old != nil {
+		freshClasses := map[string]bool{}
+		for _, c := range fresh.Classes {
+			freshClasses[c.Class] = true
+		}
+		for _, o := range old.Classes {
+			if !freshClasses[o.Class] {
+				g.missing("load/" + o.Class)
+			}
+		}
+	}
 }
 
 // checkRefineInvariant enforces the within-snapshot promise of the

@@ -42,6 +42,103 @@ func TestGateVerdicts(t *testing.T) {
 	}
 }
 
+func TestLoadGate(t *testing.T) {
+	base := &bench.LoadSection{
+		Profile: "smoke_1k",
+		Classes: []bench.LoadPerf{
+			{Class: "push", Requests: 400, P99Ms: 20},
+			{Class: "status", Requests: 100, P99Ms: 0.4}, // sub-ms baseline
+		},
+	}
+	newGate := func() *gate { return &gate{cutTol: 0.05, speedTol: 0.20, minRuntime: 0.001} }
+	check := func(g *gate, fresh *bench.LoadSection) { g.checkLoad(base, fresh, 0.50, 1.0, 0.05) }
+
+	// Within tolerance on every axis.
+	g := newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 410, Errors: 2, P99Ms: 25},
+		{Class: "status", Requests: 90, P99Ms: 0.9},
+	}})
+	if len(g.failures) != 0 {
+		t.Fatalf("in-tolerance load run failed: %v", g.failures)
+	}
+
+	// p99 beyond 50% (+1ms slack) on a gated class fails.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, P99Ms: 40},
+		{Class: "status", Requests: 100, P99Ms: 0.5},
+	}})
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "p99") {
+		t.Fatalf("p99 regression not caught: %v", g.failures)
+	}
+
+	// The same blowup on a sub-ms baseline class is informational.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, P99Ms: 20},
+		{Class: "status", Requests: 100, P99Ms: 50},
+	}})
+	if len(g.failures) != 0 {
+		t.Fatalf("sub-ms baseline class gated: %v", g.failures)
+	}
+
+	// Hard errors over the 5% budget fail even with fine latency.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, Errors: 40, P99Ms: 20},
+		{Class: "status", Requests: 100, P99Ms: 0.5},
+	}})
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "hard errors") {
+		t.Fatalf("error budget not enforced: %v", g.failures)
+	}
+
+	// A class present in the baseline but absent from the fresh run fails.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, P99Ms: 20},
+	}})
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "missing") {
+		t.Fatalf("missing class not caught: %v", g.failures)
+	}
+
+	// Profile mismatch refuses to compare at all.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "heavy_10k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, P99Ms: 20},
+		{Class: "status", Requests: 100, P99Ms: 0.5},
+	}})
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "profile mismatch") {
+		t.Fatalf("profile mismatch not caught: %v", g.failures)
+	}
+
+	// A partial fresh run cannot gate.
+	g = newGate()
+	check(g, &bench.LoadSection{Profile: "smoke_1k", Partial: true, Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 10, P99Ms: 20},
+		{Class: "status", Requests: 5, P99Ms: 0.5},
+	}})
+	if len(g.failures) == 0 || !strings.Contains(g.failures[0], "partial") {
+		t.Fatalf("partial run not rejected: %v", g.failures)
+	}
+
+	// No committed baseline: informational, except the error budget.
+	g = newGate()
+	g.checkLoad(nil, &bench.LoadSection{Profile: "smoke_1k", Classes: []bench.LoadPerf{
+		{Class: "push", Requests: 400, Errors: 100, P99Ms: 9999},
+	}}, 0.50, 1.0, 0.05)
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "hard errors") {
+		t.Fatalf("baseline-free gating wrong: %v", g.failures)
+	}
+
+	// A snapshot with no load_results at all fails loudly.
+	g = newGate()
+	g.checkLoad(base, nil, 0.50, 1.0, 0.05)
+	if len(g.failures) != 1 || !strings.Contains(g.failures[0], "no load_results") {
+		t.Fatalf("missing section not caught: %v", g.failures)
+	}
+}
+
 func TestRefineInvariant(t *testing.T) {
 	g := &gate{cutTol: 0.05, speedTol: 0.20, minRuntime: 0.001}
 

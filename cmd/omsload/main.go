@@ -1,0 +1,167 @@
+// Command omsload drives a live omsd with an open-loop production
+// workload and turns the run into a latency-SLO verdict: a fixed
+// arrival schedule (intended-start timestamps per request, so
+// coordinated omission cannot hide server stalls) over a weighted mix
+// of push streams, /batch group pushes, adaptive sessions, refine
+// kicks, and status/result reads, with bounded session churn and
+// deterministic seeded adjacency. Workloads are declared in committed
+// profile files (profiles/smoke_1k.env, profiles/heavy_10k.env).
+//
+//	omsload -url http://localhost:7600 -profile profiles/smoke_1k.env -out load/
+//	omsload -url http://localhost:7600 -profile profiles/heavy_10k.env \
+//	        -thresholds 'push_p99_ms<5,batch_p99_ms<10'
+//	omsload -url http://localhost:7600 -wait-ready 15s -wait-only   # readiness gate only
+//
+// Outputs land in -out: samples.csv (one row per sample interval) and
+// summary.json (per-class p50/p95/p99 and the threshold verdict), the
+// same shapes omsstat writes for the server-side view — run omsstat
+// against /metrics concurrently and the two cross-check. A run
+// interrupted by SIGINT/SIGTERM still flushes both files, marked
+// "partial": true.
+//
+// Exit codes: 0 all thresholds hold, 1 at least one violated, 2 usage,
+// setup, or output error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oms/internal/bench"
+	"oms/internal/load"
+	"oms/internal/slo"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, client *http.Client) int {
+	fs := flag.NewFlagSet("omsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url        = fs.String("url", "http://localhost:7600", "omsd base URL")
+		profile    = fs.String("profile", "", "workload profile file (profiles/*.env); empty runs the defaults")
+		out        = fs.String("out", ".", "directory for samples.csv and summary.json")
+		duration   = fs.Duration("duration", 0, "override the profile's DURATION")
+		rps        = fs.Float64("rps", 0, "override the profile's base RPS")
+		thresholds = fs.String("thresholds", "", "override the profile's THRESHOLDS (push_p99_ms<5,... grammar)")
+		waitReady  = fs.Duration("wait-ready", 15*time.Second, "poll /v1/readyz with backoff up to this long before loading (0 = skip)")
+		waitOnly   = fs.Bool("wait-only", false, "only wait for readiness, then exit (the CI boot gate)")
+		benchJSON  = fs.String("bench-json", "", "merge this run as the load_results section of the given bench snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	p := load.DefaultProfile()
+	if *profile != "" {
+		var err error
+		if p, err = load.ParseProfile(*profile); err != nil {
+			fmt.Fprintln(stderr, "omsload:", err)
+			return 2
+		}
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	if *rps > 0 {
+		p.RPS = *rps
+	}
+	if *thresholds != "" {
+		ths, err := slo.ParseThresholds(*thresholds)
+		if err != nil {
+			fmt.Fprintln(stderr, "omsload:", err)
+			return 2
+		}
+		p.Thresholds = ths
+	}
+
+	if *waitReady > 0 {
+		if err := load.WaitReady(ctx, client, *url, *waitReady); err != nil {
+			fmt.Fprintln(stderr, "omsload:", err)
+			return 2
+		}
+	}
+	if *waitOnly {
+		fmt.Fprintln(stdout, "omsload: ready")
+		return 0
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(stderr, "omsload:", err)
+		return 2
+	}
+	sum, code := load.Run(ctx, load.Config{
+		Profile: p,
+		URL:     *url,
+		OutDir:  *out,
+		Client:  client,
+		Stdout:  stdout,
+		Stderr:  stderr,
+	})
+	if sum != nil && *benchJSON != "" {
+		if err := mergeBench(*benchJSON, sum); err != nil {
+			fmt.Fprintln(stderr, "omsload:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "omsload: load_results written to %s\n", *benchJSON)
+	}
+	return code
+}
+
+// mergeBench writes the run as the snapshot's load_results section,
+// preserving every other section of an existing snapshot file (the
+// committed BENCH_oms.json carries the offline suites too).
+func mergeBench(path string, sum *load.Summary) error {
+	snap := &bench.PerfSnapshot{Schema: "oms-bench/v1"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, snap); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	sec := &bench.LoadSection{
+		Profile:     sum.Profile,
+		URL:         sum.URL,
+		DurationSec: sum.DurationSec,
+		AchievedRPS: sum.AchievedRPS,
+		Partial:     sum.Partial,
+	}
+	for _, c := range load.Classes {
+		cs, ok := sum.Classes[string(c)]
+		if !ok {
+			continue
+		}
+		sec.Classes = append(sec.Classes, bench.LoadPerf{
+			Class:    string(c),
+			Requests: cs.Requests,
+			Errors:   cs.Errors,
+			Rejected: cs.Rejected,
+			P50Ms:    cs.P50Ms,
+			P95Ms:    cs.P95Ms,
+			P99Ms:    cs.P99Ms,
+		})
+	}
+	snap.Load = sec
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

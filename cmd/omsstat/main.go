@@ -8,28 +8,39 @@
 // Examples:
 //
 //	omsstat -url http://localhost:7600/metrics -samples 10 -interval 500ms -out stat/
-//	omsstat -url http://localhost:7600/metrics -thresholds push_p99_ms=5,backlog_p95=100
+//	omsstat -url http://localhost:7600/metrics -thresholds 'push_p99_ms<5,backlog_p95<100'
 //	omsstat -url http://localhost:7600/metrics -require omsd_http_push_seconds,omsd_wal_fsync_seconds
+//	omsstat -url http://localhost:7600/metrics -wait-ready 15s -samples 30 -interval 2s
+//
+// The threshold grammar (<metric>_p<NN>[_ms], shared with omsload via
+// internal/slo) accepts both 'key<limit' and legacy 'key=limit'.
+// SIGINT/SIGTERM ends the scrape loop early but still writes
+// samples.csv and a summary.json marked "partial": true over whatever
+// was collected.
 //
 // Exit codes: 0 all thresholds and requirements hold, 1 at least one
 // violated, 2 usage or network error.
 package main
 
 import (
+	"context"
 	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"oms/internal/load"
 	"oms/internal/promtext"
+	"oms/internal/slo"
 )
 
 func main() {
@@ -38,21 +49,23 @@ func main() {
 		interval   = flag.Duration("interval", 500*time.Millisecond, "delay between scrapes")
 		samples    = flag.Int("samples", 5, "number of scrapes")
 		out        = flag.String("out", ".", "directory for samples.csv and summary.json")
-		thresholds = flag.String("thresholds", "", "comma-separated bounds, e.g. push_p99_ms=5,backlog_p95=100")
+		thresholds = flag.String("thresholds", "", "comma-separated bounds, e.g. 'push_p99_ms<5,backlog_p95<100'")
 		require    = flag.String("require", "", "comma-separated histogram names that must exist with count > 0")
+		waitReady  = flag.Duration("wait-ready", 0, "poll the daemon's /v1/readyz with backoff up to this long before sampling (0 = skip)")
 	)
 	flag.Parse()
 
 	cfg := config{
-		url:      *url,
-		interval: *interval,
-		samples:  *samples,
-		outDir:   *out,
-		stdout:   os.Stdout,
-		stderr:   os.Stderr,
+		url:       *url,
+		interval:  *interval,
+		samples:   *samples,
+		outDir:    *out,
+		waitReady: *waitReady,
+		stdout:    os.Stdout,
+		stderr:    os.Stderr,
 	}
 	var err error
-	if cfg.thresholds, err = parseThresholds(*thresholds); err != nil {
+	if cfg.thresholds, err = slo.ParseThresholds(*thresholds); err != nil {
 		fmt.Fprintln(os.Stderr, "omsstat:", err)
 		os.Exit(2)
 	}
@@ -63,7 +76,9 @@ func main() {
 			}
 		}
 	}
-	os.Exit(run(cfg))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, cfg))
 }
 
 type config struct {
@@ -71,41 +86,12 @@ type config struct {
 	interval   time.Duration
 	samples    int
 	outDir     string
-	thresholds []threshold
+	thresholds []slo.Threshold
 	require    []string
+	waitReady  time.Duration
 	client     *http.Client // nil = http.DefaultClient
 	stdout     io.Writer
 	stderr     io.Writer
-}
-
-// threshold is one -thresholds entry: a key naming a statistic (see
-// resolve) and the bound its value must not exceed.
-type threshold struct {
-	Key   string  `json:"key"`
-	Limit float64 `json:"limit"`
-}
-
-func parseThresholds(s string) ([]threshold, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []threshold
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(part, "=")
-		if !ok {
-			return nil, fmt.Errorf("threshold %q is not key=limit", part)
-		}
-		limit, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			return nil, fmt.Errorf("threshold %q: bad limit: %w", part, err)
-		}
-		out = append(out, threshold{Key: key, Limit: limit})
-	}
-	return out, nil
 }
 
 // scrape is one polled exposition document with its wall-clock instant.
@@ -119,10 +105,11 @@ type summary struct {
 	URL        string                  `json:"url"`
 	Samples    int                     `json:"samples"`
 	IntervalMS float64                 `json:"interval_ms"`
+	Partial    bool                    `json:"partial,omitempty"`
 	Histograms map[string]histoSummary `json:"histograms"`
 	Gauges     map[string]gaugeSummary `json:"gauges"`
 	Counters   map[string]ctrSummary   `json:"counters"`
-	Thresholds []thresholdResult       `json:"thresholds,omitempty"`
+	Thresholds []slo.Result            `json:"thresholds,omitempty"`
 	Require    []requireResult         `json:"require,omitempty"`
 	OK         bool                    `json:"ok"`
 }
@@ -151,21 +138,13 @@ type ctrSummary struct {
 	RatePerSec float64 `json:"rate_per_sec"`
 }
 
-type thresholdResult struct {
-	Key    string  `json:"key"`
-	Metric string  `json:"metric"`
-	Value  float64 `json:"value"`
-	Limit  float64 `json:"limit"`
-	OK     bool    `json:"ok"`
-}
-
 type requireResult struct {
 	Name  string `json:"name"`
 	Count uint64 `json:"count"`
 	OK    bool   `json:"ok"`
 }
 
-func run(cfg config) int {
+func run(ctx context.Context, cfg config) int {
 	if cfg.samples < 1 || cfg.url == "" {
 		fmt.Fprintln(cfg.stderr, "omsstat: need -url and -samples >= 1")
 		return 2
@@ -174,10 +153,32 @@ func run(cfg config) int {
 	if client == nil {
 		client = http.DefaultClient
 	}
+	if cfg.waitReady > 0 {
+		base, err := load.ReadyBase(cfg.url)
+		if err != nil {
+			fmt.Fprintln(cfg.stderr, "omsstat:", err)
+			return 2
+		}
+		if err := load.WaitReady(ctx, client, base, cfg.waitReady); err != nil {
+			fmt.Fprintln(cfg.stderr, "omsstat:", err)
+			return 2
+		}
+	}
+
+	// A signal mid-loop stops sampling but not reporting: the scrapes
+	// already collected still become samples.csv and a partial summary.
+	partial := false
 	scrapes := make([]scrape, 0, cfg.samples)
 	for i := 0; i < cfg.samples; i++ {
 		if i > 0 {
-			time.Sleep(cfg.interval)
+			select {
+			case <-ctx.Done():
+			case <-time.After(cfg.interval):
+			}
+		}
+		if ctx.Err() != nil {
+			partial = true
+			break
 		}
 		sc, err := fetch(client, cfg.url)
 		if err != nil {
@@ -185,6 +186,10 @@ func run(cfg config) int {
 			return 2
 		}
 		scrapes = append(scrapes, sc)
+	}
+	if len(scrapes) == 0 {
+		fmt.Fprintln(cfg.stderr, "omsstat: interrupted before the first scrape")
+		return 2
 	}
 
 	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
@@ -201,19 +206,8 @@ func run(cfg config) int {
 		fmt.Fprintln(cfg.stderr, "omsstat:", err)
 		return 2
 	}
-	f, err := os.Create(filepath.Join(cfg.outDir, "summary.json"))
-	if err != nil {
-		fmt.Fprintln(cfg.stderr, "omsstat:", err)
-		return 2
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(sum); err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
-	}
-	if err != nil {
+	sum.Partial = partial
+	if err := slo.WriteJSON(filepath.Join(cfg.outDir, "summary.json"), sum); err != nil {
 		fmt.Fprintln(cfg.stderr, "omsstat:", err)
 		return 2
 	}
@@ -334,7 +328,7 @@ func summarize(cfg config, scrapes []scrape) (*summary, error) {
 					Min:  sliceMin(vals),
 					Max:  sliceMax(vals),
 					Mean: sliceMean(vals),
-					P95:  percentile(vals, 0.95),
+					P95:  slo.Percentile(vals, 0.95),
 					Last: vals[len(vals)-1],
 				}
 			}
@@ -362,11 +356,11 @@ func summarize(cfg config, scrapes []scrape) (*summary, error) {
 		sum.Require = append(sum.Require, r)
 	}
 	for _, th := range cfg.thresholds {
-		metric, value, err := resolve(th.Key, hists, sum.Gauges, scrapes)
+		metric, value, err := resolve(th.Key, hists, scrapes)
 		if err != nil {
 			return nil, err
 		}
-		r := thresholdResult{Key: th.Key, Metric: metric, Value: value, Limit: th.Limit, OK: value <= th.Limit}
+		r := th.Check(metric, value)
 		if !r.OK {
 			sum.OK = false
 		}
@@ -391,53 +385,25 @@ var aliases = map[string]string{
 }
 
 // resolve turns a threshold key like push_p99_ms, fsync_p99_ms, or
-// backlog_p95 into (metric name, statistic value). The grammar is
-// <metric>_p<NN>[_ms]: metric is an alias or a full series name, pNN
-// the quantile, and the _ms suffix scales a seconds value to
-// milliseconds. Histograms take the quantile from their buckets;
-// anything else takes it over the per-scrape sampled values.
-func resolve(key string, hists map[string]*promtext.Histogram, gauges map[string]gaugeSummary, scrapes []scrape) (string, float64, error) {
-	spec := key
-	toMS := false
-	if rest, ok := strings.CutSuffix(spec, "_ms"); ok {
-		spec, toMS = rest, true
-	}
-	base, pstr, ok := cutLast(spec, "_p")
-	if !ok {
-		return "", 0, fmt.Errorf("threshold key %q: want <metric>_p<NN>[_ms]", key)
-	}
-	pct, err := strconv.ParseFloat(pstr, 64)
-	if err != nil || pct <= 0 || pct > 100 {
-		return "", 0, fmt.Errorf("threshold key %q: bad percentile %q", key, pstr)
-	}
-	q := pct / 100
-	metric := base
-	if full, ok := aliases[base]; ok {
-		metric = full
+// backlog_p95 into (metric name, statistic value) via the shared slo
+// grammar. Histograms take the quantile from their buckets; anything
+// else takes it over the per-scrape sampled values.
+func resolve(key string, hists map[string]*promtext.Histogram, scrapes []scrape) (string, float64, error) {
+	k, err := slo.ParseKey(key, aliases)
+	if err != nil {
+		return "", 0, err
 	}
 	var value float64
-	if h, ok := hists[metric]; ok {
-		value = h.Quantile(q)
+	if h, ok := hists[k.Metric]; ok {
+		value = h.Quantile(k.Quantile)
 	} else {
-		vals := seriesValues(scrapes, metric)
+		vals := seriesValues(scrapes, k.Metric)
 		if len(vals) == 0 {
-			return "", 0, fmt.Errorf("threshold key %q: metric %s not present in any scrape", key, metric)
+			return "", 0, fmt.Errorf("threshold key %q: metric %s not present in any scrape", key, k.Metric)
 		}
-		value = percentile(vals, q)
+		value = slo.Percentile(vals, k.Quantile)
 	}
-	if toMS {
-		value *= 1000
-	}
-	return metric, value, nil
-}
-
-// cutLast cuts s around the last occurrence of sep.
-func cutLast(s, sep string) (before, after string, found bool) {
-	i := strings.LastIndex(s, sep)
-	if i < 0 {
-		return s, "", false
-	}
-	return s[:i], s[i+len(sep):], true
+	return k.Metric, k.Scale(value), nil
 }
 
 // seriesValues collects one series' value from every scrape it appears
@@ -454,23 +420,6 @@ func seriesValues(scrapes []scrape, name string) []float64 {
 		}
 	}
 	return out
-}
-
-// percentile is the nearest-rank percentile of vals (not modified).
-func percentile(vals []float64, q float64) float64 {
-	if len(vals) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
-	rank := int(float64(len(sorted))*q+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
 }
 
 func sliceMin(v []float64) float64 {
@@ -518,9 +467,12 @@ func report(w io.Writer, sum *summary) {
 		}
 		fmt.Fprintf(w, "threshold %-24s %s = %.4g (limit %.4g) %s\n", r.Key, r.Metric, r.Value, r.Limit, status)
 	}
-	if sum.OK {
+	switch {
+	case sum.OK && sum.Partial:
+		fmt.Fprintf(w, "omsstat: ok [partial] (%d scrapes, %d histograms)\n", sum.Samples, len(sum.Histograms))
+	case sum.OK:
 		fmt.Fprintf(w, "omsstat: ok (%d scrapes, %d histograms)\n", sum.Samples, len(sum.Histograms))
-	} else {
+	default:
 		fmt.Fprintf(w, "omsstat: FAILED\n")
 	}
 }

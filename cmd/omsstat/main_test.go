@@ -2,18 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"oms/internal/service"
+	"oms/internal/slo"
 )
 
 // syntheticServer serves a registry filled with a known workload: the
@@ -40,6 +44,10 @@ func syntheticServer(t *testing.T) (*httptest.Server, *service.Registry) {
 }
 
 func runStat(t *testing.T, cfg config) (int, *summary, string) {
+	return runStatCtx(t, context.Background(), cfg)
+}
+
+func runStatCtx(t *testing.T, ctx context.Context, cfg config) (int, *summary, string) {
 	t.Helper()
 	dir := t.TempDir()
 	var out, errw bytes.Buffer
@@ -48,8 +56,10 @@ func runStat(t *testing.T, cfg config) (int, *summary, string) {
 	if cfg.samples == 0 {
 		cfg.samples = 3
 	}
-	cfg.interval = time.Millisecond
-	code := run(cfg)
+	if cfg.interval == 0 {
+		cfg.interval = time.Millisecond
+	}
+	code := run(ctx, cfg)
 	var sum *summary
 	if raw, err := os.ReadFile(filepath.Join(dir, "summary.json")); err == nil {
 		sum = &summary{}
@@ -136,7 +146,7 @@ func TestThresholds(t *testing.T) {
 	srv, _ := syntheticServer(t)
 
 	// Generous bounds hold: push p99 under 5ms, backlog p95 under 100.
-	ths, err := parseThresholds("push_p99_ms=5,backlog_p95=100")
+	ths, err := slo.ParseThresholds("push_p99_ms=5,backlog_p95=100")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +159,7 @@ func TestThresholds(t *testing.T) {
 	}
 
 	// The 20ms fsync stall must blow a 5ms p99 bound and exit 1.
-	ths, err = parseThresholds("fsync_p99_ms=5")
+	ths, err = slo.ParseThresholds("fsync_p99_ms=5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,18 +195,113 @@ func TestNetworkError(t *testing.T) {
 
 func TestParseThresholdErrors(t *testing.T) {
 	for _, bad := range []string{"push_p99_ms", "push_p99_ms=abc"} {
-		if _, err := parseThresholds(bad); err == nil {
-			t.Errorf("parseThresholds(%q) accepted a malformed spec", bad)
+		if _, err := slo.ParseThresholds(bad); err == nil {
+			t.Errorf("ParseThresholds(%q) accepted a malformed spec", bad)
 		}
 	}
 	srv, _ := syntheticServer(t)
 	for _, badKey := range []string{"push=5", "push_p0_ms=5", "nosuch_p99=5"} {
-		ths, err := parseThresholds(badKey)
+		ths, err := slo.ParseThresholds(badKey)
 		if err != nil {
 			continue // rejected at parse time is fine too
 		}
 		if code, _, _ := runStat(t, config{url: srv.URL, thresholds: ths}); code != 2 {
 			t.Errorf("threshold %q: exit %d, want 2 on unresolvable key", badKey, code)
 		}
+	}
+}
+
+// TestPartialRun interrupts the scrape loop after the first sample and
+// expects the collected prefix to still land on disk, marked partial.
+func TestPartialRun(t *testing.T) {
+	srv, _ := syntheticServer(t)
+	var hits atomic.Int32
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(gate.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for hits.Load() == 0 { // cancel once at least one scrape landed
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	code, sum, dir := runStatCtx(t, ctx, config{
+		url: gate.URL, samples: 10_000, interval: 5 * time.Millisecond,
+	})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 for a clean partial run", code)
+	}
+	if sum == nil || !sum.Partial {
+		t.Fatalf("summary %+v, want partial:true", sum)
+	}
+	if sum.Samples == 0 || sum.Samples >= 10_000 {
+		t.Fatalf("partial run recorded %d samples", sum.Samples)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "samples.csv")); err != nil {
+		t.Fatalf("partial run did not flush samples.csv: %v", err)
+	}
+}
+
+// TestInterruptBeforeFirstScrape: a context already cancelled means no
+// data at all — that is exit 2, not a vacuous pass.
+func TestInterruptBeforeFirstScrape(t *testing.T) {
+	srv, _ := syntheticServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, _ := runStatCtx(t, ctx, config{url: srv.URL})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 when interrupted before any scrape", code)
+	}
+}
+
+// TestWaitReady: -wait-ready must block on a 503 readyz and proceed
+// once it flips to 200.
+func TestWaitReady(t *testing.T) {
+	srv, _ := syntheticServer(t)
+	var ready atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(w, resp.Body)
+	})
+	gate := httptest.NewServer(mux)
+	t.Cleanup(gate.Close)
+	time.AfterFunc(60*time.Millisecond, func() { ready.Store(true) })
+
+	code, sum, _ := runStat(t, config{url: gate.URL + "/metrics", waitReady: 5 * time.Second})
+	if code != 0 || sum == nil || !sum.OK {
+		t.Fatalf("exit %d, want 0 once readyz flips", code)
+	}
+
+	// An endpoint that never goes ready exhausts the budget with exit 2.
+	ready.Store(false)
+	code, _, _ = runStat(t, config{url: gate.URL + "/metrics", waitReady: 100 * time.Millisecond})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 on readiness timeout", code)
 	}
 }

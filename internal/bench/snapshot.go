@@ -44,7 +44,12 @@ type PerfSnapshot struct {
 	// reconcile pass). benchgate holds the acceptance envelope — cut
 	// within 10% of declared, balance within twice the epsilon slack.
 	AdaptiveResults []AdaptivePerf `json:"adaptive_results,omitempty"`
-	PeakRSS         int64          `json:"peak_rss_bytes"` // of the whole bench process
+	// Load is the service-under-traffic scenario: an omsload open-loop
+	// run against a live omsd (cmd/omsload -bench-json writes it), with
+	// client-side per-class latency percentiles. benchgate gates a
+	// fresh run's classes against the committed ones (-new-load).
+	Load    *LoadSection `json:"load_results,omitempty"`
+	PeakRSS int64        `json:"peak_rss_bytes"` // of the whole bench process
 	// Runtime captures Go-runtime pressure during the snapshot run;
 	// absent in snapshots older than the field.
 	Runtime *RuntimeStats  `json:"runtime,omitempty"`
@@ -124,6 +129,30 @@ type AdaptivePerf struct {
 	// count at seal time.
 	EstimateErrN float64 `json:"estimate_err_n"`
 	RuntimeSec   float64 `json:"runtime_sec"`
+}
+
+// LoadSection is the load_results snapshot section: one omsload run's
+// client-side view. Profile names the committed workload; gating a
+// fresh run against a different profile is apples-to-oranges, so
+// benchgate refuses the comparison.
+type LoadSection struct {
+	Profile     string     `json:"profile"`
+	URL         string     `json:"url,omitempty"`
+	DurationSec float64    `json:"duration_sec"`
+	AchievedRPS float64    `json:"achieved_rps"`
+	Partial     bool       `json:"partial,omitempty"`
+	Classes     []LoadPerf `json:"classes"`
+}
+
+// LoadPerf is one traffic class's latency/volume row.
+type LoadPerf struct {
+	Class    string  `json:"class"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected,omitempty"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // snapshotAlgs are the algorithms the perf snapshot tracks: the paper's

@@ -1,0 +1,430 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"oms/internal/gen"
+	"oms/internal/graph"
+	"oms/internal/util"
+)
+
+// graphVariants is how many distinct LocalAttach adjacency templates a
+// run cycles through; sessions reuse templates so create ops stay cheap
+// while the server still sees varied streams.
+const graphVariants = 4
+
+// lsession is one live server session the driver churns through its
+// lifecycle: streaming (push/batch chunks), exhausted (next touch
+// finishes it), finished (refine kicks and result reads), deleted.
+type lsession struct {
+	id       string
+	g        *graph.Graph
+	cursor   int32 // next node to push
+	adaptive bool
+	batch    bool // exhausted via /batch (vs /nodes); adaptive sessions use /nodes
+	finished bool
+	refines  int
+	busy     bool // a mutating op holds the lease (guarded by Driver.mu)
+}
+
+// Driver maps scheduled traffic classes onto concrete HTTP ops over a
+// churning session population. Scheduling state (which session an
+// arrival touches) lives under one mutex and is decided in plan();
+// the HTTP work itself runs unlocked, so ops on different sessions
+// overlap freely while two mutating ops never race one session.
+type Driver struct {
+	p      Profile
+	base   string // http://host:port, no trailing slash
+	client *http.Client
+	rec    *Recorder
+	graphs []*graph.Graph
+
+	mu       sync.Mutex
+	rng      *util.RNG
+	sessions []*lsession // live: streaming and finished
+	created  int64
+
+	totals SessionTotals
+}
+
+// NewDriver prepares the template graphs and the scheduling state.
+func NewDriver(p Profile, baseURL string, client *http.Client, rec *Recorder) *Driver {
+	if client == nil {
+		client = &http.Client{}
+	}
+	graphs := make([]*graph.Graph, graphVariants)
+	for i := range graphs {
+		graphs[i] = gen.LocalAttach(p.SessionNodes, p.Degree, p.Window, p.Seed+uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return &Driver{
+		p:      p,
+		base:   baseURL,
+		client: client,
+		rec:    rec,
+		graphs: graphs,
+		rng:    util.NewRNG(p.Seed ^ 0xabcdef12345),
+	}
+}
+
+// Live reports the current session population (streaming + finished).
+func (d *Driver) Live() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.sessions))
+}
+
+// Totals returns the session-churn ledger.
+func (d *Driver) Totals() SessionTotals {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.totals
+	t.Live = int64(len(d.sessions))
+	return t
+}
+
+// PickClass draws one schedulable class from the profile's mix.
+func (d *Driver) PickClass() Class {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := 0
+	for _, c := range Classes {
+		total += d.p.Mix[c]
+	}
+	n := d.rng.Intn(total)
+	for _, c := range Classes {
+		if w := d.p.Mix[c]; w > 0 {
+			if n < w {
+				return c
+			}
+			n -= w
+		}
+	}
+	return ClassStatus
+}
+
+// opKind is the concrete op plan() resolved a desired class into.
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opChunk         // push or batch one chunk of s's stream
+	opFinish
+	opRefine
+	opStatus
+	opList
+	opResult
+	opDelete
+)
+
+// op is one planned request.
+type op struct {
+	kind     opKind
+	class    Class // recorded class
+	s        *lsession
+	lo, hi   int32 // chunk bounds for opChunk
+	adaptive bool  // for opCreate
+}
+
+// plan resolves a desired class into a concrete op against current
+// session state, taking leases on mutating targets. Lifecycle takes
+// precedence: an oversized finished pool churns a delete, an exhausted
+// stream gets finished before new chunks are scheduled onto it.
+func (d *Driver) plan(desired Class) op {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Housekeeping first: keep the finished pool near the live target
+	// so sessions churn instead of accumulating forever.
+	if s := d.pickLocked(func(s *lsession) bool { return s.finished && !s.busy }); s != nil && d.countLocked(func(s *lsession) bool { return s.finished }) > d.p.Sessions {
+		s.busy = true
+		return op{kind: opDelete, class: ClassDelete, s: s}
+	}
+	// An exhausted stream is sealed by whatever ingest-shaped arrival
+	// touches it next.
+	if desired == ClassPush || desired == ClassBatch || desired == ClassAdaptive {
+		if s := d.pickLocked(func(s *lsession) bool {
+			return !s.finished && !s.busy && s.cursor >= s.g.NumNodes()
+		}); s != nil {
+			s.busy = true
+			return op{kind: opFinish, class: ClassFinish, s: s}
+		}
+	}
+
+	switch desired {
+	case ClassPush, ClassBatch, ClassAdaptive:
+		wantAdaptive := desired == ClassAdaptive
+		s := d.pickLocked(func(s *lsession) bool {
+			return !s.finished && !s.busy && s.adaptive == wantAdaptive && s.cursor < s.g.NumNodes()
+		})
+		if s == nil {
+			// No stream to feed: grow the population (bounded) — churn
+			// under load creates sessions, which is itself traffic.
+			if len(d.sessions) < 2*d.p.Sessions+2 {
+				return op{kind: opCreate, class: ClassCreate, adaptive: wantAdaptive}
+			}
+			return d.readOpLocked()
+		}
+		s.busy = true
+		lo := s.cursor
+		hi := min(lo+d.p.ChunkNodes, s.g.NumNodes())
+		// The lease covers the chunk: advance now, never re-push nodes
+		// even if the request fails (a gap is harmless, a duplicate
+		// push would corrupt declared weights).
+		s.cursor = hi
+		return op{kind: opChunk, class: desired, s: s, lo: lo, hi: hi}
+	case ClassRefine:
+		if s := d.pickLocked(func(s *lsession) bool { return s.finished && !s.busy && s.refines < 2 }); s != nil {
+			s.busy = true
+			s.refines++
+			return op{kind: opRefine, class: ClassRefine, s: s}
+		}
+		return d.readOpLocked()
+	case ClassResult:
+		if s := d.pickLocked(func(s *lsession) bool { return s.finished }); s != nil {
+			return op{kind: opResult, class: ClassResult, s: s}
+		}
+		return d.readOpLocked()
+	default: // ClassStatus
+		return d.readOpLocked()
+	}
+}
+
+// readOpLocked is the fallback read: a status poke at any session, or
+// the session list when the population is empty.
+func (d *Driver) readOpLocked() op {
+	if len(d.sessions) == 0 {
+		return op{kind: opList, class: ClassStatus}
+	}
+	return op{kind: opStatus, class: ClassStatus, s: d.sessions[d.rng.Intn(len(d.sessions))]}
+}
+
+// pickLocked returns a uniformly random session matching pred, or nil.
+func (d *Driver) pickLocked(pred func(*lsession) bool) *lsession {
+	n := 0
+	var chosen *lsession
+	for _, s := range d.sessions {
+		if pred(s) {
+			n++
+			// Reservoir pick keeps the scan single-pass and unbiased.
+			if d.rng.Intn(n) == 0 {
+				chosen = s
+			}
+		}
+	}
+	return chosen
+}
+
+func (d *Driver) countLocked(pred func(*lsession) bool) int {
+	n := 0
+	for _, s := range d.sessions {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Do executes one scheduled arrival: resolve the class against session
+// state, run the HTTP op, record latency from the intended start, and
+// apply the state transition.
+func (d *Driver) Do(ctx context.Context, desired Class, intended time.Time) {
+	o := d.plan(desired)
+	out := d.execute(ctx, o)
+	d.rec.Observe(o.class, time.Since(intended), out)
+}
+
+// execute runs the op's HTTP request and applies its state transition.
+func (d *Driver) execute(ctx context.Context, o op) Outcome {
+	switch o.kind {
+	case opCreate:
+		return d.doCreate(ctx, o.adaptive)
+	case opChunk:
+		path := "/v1/sessions/" + o.s.id + "/nodes"
+		if o.class == ClassBatch {
+			path = "/v1/sessions/" + o.s.id + "/batch"
+		}
+		status, err := d.doNDJSON(ctx, path, o.s.g, o.lo, o.hi)
+		d.unlease(o.s)
+		return outcomeOf(status, err)
+	case opFinish:
+		status, _, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions/"+o.s.id+"/finish", map[string]any{})
+		d.mu.Lock()
+		o.s.busy = false
+		if err == nil && status < 300 {
+			o.s.finished = true
+			d.totals.Finished++
+		}
+		d.mu.Unlock()
+		return outcomeOf(status, err)
+	case opRefine:
+		status, _, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions/"+o.s.id+"/refine", map[string]any{"passes": 1})
+		d.unlease(o.s)
+		return outcomeOf(status, err)
+	case opStatus:
+		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions/"+o.s.id, nil)
+		return outcomeOf(status, err)
+	case opList:
+		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions", nil)
+		return outcomeOf(status, err)
+	case opResult:
+		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions/"+o.s.id+"/result?version=best", nil)
+		return outcomeOf(status, err)
+	case opDelete:
+		status, _, err := d.doJSON(ctx, http.MethodDelete, "/v1/sessions/"+o.s.id, nil)
+		d.mu.Lock()
+		o.s.busy = false
+		if err == nil && status < 300 {
+			d.removeLocked(o.s)
+			d.totals.Deleted++
+		}
+		d.mu.Unlock()
+		return outcomeOf(status, err)
+	}
+	return OutcomeError
+}
+
+func (d *Driver) unlease(s *lsession) {
+	d.mu.Lock()
+	s.busy = false
+	d.mu.Unlock()
+}
+
+func (d *Driver) removeLocked(s *lsession) {
+	for i, t := range d.sessions {
+		if t == s {
+			d.sessions[i] = d.sessions[len(d.sessions)-1]
+			d.sessions = d.sessions[:len(d.sessions)-1]
+			return
+		}
+	}
+}
+
+// doCreate posts a session spec and registers the new session.
+func (d *Driver) doCreate(ctx context.Context, adaptive bool) Outcome {
+	d.mu.Lock()
+	g := d.graphs[d.created%int64(len(d.graphs))]
+	d.created++
+	seed := d.p.Seed + uint64(d.created)
+	d.mu.Unlock()
+
+	spec := map[string]any{
+		"k":      d.p.K,
+		"record": d.p.Record,
+		"seed":   seed,
+	}
+	if d.p.Threads > 0 {
+		spec["threads"] = d.p.Threads
+	}
+	if adaptive {
+		spec["adaptive"] = true
+	} else {
+		spec["n"] = g.NumNodes()
+		spec["m"] = g.NumEdges()
+		spec["total_node_weight"] = g.TotalNodeWeight()
+		spec["total_edge_weight"] = g.TotalEdgeWeight()
+	}
+	status, body, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions", spec)
+	if err != nil || status >= 300 {
+		return outcomeOf(status, err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		return OutcomeError
+	}
+	d.mu.Lock()
+	d.sessions = append(d.sessions, &lsession{id: created.ID, g: g, adaptive: adaptive})
+	d.totals.Created++
+	d.mu.Unlock()
+	return OutcomeOK
+}
+
+// doJSON runs one JSON request, returning the status and (for 2xx) the
+// body. Non-2xx bodies are drained and discarded so connections reuse.
+func (d *Driver) doJSON(ctx context.Context, method, path string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, d.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// doNDJSON streams nodes [lo, hi) of g as NDJSON push lines and drains
+// the assignment stream. Latency therefore covers the full round trip:
+// upload, assignment, and the streamed response.
+func (d *Driver) doNDJSON(ctx context.Context, path string, g *graph.Graph, lo, hi int32) (int, error) {
+	var buf bytes.Buffer
+	buf.Grow(int(hi-lo) * 48)
+	for u := lo; u < hi; u++ {
+		buf.WriteString(`{"u":`)
+		buf.Write(strconv.AppendInt(nil, int64(u), 10))
+		buf.WriteString(`,"adj":[`)
+		for i, v := range g.Neighbors(u) {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(strconv.AppendInt(nil, int64(v), 10))
+		}
+		buf.WriteString("]}\n")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}
+
+// outcomeOf classifies a completed request: transport failures and 5xx
+// are hard errors, 4xx are rejections (driver racing churn), the rest
+// are fine.
+func outcomeOf(status int, err error) Outcome {
+	switch {
+	case err != nil || status >= 500:
+		return OutcomeError
+	case status >= 400:
+		return OutcomeRejected
+	default:
+		return OutcomeOK
+	}
+}

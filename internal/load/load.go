@@ -1,0 +1,193 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"oms/internal/slo"
+)
+
+// Config is one omsload run: a profile against a base URL, writing
+// samples.csv + summary.json under OutDir.
+type Config struct {
+	Profile Profile
+	URL     string // base, e.g. http://127.0.0.1:7600
+	OutDir  string
+	Client  *http.Client // nil = a fresh client with the profile's timeout
+	Stdout  io.Writer
+	Stderr  io.Writer
+}
+
+// Run drives the profile's open-loop schedule until it is exhausted or
+// ctx is canceled (SIGINT/SIGTERM at the CLI). A canceled run still
+// drains in-flight ops briefly and flushes samples.csv and a
+// summary.json marked "partial": true — a killed run must leave
+// evidence, not nothing. Returns the summary and the process exit
+// code: 0 thresholds hold, 1 violated, 2 setup/IO failure.
+func Run(ctx context.Context, cfg Config) (*Summary, int) {
+	p := cfg.Profile
+	fail := func(err error) (*Summary, int) {
+		fmt.Fprintln(cfg.Stderr, "omsload:", err)
+		return nil, 2
+	}
+	if err := p.Validate(); err != nil {
+		return fail(err)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: p.RequestTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        p.MaxInflight,
+				MaxIdleConnsPerHost: p.MaxInflight,
+			},
+		}
+	}
+
+	rec := NewRecorder()
+	drv := NewDriver(p, cfg.URL, client, rec)
+	csv, err := rec.StartCSV(filepath.Join(cfg.OutDir, "samples.csv"), p.SampleEvery, drv.Live)
+	if err != nil {
+		return fail(err)
+	}
+
+	// hardCtx aborts straggler requests once the drain window closes;
+	// until then requests run to completion even after ctx cancels.
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+
+	pacer := NewPacer(p)
+	sem := make(chan struct{}, p.MaxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	partial := false
+
+launch:
+	for {
+		off, ok := pacer.Next()
+		if !ok {
+			break
+		}
+		target := start.Add(off)
+		if wait := time.Until(target); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				partial = true
+				break launch
+			}
+		} else if ctx.Err() != nil {
+			// Never skip a scheduled arrival while running — lateness is
+			// measured, not elided — but stop launching on cancel.
+			partial = true
+			break launch
+		}
+		desired := drv.PickClass()
+		wg.Add(1)
+		go func(intended time.Time, class Class) {
+			defer wg.Done()
+			rec.Inflight.Add(1)
+			defer rec.Inflight.Add(-1)
+			// The semaphore bounds concurrency without re-timing the op:
+			// latency runs from the intended start, so time spent queued
+			// here is part of the measurement, exactly like queueing in
+			// the server would be.
+			select {
+			case sem <- struct{}{}:
+			case <-hardCtx.Done():
+				rec.Aborted.Add(1)
+				return
+			}
+			defer func() { <-sem }()
+			drv.Do(hardCtx, class, intended)
+		}(target, desired)
+	}
+
+	// Drain: give in-flight ops the profile's drain window, then cut
+	// the stragglers loose so a wedged server cannot hold the exit.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(p.Drain):
+		partial = true
+		hardCancel()
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	if err := csv.Stop(rec, drv.Live); err != nil {
+		return fail(err)
+	}
+
+	hists, classes, thresholds, ok, err := rec.Summarize(p.Thresholds)
+	if err != nil {
+		return fail(err)
+	}
+	completed, errors, rejected := rec.Totals()
+	sum := &Summary{
+		URL:         cfg.URL,
+		Profile:     p.Name,
+		DurationSec: elapsed.Seconds(),
+		Partial:     partial,
+		Intended:    pacer.Generated(),
+		Completed:   completed,
+		Errors:      errors,
+		Rejected:    rejected,
+		Aborted:     rec.Aborted.Load(),
+		Sessions:    drv.Totals(),
+		Histograms:  hists,
+		Classes:     classes,
+		Thresholds:  thresholds,
+		OK:          ok,
+	}
+	if elapsed > 0 {
+		sum.AchievedRPS = float64(completed) / elapsed.Seconds()
+	}
+	if err := slo.WriteJSON(filepath.Join(cfg.OutDir, "summary.json"), sum); err != nil {
+		return fail(err)
+	}
+
+	Report(cfg.Stdout, sum)
+	if !ok {
+		return sum, 1
+	}
+	return sum, 0
+}
+
+// Report prints the human-facing verdict in the omsstat style: one line
+// per class, one per threshold, then the overall result.
+func Report(w io.Writer, sum *Summary) {
+	for _, c := range Classes {
+		cs, ok := sum.Classes[string(c)]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "class %-9s n=%-7d err=%-5d p50=%8.2fms p95=%8.2fms p99=%8.2fms\n",
+			c, cs.Requests, cs.Errors, cs.P50Ms, cs.P95Ms, cs.P99Ms)
+	}
+	for _, r := range sum.Thresholds {
+		status := "ok"
+		if !r.OK {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(w, "threshold %-24s %s = %.4g (limit %.4g) %s\n", r.Key, r.Metric, r.Value, r.Limit, status)
+	}
+	verdict := "ok"
+	if !sum.OK {
+		verdict = "FAILED"
+	}
+	note := ""
+	if sum.Partial {
+		note = " [partial]"
+	}
+	fmt.Fprintf(w, "omsload: %s%s — %d/%d requests (%.1f rps achieved), %d errors, %d sessions created\n",
+		verdict, note, sum.Completed, sum.Intended, sum.AchievedRPS, sum.Errors, sum.Sessions.Created)
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"math"
+	"time"
+)
+
+// Pacer generates the open-loop intended-start schedule: successive
+// arrival offsets from the run's start, advanced by the reciprocal of
+// the instantaneous rate. The schedule is a pure function of the
+// profile — it never looks at how the server is doing, which is the
+// point: a stalled server accumulates lateness against these intended
+// starts instead of silently thinning the arrival stream (coordinated
+// omission).
+type Pacer struct {
+	base, burst float64 // arrivals per second
+	every, blen float64 // burst cadence and width, seconds
+	duration    float64
+	t           float64 // next arrival's offset, seconds
+	n           int64
+}
+
+// NewPacer builds the schedule for a profile.
+func NewPacer(p Profile) *Pacer {
+	return &Pacer{
+		base:     p.RPS,
+		burst:    p.BurstRPS,
+		every:    p.BurstEvery.Seconds(),
+		blen:     p.BurstLen.Seconds(),
+		duration: p.Duration.Seconds(),
+	}
+}
+
+// Rate returns the configured arrival rate at offset t seconds: the
+// burst rate inside a burst window, the base rate everywhere else. The
+// first burst window opens one full cadence in (not at t=0, which
+// would make short smoke runs all burst).
+func (p *Pacer) Rate(t float64) float64 {
+	if p.burst > 0 && p.every > 0 && t >= p.every {
+		if phase := t - p.every*float64(int((t)/p.every)); phase < p.blen {
+			return p.burst
+		}
+	}
+	return p.base
+}
+
+// Next returns the next intended-start offset, or false once the
+// schedule is exhausted. Offsets are strictly increasing.
+func (p *Pacer) Next() (time.Duration, bool) {
+	if p.t >= p.duration {
+		return 0, false
+	}
+	off := p.t
+	// Advance by one arrival's worth of rate-integral, splitting the
+	// step at rate boundaries: a plain 1/Rate step taken just before a
+	// burst window opens would swallow the window's first slice and
+	// thin the burst below its configured density.
+	remaining := 1.0
+	for remaining > 0 {
+		r := p.Rate(p.t)
+		need := remaining / r
+		if b := p.boundaryAfter(p.t); p.t+need > b {
+			remaining -= (b - p.t) * r
+			p.t = b
+			continue
+		}
+		p.t += need
+		remaining = 0
+	}
+	p.n++
+	return time.Duration(off * float64(time.Second)), true
+}
+
+// boundaryAfter returns the first instant strictly after t where the
+// configured rate can change (a burst window edge), or +Inf without
+// bursts.
+func (p *Pacer) boundaryAfter(t float64) float64 {
+	if p.burst <= 0 || p.every <= 0 {
+		return math.Inf(1)
+	}
+	k := math.Floor(t / p.every)
+	if c := k*p.every + p.blen; c > t {
+		return c
+	}
+	return (k + 1) * p.every
+}
+
+// Generated reports how many arrivals Next has produced so far.
+func (p *Pacer) Generated() int64 { return p.n }
+
+// Expected integrates the configured rate over the schedule: the
+// arrival count the profile asks for, against which a run (and the
+// pacing property test) can be checked.
+func (p *Pacer) Expected() float64 {
+	const dt = 1e-3
+	var sum float64
+	for t := 0.0; t < p.duration; t += dt {
+		sum += p.Rate(t) * dt
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func pacerProfile(rps, burst float64, every, blen, dur time.Duration) Profile {
+	p := DefaultProfile()
+	p.RPS = rps
+	p.BurstRPS = burst
+	p.BurstEvery = every
+	p.BurstLen = blen
+	p.Duration = dur
+	return p
+}
+
+func drain(p *Pacer) []time.Duration {
+	var offs []time.Duration
+	for {
+		off, ok := p.Next()
+		if !ok {
+			return offs
+		}
+		offs = append(offs, off)
+	}
+}
+
+// TestPacerScheduleProperty: over a grid of profiles, the generated
+// schedule must be strictly increasing, stay inside the duration, and
+// produce an arrival count matching the integral of the configured rate
+// within a small tolerance — the open-loop harness is only as honest as
+// this schedule.
+func TestPacerScheduleProperty(t *testing.T) {
+	var cases []Profile
+	for _, rps := range []float64{3, 12.5, 47} {
+		for _, dur := range []time.Duration{10 * time.Second, 61 * time.Second} {
+			cases = append(cases,
+				pacerProfile(rps, 0, 0, 0, dur),
+				pacerProfile(rps, 4*rps, 20*time.Second, 4*time.Second, dur),
+				pacerProfile(rps, 120, 30*time.Second, 6*time.Second, dur))
+		}
+	}
+	for _, p := range cases {
+		pc := NewPacer(p)
+		offs := drain(pc)
+		if int64(len(offs)) != pc.Generated() {
+			t.Fatalf("Generated()=%d but drained %d offsets", pc.Generated(), len(offs))
+		}
+		for i := 1; i < len(offs); i++ {
+			if offs[i] <= offs[i-1] {
+				t.Fatalf("rps=%v: offsets not strictly increasing at %d: %v then %v", p.RPS, i, offs[i-1], offs[i])
+			}
+		}
+		if len(offs) == 0 || offs[0] != 0 {
+			t.Fatalf("rps=%v: schedule must start at offset 0, got %v", p.RPS, offs)
+		}
+		if last := offs[len(offs)-1]; last >= p.Duration {
+			t.Fatalf("rps=%v: offset %v outside duration %v", p.RPS, last, p.Duration)
+		}
+
+		want := NewPacer(p).Expected()
+		got := float64(len(offs))
+		// One arrival of slack per rate-boundary crossing plus 2%
+		// integration slop.
+		tol := 0.02*want + 2
+		if p.BurstRPS > 0 {
+			tol += 2 * float64(p.Duration/p.BurstEvery)
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("profile rps=%v burst=%v dur=%v: generated %v arrivals, want %v ±%.1f",
+				p.RPS, p.BurstRPS, p.Duration, got, want, tol)
+		}
+	}
+}
+
+// TestPacerBurstWindows: inside a burst window the arrival density must
+// be the burst rate, outside it the base rate, and no burst may start
+// before one full cadence has elapsed.
+func TestPacerBurstWindows(t *testing.T) {
+	p := pacerProfile(10, 100, 20*time.Second, 4*time.Second, 60*time.Second)
+	pc := NewPacer(p)
+
+	for _, tt := range []struct {
+		at   float64
+		want float64
+	}{
+		{0, 10}, {5, 10}, {19.99, 10}, // before the first window
+		{20.0, 100}, {23.9, 100}, // first window [20, 24)
+		{24.1, 10}, {39.9, 10},
+		{40.0, 100}, {43.9, 100}, // second window
+		{44.1, 10},
+	} {
+		if got := pc.Rate(tt.at); got != tt.want {
+			t.Errorf("Rate(%vs) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+
+	offs := drain(pc)
+	inWindow := 0
+	for _, off := range offs {
+		s := off.Seconds()
+		if s >= 20 && s < 24 {
+			inWindow++
+		}
+	}
+	// 4s at 100 rps ≈ 400 arrivals; at the base rate it would be 40.
+	if inWindow < 350 || inWindow > 450 {
+		t.Errorf("first burst window carried %d arrivals, want ≈400", inWindow)
+	}
+}
+
+// TestPacerExpectedMatchesClosedForm checks the numeric integration on
+// a flat-rate schedule where the answer is exact.
+func TestPacerExpectedMatchesClosedForm(t *testing.T) {
+	p := pacerProfile(25, 0, 0, 0, 40*time.Second)
+	want := 25.0 * 40
+	if got := NewPacer(p).Expected(); math.Abs(got-want) > 0.01*want {
+		t.Fatalf("Expected() = %v, want %v", got, want)
+	}
+}

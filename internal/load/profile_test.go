@@ -1,0 +1,110 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommittedProfilesParse: the profiles the CI and the bench
+// trajectory run must always parse and validate.
+func TestCommittedProfilesParse(t *testing.T) {
+	smoke, err := ParseProfile("../../profiles/smoke_1k.env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smoke.Name != "smoke_1k" || smoke.Duration != 60*time.Second || smoke.RPS != 14 {
+		t.Fatalf("smoke_1k parsed as %+v", smoke)
+	}
+	if smoke.Sessions != 6 || smoke.SessionNodes != 512 || smoke.ChunkNodes != 64 {
+		t.Fatalf("smoke_1k session shape %+v", smoke)
+	}
+	if len(smoke.Thresholds) == 0 || smoke.StatThresholds == "" {
+		t.Fatalf("smoke_1k must carry THRESHOLDS and STAT_THRESHOLDS")
+	}
+	if w := smoke.Mix[ClassPush]; w != 40 {
+		t.Fatalf("smoke_1k push weight %d, want 40", w)
+	}
+
+	heavy, err := ParseProfile("../../profiles/heavy_10k.env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Name != "heavy_10k" || heavy.Duration != 180*time.Second || heavy.RPS != 45 {
+		t.Fatalf("heavy_10k parsed as %+v", heavy)
+	}
+	if heavy.BurstRPS != 120 || heavy.MaxInflight != 512 {
+		t.Fatalf("heavy_10k burst/inflight %+v", heavy)
+	}
+	// Sanity: the nominal arrival volumes behind the profile names.
+	if n := NewPacer(smoke).Expected(); n < 900 || n > 1400 {
+		t.Errorf("smoke_1k schedules %.0f arrivals, want ≈1.1k", n)
+	}
+	if n := NewPacer(heavy).Expected(); n < 9000 || n > 12500 {
+		t.Errorf("heavy_10k schedules %.0f arrivals, want ≈10.8k", n)
+	}
+}
+
+func writeProfile(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.env")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseProfileOverrides(t *testing.T) {
+	p, err := ParseProfile(writeProfile(t,
+		"# comment",
+		"DURATION=5s",
+		"RPS = 3.5",
+		"MIX=push:1,status:1",
+		"SEED=42",
+		"RECORD=false",
+		"DRAIN=2s",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration != 5*time.Second || p.RPS != 3.5 || p.Seed != 42 || p.Record || p.Drain != 2*time.Second {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+	if len(p.Mix) != 2 || p.Mix[ClassPush] != 1 || p.Mix[ClassStatus] != 1 {
+		t.Fatalf("mix override not applied: %+v", p.Mix)
+	}
+	// Untouched knobs keep their defaults.
+	if def := DefaultProfile(); p.Sessions != def.Sessions || p.K != def.K {
+		t.Fatalf("defaults disturbed: %+v", p)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for name, lines := range map[string][]string{
+		"unknown key":     {"NOPE=1"},
+		"not key=value":   {"JUSTAWORD"},
+		"bad duration":    {"DURATION=fast"},
+		"bad float":       {"RPS=abc"},
+		"lifecycle class": {"MIX=create:5"},
+		"unknown class":   {"MIX=nosuch:5"},
+		"bad weight":      {"MIX=push:-1"},
+		"bad threshold":   {"THRESHOLDS=push_p99_ms"},
+		"zero rps":        {"RPS=0"},
+		"burst shape":     {"BURST_RPS=50", "BURST_EVERY=1s", "BURST_LEN=2s"},
+		"tiny k":          {"K=1"},
+	} {
+		if _, err := ParseProfile(writeProfile(t, lines...)); err == nil {
+			t.Errorf("%s: ParseProfile accepted %q", name, lines)
+		}
+	}
+}
+
+func TestValidateMixTotal(t *testing.T) {
+	p := DefaultProfile()
+	p.Mix = map[Class]int{ClassPush: 0}
+	if err := p.Validate(); err == nil {
+		t.Fatal("all-zero mix weights must not validate")
+	}
+}

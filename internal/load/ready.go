@@ -1,0 +1,68 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// WaitReady polls baseURL/v1/readyz with backoff until the daemon
+// reports ready (HTTP 200), the timeout lapses, or ctx is canceled.
+// This is the start gate every consumer of omsd should use instead of
+// a fixed sleep: readiness is 503 while WAL recovery replays, and load
+// or sampling started before that measures the wrong thing.
+func WaitReady(ctx context.Context, client *http.Client, baseURL string, timeout time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	target := baseURL + "/v1/readyz"
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Millisecond
+	var last error
+	for {
+		reqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, target, nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				cancel()
+				return nil
+			}
+			last = fmt.Errorf("%s: %s", target, resp.Status)
+		} else {
+			last = err
+		}
+		cancel()
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("not ready after %s: %w", timeout, last)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// ReadyBase derives the readiness base URL from any endpoint URL on the
+// same daemon (e.g. a /metrics URL): scheme://host, path dropped.
+func ReadyBase(endpoint string) (string, error) {
+	u, err := url.Parse(endpoint)
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("cannot derive readiness URL from %q", endpoint)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}

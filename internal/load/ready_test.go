@@ -1,0 +1,67 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReadyBase(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://localhost:7600/metrics": "http://localhost:7600",
+		"http://10.0.0.1:8080":          "http://10.0.0.1:8080",
+		"https://h.example/v1/x?a=1":    "https://h.example",
+	} {
+		got, err := ReadyBase(in)
+		if err != nil || got != want {
+			t.Errorf("ReadyBase(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "localhost:7600", "/metrics", "::::"} {
+		if _, err := ReadyBase(bad); err == nil {
+			t.Errorf("ReadyBase(%q) accepted a URL with no scheme/host", bad)
+		}
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !ready.Load() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+
+	// Not ready yet: the budget runs out with the last status in the error.
+	if err := WaitReady(context.Background(), nil, srv.URL, 150*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against a 503 endpoint")
+	}
+
+	// Flips ready mid-wait: the poll loop must notice and return nil.
+	time.AfterFunc(80*time.Millisecond, func() { ready.Store(true) })
+	if err := WaitReady(context.Background(), nil, srv.URL, 5*time.Second); err != nil {
+		t.Fatalf("WaitReady after flip: %v", err)
+	}
+
+	// Context cancellation beats the timeout.
+	ready.Store(false)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	if err := WaitReady(ctx, nil, srv.URL, time.Hour); err == nil {
+		t.Fatal("WaitReady ignored context cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("WaitReady did not return promptly on cancel")
+	}
+}

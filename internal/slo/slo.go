@@ -1,0 +1,174 @@
+// Package slo is the shared service-level-objective grammar used by the
+// omsstat sampler (server-side /metrics percentiles) and the omsload
+// generator (client-side latency percentiles): threshold specs of the
+// form
+//
+//	<metric>_p<NN>[_ms] <sep> <limit>
+//
+// where <metric> is a short alias or a full series name, p<NN> the
+// percentile (p50, p95, p99, fractional p99.9 allowed), the optional
+// _ms suffix scales a seconds statistic to milliseconds, and <sep> is
+// either "<" or "=" (both mean "value must not exceed limit"; "<" reads
+// better in profiles, "=" survives shells that glob on "<").
+//
+// Both tools also emit the same summary.json envelope; WriteJSON is the
+// shared indented writer so the documents stay diffable across tools.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Threshold is one parsed bound: Key is the raw spec left of the
+// separator, Limit the value the resolved statistic must not exceed.
+type Threshold struct {
+	Key   string  `json:"key"`
+	Limit float64 `json:"limit"`
+}
+
+// ParseThresholds parses a comma-separated threshold list, e.g.
+// "push_p99_ms<5,backlog_p95<64" or the legacy "push_p99_ms=5" form.
+// Empty input yields nil. Each key must parse under the grammar (the
+// alias is not resolved here — unknown metrics surface at evaluation
+// time, when the sampled series are known).
+func ParseThresholds(s string) ([]Threshold, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Threshold
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := cutAny(part, "<", "=")
+		if !ok {
+			return nil, fmt.Errorf("threshold %q is not key<limit or key=limit", part)
+		}
+		limit, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %q: bad limit: %w", part, err)
+		}
+		key = strings.TrimSpace(key)
+		if _, err := ParseKey(key, nil); err != nil {
+			return nil, err
+		}
+		out = append(out, Threshold{Key: key, Limit: limit})
+	}
+	return out, nil
+}
+
+// cutAny cuts s around the first occurrence of any separator, trying
+// them in order.
+func cutAny(s string, seps ...string) (before, after string, found bool) {
+	for _, sep := range seps {
+		if b, a, ok := strings.Cut(s, sep); ok {
+			return b, a, true
+		}
+	}
+	return s, "", false
+}
+
+// Key is a parsed threshold key: the metric the statistic comes from
+// (alias-resolved when an alias table is supplied), the quantile in
+// (0, 1], and whether the seconds value scales to milliseconds.
+type Key struct {
+	Metric   string
+	Quantile float64
+	ToMS     bool
+}
+
+// ParseKey parses "<metric>_p<NN>[_ms]" and resolves the metric through
+// aliases (nil is fine: the metric is then taken verbatim). The
+// percentile must be in (0, 100].
+func ParseKey(key string, aliases map[string]string) (Key, error) {
+	spec := key
+	toMS := false
+	if rest, ok := strings.CutSuffix(spec, "_ms"); ok {
+		spec, toMS = rest, true
+	}
+	base, pstr, ok := cutLast(spec, "_p")
+	if !ok || base == "" {
+		return Key{}, fmt.Errorf("threshold key %q: want <metric>_p<NN>[_ms]", key)
+	}
+	pct, err := strconv.ParseFloat(pstr, 64)
+	if err != nil || pct <= 0 || pct > 100 {
+		return Key{}, fmt.Errorf("threshold key %q: bad percentile %q", key, pstr)
+	}
+	metric := base
+	if full, ok := aliases[base]; ok {
+		metric = full
+	}
+	return Key{Metric: metric, Quantile: pct / 100, ToMS: toMS}, nil
+}
+
+// cutLast cuts s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// Scale applies the key's unit suffix to a resolved statistic (seconds
+// in, milliseconds out when _ms was given).
+func (k Key) Scale(value float64) float64 {
+	if k.ToMS {
+		return value * 1000
+	}
+	return value
+}
+
+// Result is one evaluated threshold, as it appears in summary.json.
+type Result struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Limit  float64 `json:"limit"`
+	OK     bool    `json:"ok"`
+}
+
+// Check evaluates the threshold against an already-resolved, already-
+// scaled statistic.
+func (t Threshold) Check(metric string, value float64) Result {
+	return Result{Key: t.Key, Metric: metric, Value: value, Limit: t.Limit, OK: value <= t.Limit}
+}
+
+// Percentile is the nearest-rank percentile of vals (not modified).
+func Percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := int(float64(len(sorted))*q+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteJSON writes v to path as indented JSON — the shared summary.json
+// writer, so omsstat and omsload documents diff cleanly.
+func WriteJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

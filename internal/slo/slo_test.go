@@ -1,0 +1,146 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseThresholds(t *testing.T) {
+	ths, err := ParseThresholds("push_p99_ms<5, backlog_p95=64 ,fsync_p99.9_ms<12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Threshold{
+		{Key: "push_p99_ms", Limit: 5},
+		{Key: "backlog_p95", Limit: 64},
+		{Key: "fsync_p99.9_ms", Limit: 12.5},
+	}
+	if len(ths) != len(want) {
+		t.Fatalf("got %d thresholds, want %d: %+v", len(ths), len(want), ths)
+	}
+	for i := range want {
+		if ths[i] != want[i] {
+			t.Errorf("threshold[%d] = %+v, want %+v", i, ths[i], want[i])
+		}
+	}
+	if ths, err := ParseThresholds(""); err != nil || ths != nil {
+		t.Errorf("empty spec: got %v, %v", ths, err)
+	}
+}
+
+func TestParseThresholdsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"push_p99_ms",       // no separator
+		"push_p99_ms<abc",   // non-numeric limit
+		"push<5",            // missing percentile
+		"push_p0<5",         // percentile out of range
+		"push_p101_ms<5",    // percentile out of range
+		"push_pXY_ms<5",     // non-numeric percentile
+		"_p99<5",            // empty metric
+		"push_p99_sec<5",    // bad unit suffix (parses as metric "push_p99_sec": no _p)
+		"push_p99_ms_us<5",  // bad trailing suffix
+		"push_p99_ms<5;x<2", // wrong list separator leaks into the limit
+	} {
+		if ths, err := ParseThresholds(bad); err == nil {
+			t.Errorf("ParseThresholds(%q) accepted a malformed spec: %+v", bad, ths)
+		}
+	}
+}
+
+func TestParseKeyGrammar(t *testing.T) {
+	aliases := map[string]string{"push": "omsd_http_push_seconds"}
+
+	k, err := ParseKey("push_p99_ms", aliases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Metric != "omsd_http_push_seconds" || k.Quantile != 0.99 || !k.ToMS {
+		t.Errorf("push_p99_ms parsed to %+v", k)
+	}
+	// The _ms suffix scales seconds to milliseconds; without it the
+	// value passes through.
+	if got := k.Scale(0.0042); math.Abs(got-4.2) > 1e-12 {
+		t.Errorf("Scale(0.0042) with _ms = %v, want 4.2", got)
+	}
+	k, err = ParseKey("omsd_queue_backlog_p95", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Metric != "omsd_queue_backlog" || k.Quantile != 0.95 || k.ToMS {
+		t.Errorf("backlog key parsed to %+v", k)
+	}
+	if got := k.Scale(64); got != 64 {
+		t.Errorf("Scale without _ms = %v, want identity", got)
+	}
+	// Unknown aliases pass the metric through verbatim: resolution
+	// against live series happens at evaluation time.
+	k, err = ParseKey("nosuch_p50", aliases)
+	if err != nil || k.Metric != "nosuch" {
+		t.Errorf("unaliased key: %+v, %v", k, err)
+	}
+	// Fractional percentiles are part of the grammar.
+	k, err = ParseKey("push_p99.9", nil)
+	if err != nil || math.Abs(k.Quantile-0.999) > 1e-12 {
+		t.Errorf("p99.9: %+v, %v", k, err)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, bad := range []string{"push", "push_ms", "_p99", "push_p-5", "push_p200_ms", "push_p"} {
+		if k, err := ParseKey(bad, nil); err == nil {
+			t.Errorf("ParseKey(%q) accepted: %+v", bad, k)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	th := Threshold{Key: "push_p99_ms", Limit: 5}
+	if r := th.Check("omsd_http_push_seconds", 4.2); !r.OK || r.Metric != "omsd_http_push_seconds" {
+		t.Errorf("passing check reported %+v", r)
+	}
+	if r := th.Check("omsd_http_push_seconds", 5.1); r.OK {
+		t.Errorf("violated check reported %+v", r)
+	}
+	// Boundary: a value exactly at the limit passes ("must not exceed").
+	if r := th.Check("m", 5); !r.OK {
+		t.Errorf("boundary check reported %+v", r)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(vals, 0.5); got != 3 {
+		t.Errorf("p50 of 1..5 = %v, want 3", got)
+	}
+	if got := Percentile(vals, 1.0); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	// Input must not be reordered.
+	if vals[0] != 5 || vals[4] != 3 {
+		t.Errorf("Percentile mutated its input: %v", vals)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := WriteJSON(path, map[string]any{"ok": true, "partial": false}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, raw)
+	}
+	if got["ok"] != true {
+		t.Errorf("round trip lost data: %v", got)
+	}
+}
