@@ -1,0 +1,201 @@
+// Package client is the typed Go client for the omsd HTTP API. It
+// wraps the versioned surface (create / push / batch / finish / refine
+// / result / status / delete) behind one struct, negotiates the wire
+// format per request — NDJSON by default, the v2 binary frame protocol
+// with WithBinary(true) — and turns every failure into a typed *Error
+// whose Code matches the API's stable error classes, so callers branch
+// with errors.Is(err, client.ErrGone) instead of matching status codes
+// by hand.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to one omsd server. The zero value is not usable; use
+// New. A Client is safe for concurrent use.
+type Client struct {
+	base   string
+	hc     *http.Client
+	binary bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test servers).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithBinary switches ingest and result transfer to the v2 binary
+// frame protocol (application/x-oms-frame): varint-delta node frames
+// up, binary assignment frames back. Everything else stays JSON.
+func WithBinary(on bool) Option {
+	return func(c *Client) { c.binary = on }
+}
+
+// New returns a Client for the server at baseURL
+// (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Spec declares a new session — the JSON body of POST /v1/sessions.
+type Spec struct {
+	N               int32   `json:"n"`
+	M               int64   `json:"m"`
+	Adaptive        bool    `json:"adaptive,omitempty"`
+	TotalNodeWeight int64   `json:"total_node_weight,omitempty"`
+	TotalEdgeWeight int64   `json:"total_edge_weight,omitempty"`
+	K               int32   `json:"k,omitempty"`
+	Topology        string  `json:"topology,omitempty"`
+	Distances       string  `json:"distances,omitempty"`
+	Scorer          string  `json:"scorer,omitempty"`
+	Epsilon         float64 `json:"epsilon,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	Record          bool    `json:"record,omitempty"`
+	Threads         int     `json:"threads,omitempty"`
+	TTLSeconds      int     `json:"ttl_seconds,omitempty"`
+}
+
+// Created is the create response.
+type Created struct {
+	ID       string `json:"id"`
+	K        int32  `json:"k"`
+	N        int32  `json:"n"`
+	Adaptive bool   `json:"adaptive"`
+	Lmax     int64  `json:"lmax"`
+}
+
+// Summary is a session's status (GET /v1/sessions/{id}) and the finish
+// response; cut and imbalance are present only on recorded sessions.
+// Adaptive is raw because the two endpoints shape it differently: a
+// status reports `true` for open-ended sessions, a finish summary
+// reports the estimator's reconcile object.
+type Summary struct {
+	ID        string          `json:"id"`
+	K         int32           `json:"k"`
+	N         int32           `json:"n"`
+	Assigned  int32           `json:"assigned"`
+	Lmax      int64           `json:"lmax"`
+	Finished  bool            `json:"finished"`
+	EdgeCut   *int64          `json:"edge_cut"`
+	Imbalance *float64        `json:"imbalance"`
+	Adaptive  json.RawMessage `json:"adaptive,omitempty"`
+}
+
+// Result is an assignment vector (GET /v1/sessions/{id}/result).
+type Result struct {
+	ID      string  `json:"id"`
+	Version int32   `json:"version"`
+	Pass    int32   `json:"pass"`
+	K       int32   `json:"k"`
+	Lmax    int64   `json:"lmax"`
+	EdgeCut *int64  `json:"edge_cut"`
+	Parts   []int32 `json:"parts"`
+}
+
+// Create opens a session.
+func (c *Client) Create(ctx context.Context, spec Spec) (Created, error) {
+	var out Created
+	err := c.doJSON(ctx, http.MethodPost, "/v1/sessions", spec, &out)
+	return out, err
+}
+
+// Status reads one session's status.
+func (c *Client) Status(ctx context.Context, id string) (Summary, error) {
+	var out Summary
+	err := c.doJSON(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out)
+	return out, err
+}
+
+// List enumerates live sessions.
+func (c *Client) List(ctx context.Context) ([]Summary, error) {
+	var out []Summary
+	err := c.doJSON(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// Finish seals the session and returns its summary.
+func (c *Client) Finish(ctx context.Context, id string) (Summary, error) {
+	var out Summary
+	err := c.doJSON(ctx, http.MethodPost, "/v1/sessions/"+id+"/finish", struct{}{}, &out)
+	return out, err
+}
+
+// Refine queues a background restream refinement pass.
+func (c *Client) Refine(ctx context.Context, id string, passes, threads int) error {
+	body := map[string]int{}
+	if passes > 0 {
+		body["passes"] = passes
+	}
+	if threads > 0 {
+		body["threads"] = threads
+	}
+	return c.doJSON(ctx, http.MethodPost, "/v1/sessions/"+id+"/refine", body, nil)
+}
+
+// Delete drops the session.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// doJSON runs one JSON request/response cycle, mapping non-2xx to a
+// typed *Error.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError decodes the uniform {"error","code"} body into an *Error.
+// The body is always consumed, so the connection can be reused.
+func apiError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	_, _ = io.Copy(io.Discard, resp.Body)
+	var eb struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if json.Unmarshal(raw, &eb) == nil && (eb.Code != "" || eb.Error != "") {
+		return &Error{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error}
+	}
+	return &Error{Status: resp.StatusCode, Message: fmt.Sprintf("http %d: %.200s", resp.StatusCode, raw)}
+}

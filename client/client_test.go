@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"oms/internal/service"
+)
+
+func testServer(t *testing.T) string {
+	t.Helper()
+	mgr := service.NewManager(service.Config{})
+	t.Cleanup(mgr.Close)
+	srv := httptest.NewServer(service.NewServer(mgr))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// pathNodes is a 4-node path graph stream.
+func pathNodes() []Node {
+	return []Node{
+		{U: 0, Adj: []int32{1}},
+		{U: 1, Adj: []int32{0, 2}},
+		{U: 2, Adj: []int32{1, 3}},
+		{U: 3, Adj: []int32{2}},
+	}
+}
+
+// TestLifecycleBothFormats drives the whole session lifecycle through
+// the client in each wire format and checks the answers agree: the
+// binary protocol is a transfer encoding, not a different API.
+func TestLifecycleBothFormats(t *testing.T) {
+	url := testServer(t)
+	ctx := context.Background()
+
+	var results [2]Result
+	for i, binary := range []bool{false, true} {
+		c := New(url, WithBinary(binary))
+		created, err := c.Create(ctx, Spec{N: 4, M: 3, K: 2, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if created.ID == "" || created.K != 2 {
+			t.Fatalf("create: %+v", created)
+		}
+
+		as, err := c.Push(ctx, created.ID, pathNodes()[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 2 || as[0].U != 0 || as[1].U != 1 {
+			t.Fatalf("push assignments: %+v", as)
+		}
+		if as, err = c.PushBatch(ctx, created.ID, pathNodes()[2:]); err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 2 {
+			t.Fatalf("batch assignments: %+v", as)
+		}
+
+		st, err := c.Status(ctx, created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Assigned != 4 || st.Finished {
+			t.Fatalf("status: %+v", st)
+		}
+
+		sum, err := c.Finish(ctx, created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Assigned != 4 || sum.EdgeCut == nil {
+			t.Fatalf("finish: %+v", sum)
+		}
+
+		res, err := c.Result(ctx, created.ID, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Parts) != 4 || res.K != 2 {
+			t.Fatalf("result: %+v", res)
+		}
+		results[i] = res
+
+		if err := c.Delete(ctx, created.ID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Status(ctx, created.ID); !errors.Is(err, ErrGone) {
+			t.Fatalf("status after delete: %v, want ErrGone", err)
+		}
+	}
+	for u := range results[0].Parts {
+		if results[0].Parts[u] != results[1].Parts[u] {
+			t.Fatalf("partitions differ between formats at node %d: %v vs %v",
+				u, results[0].Parts, results[1].Parts)
+		}
+	}
+	if *results[0].EdgeCut != *results[1].EdgeCut {
+		t.Fatalf("edge cut differs: %d vs %d", *results[0].EdgeCut, *results[1].EdgeCut)
+	}
+}
+
+// TestSentinelErrors: every failure surfaces as a typed *Error whose
+// class matches the conformance table's code column.
+func TestSentinelErrors(t *testing.T) {
+	url := testServer(t)
+	ctx := context.Background()
+	for _, binary := range []bool{false, true} {
+		c := New(url, WithBinary(binary))
+
+		if _, err := c.Status(ctx, "s0-deadbeef"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("binary=%v unknown status: %v, want ErrNotFound", binary, err)
+		}
+		if _, err := c.Push(ctx, "s0-deadbeef", pathNodes()); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("binary=%v push unknown: %v, want ErrNotFound", binary, err)
+		}
+
+		created, err := c.Create(ctx, Spec{N: 4, M: 3, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Result(ctx, created.ID, ""); !errors.Is(err, ErrNotFinished) {
+			t.Fatalf("binary=%v result unfinished: %v, want ErrNotFinished", binary, err)
+		}
+		if _, err := c.Push(ctx, created.ID, []Node{{U: 99}}); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("binary=%v push out-of-range: %v, want ErrOutOfRange", binary, err)
+		}
+		if _, err := c.Create(ctx, Spec{N: 4}); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("binary=%v create no target: %v, want ErrBadRequest", binary, err)
+		}
+	}
+}
+
+// TestMidStreamError: a rejection after committed nodes arrives
+// in-band, with the accepted prefix's assignments intact.
+func TestMidStreamError(t *testing.T) {
+	url := testServer(t)
+	ctx := context.Background()
+	for _, binary := range []bool{false, true} {
+		c := New(url, WithBinary(binary))
+		created, err := c.Create(ctx, Spec{N: 4, M: 3, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := append(pathNodes()[:2], Node{U: 99})
+		as, err := c.Push(ctx, created.ID, nodes)
+		if err == nil {
+			t.Fatalf("binary=%v push with bad tail succeeded", binary)
+		}
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("binary=%v in-band error type: %v", binary, err)
+		}
+		if len(as) != 2 {
+			t.Fatalf("binary=%v accepted prefix: %+v", binary, as)
+		}
+	}
+}

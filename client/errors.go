@@ -1,0 +1,53 @@
+package client
+
+import "fmt"
+
+// Error is a typed API failure: the HTTP status, the stable
+// machine-readable code from the uniform error body (the same `code`
+// the conformance suite pins), and the human-readable message.
+// Match with errors.Is against the exported sentinels — two Errors
+// are equivalent when their codes agree.
+type Error struct {
+	Status  int    // HTTP status; 0 for in-band mid-stream errors
+	Code    string // stable error class, e.g. "session_gone"
+	Message string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Code != "" && e.Message != "":
+		return fmt.Sprintf("oms: %s (%s)", e.Message, e.Code)
+	case e.Code != "":
+		return "oms: " + e.Code
+	default:
+		return "oms: " + e.Message
+	}
+}
+
+// Is matches by error class, so errors.Is(err, client.ErrGone) holds
+// for any response carrying the "session_gone" code.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code != "" && t.Code == e.Code
+}
+
+// Sentinel errors, one per error class of the API's versioned spec
+// (the Errors column of the route table). Compare with errors.Is.
+var (
+	ErrBadRequest        = &Error{Code: "bad_request"}
+	ErrSessionLimit      = &Error{Code: "session_limit"}
+	ErrNotFound          = &Error{Code: "session_not_found"}
+	ErrGone              = &Error{Code: "session_gone"}
+	ErrFinished          = &Error{Code: "session_finished"}
+	ErrNotFinished       = &Error{Code: "session_not_finished"}
+	ErrOutOfRange        = &Error{Code: "node_out_of_range"}
+	ErrEdgeBudget        = &Error{Code: "edge_budget_exceeded"}
+	ErrStreamNotRetained = &Error{Code: "stream_not_retained"}
+	ErrRefineActive      = &Error{Code: "refine_active"}
+	ErrRefineNotFound    = &Error{Code: "refine_not_found"}
+	ErrVersionNotFound   = &Error{Code: "version_not_found"}
+	ErrUnsupportedMedia  = &Error{Code: "unsupported_media_type"}
+	ErrMalformedFrame    = &Error{Code: "malformed_frame"}
+	ErrDurability        = &Error{Code: "durability_failure"}
+	ErrNotReady          = &Error{Code: "not_ready"}
+)

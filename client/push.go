@@ -1,0 +1,206 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"oms/internal/wire"
+)
+
+// Node is one pushed node: id, weight (0 means 1), neighbors, and
+// optional parallel edge weights.
+type Node struct {
+	U   int32   `json:"u"`
+	W   int32   `json:"w,omitempty"`
+	Adj []int32 `json:"adj"`
+	EW  []int32 `json:"ew,omitempty"`
+}
+
+// Assignment is one node's permanent block.
+type Assignment struct {
+	U int32 `json:"u"`
+	B int32 `json:"b"`
+}
+
+// Push streams nodes through POST /v1/sessions/{id}/nodes and returns
+// their assignments in push order. The transfer encoding follows
+// WithBinary. On a mid-stream rejection the accepted prefix's
+// assignments are returned alongside the error.
+func (c *Client) Push(ctx context.Context, id string, nodes []Node) ([]Assignment, error) {
+	return c.ingest(ctx, id, "nodes", nodes)
+}
+
+// PushBatch streams nodes through POST /v1/sessions/{id}/batch — the
+// atomic, parallel-assignment ingest route.
+func (c *Client) PushBatch(ctx context.Context, id string, nodes []Node) ([]Assignment, error) {
+	return c.ingest(ctx, id, "batch", nodes)
+}
+
+func (c *Client) ingest(ctx context.Context, id, route string, nodes []Node) ([]Assignment, error) {
+	var body bytes.Buffer
+	var ct string
+	if c.binary {
+		ct = wire.MediaType
+		buf := body.AvailableBuffer()
+		for _, nd := range nodes {
+			buf = appendCanonicalFrame(buf, nd)
+		}
+		body.Write(buf)
+	} else {
+		ct = "application/x-ndjson"
+		enc := json.NewEncoder(&body)
+		for _, nd := range nodes {
+			if err := enc.Encode(nd); err != nil {
+				return nil, err
+			}
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/sessions/%s/%s", c.base, id, route), &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ct)
+	req.Header.Set("Accept", ct)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp)
+	}
+	if c.binary {
+		return readWireAssignments(resp.Body, len(nodes))
+	}
+	return readJSONAssignments(resp.Body, len(nodes))
+}
+
+// appendCanonicalFrame encodes nd exactly as the server's NDJSON shim
+// canonicalizes it — zero weight is weight one, an empty edge-weight
+// list is none — so what this client sends is byte-for-byte what the
+// WAL records.
+func appendCanonicalFrame(buf []byte, nd Node) []byte {
+	w := nd.W
+	if w == 0 {
+		w = 1
+	}
+	ew := nd.EW
+	if len(ew) == 0 {
+		ew = nil
+	}
+	return wire.AppendNodeFrame(buf, nd.U, w, nd.Adj, ew)
+}
+
+// readWireAssignments drains a binary reply stream: TypeAssign frames
+// carry assignments, a TypeError frame ends the stream with an in-band
+// error (the assignments before it stand).
+func readWireAssignments(r io.Reader, hint int) ([]Assignment, error) {
+	out := make([]Assignment, 0, hint)
+	rd := wire.NewReader(r)
+	var us, bs []int32
+	for {
+		payload, _, err := rd.NextFrame()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		switch payload[0] {
+		case wire.TypeAssign:
+			us, bs, err = wire.DecodeAssignPayload(payload, us[:0], bs[:0])
+			if err != nil {
+				return out, err
+			}
+			for i := range us {
+				out = append(out, Assignment{U: us[i], B: bs[i]})
+			}
+		case wire.TypeError:
+			msg, err := wire.DecodeErrorPayload(payload)
+			if err != nil {
+				return out, err
+			}
+			return out, &Error{Message: msg}
+		default:
+			return out, fmt.Errorf("oms: unexpected reply frame type %d", payload[0])
+		}
+		rd.Arena.Reset()
+	}
+}
+
+// readJSONAssignments drains an NDJSON reply stream; a line with an
+// "error" field ends the stream with an in-band error.
+func readJSONAssignments(r io.Reader, hint int) ([]Assignment, error) {
+	out := make([]Assignment, 0, hint)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line struct {
+			U     int32  `json:"u"`
+			B     int32  `json:"b"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return out, err
+		}
+		if line.Error != "" {
+			return out, &Error{Message: line.Error}
+		}
+		out = append(out, Assignment{U: line.U, B: line.B})
+	}
+	return out, sc.Err()
+}
+
+// Result fetches an assignment vector. version is "" for the streamed
+// partition, "N", "latest", or "best" for refined versions. With
+// WithBinary the transfer is one binary result frame instead of JSON.
+func (c *Client) Result(ctx context.Context, id, version string) (Result, error) {
+	url := c.base + "/v1/sessions/" + id + "/result"
+	if version != "" {
+		url += "?version=" + version
+	}
+	if !c.binary {
+		var out Result
+		err := c.doJSON(ctx, http.MethodGet, url[len(c.base):], nil, &out)
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	req.Header.Set("Accept", wire.MediaType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return Result{}, apiError(resp)
+	}
+	rd := wire.NewReader(resp.Body)
+	payload, _, err := rd.NextFrame()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Result{}, err
+	}
+	wres, err := wire.DecodeResultPayload(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID: id, Version: wres.Version, Pass: wres.Pass, K: wres.K,
+		Lmax: wres.Lmax, EdgeCut: wres.EdgeCut, Parts: wres.Parts,
+	}, nil
+}

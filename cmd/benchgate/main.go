@@ -198,6 +198,74 @@ func gateOffline(g *gate, oldSnap, newSnap *bench.PerfSnapshot, oldPath, newPath
 				r.Instance, r.DeclaredCut, r.AdaptiveCut, r.CutRatio, r.AdaptiveImb, r.BalanceOK, status)
 		}
 	}
+
+	g.checkWire(oldSnap.WireResults, newSnap.WireResults)
+}
+
+// wireAllocFloor and wireSpeedupFloor are the wire-v2 contract, held
+// unconditionally within every fresh snapshot: the binary ingest path
+// stays allocation-free (a small epsilon absorbs one-time arena and
+// buffer growth amortized over the stream) and beats the NDJSON
+// transcoding shim by at least 2x.
+const (
+	wireAllocFloor   = 0.05
+	wireSpeedupFloor = 2.0
+)
+
+// checkWire gates the ingest-codec scenario: the section must not
+// silently disappear, binary rows must hold the zero-alloc floor and
+// the 2x-over-NDJSON speedup floor, and throughput must not regress
+// against the committed baseline beyond the shared speed tolerance.
+func (g *gate) checkWire(old, fresh []bench.WirePerf) {
+	if len(fresh) == 0 {
+		g.failures = append(g.failures, "wire: fresh snapshot has no wire_results section")
+		return
+	}
+	fmt.Printf("\n%-16s %-8s %12s %12s %7s %11s %8s  %s\n",
+		"instance", "format", "nps(old)", "nps(new)", "Δnps", "allocs/op", "speedup", "status")
+	oldRows := make(map[string]bench.WirePerf, len(old))
+	for _, r := range old {
+		oldRows[r.Instance+"/"+r.Format] = r
+	}
+	freshKeys := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		freshKeys[r.Instance+"/"+r.Format] = true
+		status := "ok"
+		if r.Format == "wire" {
+			if r.AllocsPerOp > wireAllocFloor {
+				status = "FAIL allocs"
+				g.failures = append(g.failures, fmt.Sprintf("wire/%s: binary push %.3f allocs/op breaks the zero-alloc floor (%.2f)",
+					r.Instance, r.AllocsPerOp, wireAllocFloor))
+			}
+			if r.Speedup < wireSpeedupFloor {
+				if status == "ok" {
+					status = "FAIL speedup"
+				} else {
+					status += "+speedup"
+				}
+				g.failures = append(g.failures, fmt.Sprintf("wire/%s: binary only %.2fx over ndjson (floor %.1fx)",
+					r.Instance, r.Speedup, wireSpeedupFloor))
+			}
+		}
+		o, hasBase := oldRows[r.Instance+"/"+r.Format]
+		if hasBase && o.RuntimeSec >= g.minRuntime && r.NodesPerSec < o.NodesPerSec*(1-g.speedTol) {
+			if status == "ok" {
+				status = "FAIL nps"
+			} else {
+				status += "+nps"
+			}
+			g.failures = append(g.failures, fmt.Sprintf("wire/%s %s: nodes/s %.0f -> %.0f (tol %.0f%%)",
+				r.Instance, r.Format, o.NodesPerSec, r.NodesPerSec, g.speedTol*100))
+		}
+		fmt.Printf("%-16s %-8s %12.0f %12.0f %6.1f%% %11.3f %7.2fx  %s\n",
+			r.Instance, r.Format, o.NodesPerSec, r.NodesPerSec, rel(r.NodesPerSec, o.NodesPerSec)*100,
+			r.AllocsPerOp, r.Speedup, status)
+	}
+	for key := range oldRows {
+		if !freshKeys[key] {
+			g.missing("wire/" + key)
+		}
+	}
 }
 
 // gate accumulates row comparisons and their verdicts.

@@ -1,12 +1,16 @@
-// Command omsgen generates synthetic benchmark graphs in METIS format:
-// either a named Table 1 stand-in at a chosen scale, or a raw generator
-// family with explicit sizes.
+// Command omsgen generates synthetic benchmark graphs — METIS text by
+// default, or the v2 binary wire-stream format (-format wire): the
+// frames omsd's binary ingest route accepts, ready to pipe onto the
+// network or feed to oms.NewWireSource. Sources are either a named
+// Table 1 stand-in at a chosen scale, or a raw generator family with
+// explicit sizes.
 //
 // Usage:
 //
 //	omsgen -instance web-Google -scale 0.1 -o web-google.metis
 //	omsgen -family rgg -n 1000000 -o rgg20.metis
 //	omsgen -family rmat-social -n 100000 -m 1000000 -seed 7 -o soc.metis
+//	omsgen -family delaunay -n 100000 -format wire -o del17.omsw
 //	omsgen -convert snap-edges.txt -o graph.metis   # SNAP edge list -> METIS
 //	omsgen -list
 package main
@@ -29,7 +33,8 @@ func main() {
 		n        = flag.Int64("n", 100000, "node count for -family")
 		m        = flag.Int64("m", 0, "edge count target for families that take one (rmat-*, er); 0 = 8n")
 		seed     = flag.Uint64("seed", 1, "generator seed")
-		out      = flag.String("o", "", "output METIS file (default stdout)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "metis", "output format: metis | wire (v2 binary stream frames)")
 		convert  = flag.String("convert", "", "convert a SNAP-style edge-list file to METIS instead of generating")
 		list     = flag.Bool("list", false, "list Table 1 instances and exit")
 	)
@@ -55,14 +60,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "omsgen: generated n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	writeFile := oms.WriteMetisFile
+	switch *format {
+	case "metis":
+	case "wire":
+		writeFile = oms.WriteWireFile
+	default:
+		fmt.Fprintf(os.Stderr, "omsgen: unknown -format %q (metis | wire)\n", *format)
+		os.Exit(1)
+	}
 	if *out == "" {
-		if err := writeStdout(g); err != nil {
+		if err := writeStdout(g, writeFile); err != nil {
 			fmt.Fprintln(os.Stderr, "omsgen:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := oms.WriteMetisFile(*out, g); err != nil {
+	if err := writeFile(*out, g); err != nil {
 		fmt.Fprintln(os.Stderr, "omsgen:", err)
 		os.Exit(1)
 	}
@@ -123,14 +137,14 @@ func build(instance string, scale float64, family string, n int32, m int64, seed
 	}
 }
 
-func writeStdout(g *graph.Graph) error {
-	tmp, err := os.CreateTemp("", "omsgen-*.metis")
+func writeStdout(g *graph.Graph, writeFile func(string, *graph.Graph) error) error {
+	tmp, err := os.CreateTemp("", "omsgen-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
 	tmp.Close()
-	if err := oms.WriteMetisFile(tmp.Name(), g); err != nil {
+	if err := writeFile(tmp.Name(), g); err != nil {
 		return err
 	}
 	data, err := os.ReadFile(tmp.Name())

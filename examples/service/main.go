@@ -1,6 +1,7 @@
 // Service client example: stream a graph into the omsd daemon over HTTP
 // and read each node's permanent block back while the upload is still in
-// flight — the paper's on-the-fly assignment consumed over the network.
+// flight — the paper's on-the-fly assignment consumed over the network,
+// through the typed oms/client package.
 //
 // By default the example is self-contained: it starts an in-process omsd
 // server on a loopback port, plays the client against it, and shuts it
@@ -8,20 +9,21 @@
 //
 //	go run ./cmd/omsd &
 //	go run ./examples/service -addr localhost:8080
+//
+// -binary switches the transfer to the v2 binary frame protocol
+// (application/x-oms-frame); the assignments are identical either way.
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"time"
 
 	"oms"
+	"oms/client"
 	"oms/internal/service"
 )
 
@@ -31,13 +33,9 @@ const (
 	chunkSize = 4096
 )
 
-type pushNode struct {
-	U   int32   `json:"u"`
-	Adj []int32 `json:"adj"`
-}
-
 func main() {
 	addr := flag.String("addr", "", "omsd address (empty = start one in-process)")
+	binary := flag.Bool("binary", false, "use the v2 binary wire protocol instead of NDJSON")
 	flag.Parse()
 
 	base := "http://" + *addr
@@ -49,6 +47,8 @@ func main() {
 		base = srv.URL
 		fmt.Printf("started in-process omsd at %s\n", base)
 	}
+	ctx := context.Background()
+	cl := client.New(base, client.WithBinary(*binary))
 
 	// The graph a real client would receive from its own pipeline; here a
 	// Delaunay mesh from the paper's benchmark families.
@@ -56,72 +56,38 @@ func main() {
 	g := oms.GenDelaunay(n, 42)
 
 	// Create a session declaring the stream's global stats and target.
-	create, err := json.Marshal(map[string]any{
-		"n": g.NumNodes(), "m": g.NumEdges(),
-		"total_node_weight": g.TotalNodeWeight(),
-		"total_edge_weight": g.TotalEdgeWeight(),
-		"k":                 k, "record": true,
+	created, err := cl.Create(ctx, client.Spec{
+		N: g.NumNodes(), M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(),
+		TotalEdgeWeight: g.TotalEdgeWeight(),
+		K:               k, Record: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(create))
-	if err != nil {
-		log.Fatal(err)
-	}
-	var session struct {
-		ID   string `json:"id"`
-		Lmax int64  `json:"lmax"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&session); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	fmt.Printf("session %s created (lmax=%d)\n", session.ID, session.Lmax)
+	format := map[bool]string{true: "binary frames", false: "NDJSON"}[*binary]
+	fmt.Printf("session %s created (lmax=%d, pushing %s)\n", created.ID, created.Lmax, format)
 
 	// Push the nodes in chunks; each POST streams the chunk's permanent
-	// assignments back as NDJSON.
+	// assignments back.
 	start := time.Now()
 	parts := make([]int32, g.NumNodes())
 	var assigned int
+	nodes := make([]client.Node, 0, chunkSize)
 	for lo := int32(0); lo < g.NumNodes(); lo += chunkSize {
-		hi := lo + chunkSize
-		if hi > g.NumNodes() {
-			hi = g.NumNodes()
-		}
-		var buf bytes.Buffer
-		enc := json.NewEncoder(&buf)
+		hi := min(lo+chunkSize, g.NumNodes())
+		nodes = nodes[:0]
 		for u := lo; u < hi; u++ {
-			if err := enc.Encode(pushNode{U: u, Adj: g.Neighbors(u)}); err != nil {
-				log.Fatal(err)
-			}
+			nodes = append(nodes, client.Node{U: u, Adj: g.Neighbors(u)})
 		}
-		resp, err := http.Post(fmt.Sprintf("%s/v1/sessions/%s/nodes", base, session.ID),
-			"application/x-ndjson", &buf)
+		as, err := cl.Push(ctx, created.ID, nodes)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 64<<10), 16<<20)
-		for sc.Scan() {
-			var a struct {
-				U     int32  `json:"u"`
-				B     int32  `json:"b"`
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
-				log.Fatal(err)
-			}
-			if a.Error != "" {
-				log.Fatalf("server rejected node: %s", a.Error)
-			}
+		for _, a := range as {
 			parts[a.U] = a.B
 			assigned++
 		}
-		if err := sc.Err(); err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
 	}
 	fmt.Printf("streamed %d nodes in %v (%.0f nodes/s)\n",
 		assigned, time.Since(start).Round(time.Millisecond),
@@ -129,22 +95,12 @@ func main() {
 
 	// Finish: the summary carries edge cut and imbalance because the
 	// session records its stream.
-	resp, err = http.Post(fmt.Sprintf("%s/v1/sessions/%s/finish", base, session.ID),
-		"application/json", bytes.NewReader([]byte("{}")))
+	sum, err := cl.Finish(ctx, created.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var sum struct {
-		Assigned int32    `json:"assigned"`
-		EdgeCut  *int64   `json:"edge_cut"`
-		Balance  *float64 `json:"imbalance"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
 	fmt.Printf("finished: assigned=%d edge_cut=%d imbalance=%.4f\n",
-		sum.Assigned, *sum.EdgeCut, *sum.Balance)
+		sum.Assigned, *sum.EdgeCut, *sum.Imbalance)
 
 	// Cross-check against the same run in-process: the service is the
 	// same algorithm behind a network surface, so the cut matches the

@@ -44,6 +44,12 @@ type PerfSnapshot struct {
 	// reconcile pass). benchgate holds the acceptance envelope — cut
 	// within 10% of declared, balance within twice the epsilon slack.
 	AdaptiveResults []AdaptivePerf `json:"adaptive_results,omitempty"`
+	// WireResults is the ingest-codec scenario: the first instance's
+	// stream pushed through the full per-node ingest path (decode →
+	// engine → WAL frame append) once per wire format. The binary rows
+	// must stay allocation-free and at least 2x the NDJSON throughput —
+	// benchgate holds both floors.
+	WireResults []WirePerf `json:"wire_results,omitempty"`
 	// Load is the service-under-traffic scenario: an omsload open-loop
 	// run against a live omsd (cmd/omsload -bench-json writes it), with
 	// client-side per-class latency percentiles. benchgate gates a
@@ -261,6 +267,11 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 		return nil, err
 	}
 	snap.AdaptiveResults = adaptiveRows
+	wireRows, err := runWireScenario(cfg, instances, scale, k, reps, progress)
+	if err != nil {
+		return nil, err
+	}
+	snap.WireResults = wireRows
 	rt := &RuntimeStats{PeakGoroutines: peak.stop()}
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"oms"
+	"oms/internal/wire"
+)
+
+// WirePerf is one wire-format ingest row: the full per-node ingest cost
+// (decode → engine push → WAL frame append) of one stream format. The
+// wire rows carry the speedup over their instance's ndjson row — the
+// committed promise benchgate's zero-alloc and speedup floors ride on.
+type WirePerf struct {
+	Instance    string  `json:"instance"`
+	N           int32   `json:"n"`
+	Format      string  `json:"format"` // "wire" | "ndjson"
+	RuntimeSec  float64 `json:"runtime_sec"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	// AllocsPerOp / BytesPerOp are heap cost per ingested node
+	// (runtime.MemStats Mallocs / TotalAlloc deltas over the stream).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Speedup is NodesPerSec over the instance's ndjson row (wire rows
+	// only).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ndjsonNode mirrors the ingest routes' NDJSON line shape.
+type ndjsonNode struct {
+	U   int32   `json:"u"`
+	W   int32   `json:"w,omitempty"`
+	Adj []int32 `json:"adj,omitempty"`
+	EW  []int32 `json:"ew,omitempty"`
+}
+
+// runWireScenario measures the two ingest codecs head to head over the
+// first instance's stream, modelling exactly what omsd does per node
+// between the socket and the ack: parse the body (binary frame decode,
+// or NDJSON unmarshal plus the transcode to a canonical frame), push
+// into the engine, and append the frame bytes to the WAL's buffered
+// writer. The WAL writer drains to io.Discard — steady-state appends
+// are buffered memcpys, and fsync cadence is a durability policy the
+// durability suite owns, not a codec cost. Quality is irrelevant here
+// (both formats carry the identical stream), so rows report throughput
+// and heap cost only; runtime takes the fastest rep, heap deltas the
+// first.
+func runWireScenario(cfg Config, instances []Instance, scale float64, k int32, reps int, progress io.Writer) ([]WirePerf, error) {
+	ins := instances[0]
+	g := ins.BuildCached(scale)
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	st := oms.StreamStats{
+		N: n, M: g.NumEdges(),
+		TotalNodeWeight: g.TotalNodeWeight(), TotalEdgeWeight: g.TotalEdgeWeight(),
+	}
+
+	// Pre-encode both bodies once: the scenario measures the server-side
+	// cost, not the client's encoder.
+	var frames []byte
+	var lines bytes.Buffer
+	enc := json.NewEncoder(&lines)
+	for u := int32(0); u < n; u++ {
+		ew := g.EdgeWeights(u)
+		if len(ew) == 0 {
+			ew = nil
+		}
+		frames = wire.AppendNodeFrame(frames, u, g.NodeWeight(u), g.Neighbors(u), ew)
+		if err := enc.Encode(ndjsonNode{U: u, W: g.NodeWeight(u), Adj: g.Neighbors(u), EW: ew}); err != nil {
+			return nil, err
+		}
+	}
+
+	newSession := func() (*oms.Session, error) {
+		return oms.NewSession(oms.SessionConfig{
+			Stats: st, K: k,
+			Options: oms.Options{Epsilon: 0.03, Seed: cfg.Seed},
+		})
+	}
+
+	ingestWire := func(sess *oms.Session, wal *bufio.Writer) error {
+		rd := wire.NewReader(bytes.NewReader(frames))
+		for {
+			nd, frame, err := rd.NextNode()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if _, err := sess.Push(nd.U, nd.W, nd.Adj, nd.EW); err != nil {
+				return err
+			}
+			if _, err := wal.Write(frame); err != nil {
+				return err
+			}
+			rd.Arena.Reset()
+		}
+	}
+
+	// The NDJSON loop is the transcoding shim: unmarshal the line,
+	// canonicalize, re-encode the node as the frame the WAL stores.
+	// The decode target is reused so encoding/json can recycle the
+	// slice capacity, exactly like the service's pooled line decoder.
+	ingestNDJSON := func(sess *oms.Session, wal *bufio.Writer) error {
+		sc := bufio.NewScanner(bytes.NewReader(lines.Bytes()))
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		var nd ndjsonNode
+		var frame []byte
+		for sc.Scan() {
+			nd.Adj = nd.Adj[:0]
+			nd.EW = nd.EW[:0]
+			nd.W = 0
+			if err := json.Unmarshal(sc.Bytes(), &nd); err != nil {
+				return err
+			}
+			w := nd.W
+			if w == 0 {
+				w = 1
+			}
+			ew := nd.EW
+			if len(ew) == 0 {
+				ew = nil
+			}
+			frame = wire.AppendNodeFrame(frame[:0], nd.U, w, nd.Adj, ew)
+			if _, err := sess.Push(nd.U, w, nd.Adj, ew); err != nil {
+				return err
+			}
+			if _, err := wal.Write(frame); err != nil {
+				return err
+			}
+		}
+		return sc.Err()
+	}
+
+	measure := func(format string, ingest func(*oms.Session, *bufio.Writer) error) (WirePerf, error) {
+		row := WirePerf{Instance: ins.Name, N: n, Format: format}
+		for rep := 0; rep < reps; rep++ {
+			sess, err := newSession()
+			if err != nil {
+				return row, err
+			}
+			wal := bufio.NewWriterSize(io.Discard, 64<<10)
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			if err := ingest(sess, wal); err != nil {
+				return row, err
+			}
+			if err := wal.Flush(); err != nil {
+				return row, err
+			}
+			secs := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&after)
+			if rep == 0 {
+				row.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+				row.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+			}
+			if rep == 0 || secs < row.RuntimeSec {
+				row.RuntimeSec = secs
+			}
+			if _, err := sess.Finish(); err != nil {
+				return row, err
+			}
+		}
+		if row.RuntimeSec > 0 {
+			row.NodesPerSec = float64(n) / row.RuntimeSec
+		}
+		return row, nil
+	}
+
+	nj, err := measure("ndjson", ingestNDJSON)
+	if err != nil {
+		return nil, err
+	}
+	wr, err := measure("wire", ingestWire)
+	if err != nil {
+		return nil, err
+	}
+	if nj.NodesPerSec > 0 {
+		wr.Speedup = wr.NodesPerSec / nj.NodesPerSec
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "wire %s ndjson: %.0f nodes/s, %.2f allocs/op\n", ins.Name, nj.NodesPerSec, nj.AllocsPerOp)
+		fmt.Fprintf(progress, "wire %s binary: %.0f nodes/s, %.3f allocs/op (%.1fx)\n", ins.Name, wr.NodesPerSec, wr.AllocsPerOp, wr.Speedup)
+	}
+	return []WirePerf{nj, wr}, nil
+}

@@ -1,15 +1,13 @@
 package load
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"io"
+	"errors"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
+	"oms/client"
 	"oms/internal/gen"
 	"oms/internal/graph"
 	"oms/internal/util"
@@ -21,28 +19,30 @@ import (
 const graphVariants = 4
 
 // lsession is one live server session the driver churns through its
-// lifecycle: streaming (push/batch chunks), exhausted (next touch
-// finishes it), finished (refine kicks and result reads), deleted.
+// lifecycle: streaming (push/batch chunks, either wire format),
+// exhausted (next touch finishes it), finished (refine kicks and result
+// reads), deleted.
 type lsession struct {
 	id       string
 	g        *graph.Graph
 	cursor   int32 // next node to push
 	adaptive bool
-	batch    bool // exhausted via /batch (vs /nodes); adaptive sessions use /nodes
 	finished bool
 	refines  int
 	busy     bool // a mutating op holds the lease (guarded by Driver.mu)
 }
 
 // Driver maps scheduled traffic classes onto concrete HTTP ops over a
-// churning session population. Scheduling state (which session an
-// arrival touches) lives under one mutex and is decided in plan();
-// the HTTP work itself runs unlocked, so ops on different sessions
-// overlap freely while two mutating ops never race one session.
+// churning session population, issued through the typed oms/client
+// package — one client per wire format, sharing the HTTP transport.
+// Scheduling state (which session an arrival touches) lives under one
+// mutex and is decided in plan(); the HTTP work itself runs unlocked,
+// so ops on different sessions overlap freely while two mutating ops
+// never race one session.
 type Driver struct {
 	p      Profile
-	base   string // http://host:port, no trailing slash
-	client *http.Client
+	cl     *client.Client // NDJSON/JSON surface
+	clBin  *client.Client // binary wire-v2 surface
 	rec    *Recorder
 	graphs []*graph.Graph
 
@@ -55,9 +55,9 @@ type Driver struct {
 }
 
 // NewDriver prepares the template graphs and the scheduling state.
-func NewDriver(p Profile, baseURL string, client *http.Client, rec *Recorder) *Driver {
-	if client == nil {
-		client = &http.Client{}
+func NewDriver(p Profile, baseURL string, hc *http.Client, rec *Recorder) *Driver {
+	if hc == nil {
+		hc = &http.Client{}
 	}
 	graphs := make([]*graph.Graph, graphVariants)
 	for i := range graphs {
@@ -65,8 +65,8 @@ func NewDriver(p Profile, baseURL string, client *http.Client, rec *Recorder) *D
 	}
 	return &Driver{
 		p:      p,
-		base:   baseURL,
-		client: client,
+		cl:     client.New(baseURL, client.WithHTTPClient(hc)),
+		clBin:  client.New(baseURL, client.WithHTTPClient(hc), client.WithBinary(true)),
 		rec:    rec,
 		graphs: graphs,
 		rng:    util.NewRNG(p.Seed ^ 0xabcdef12345),
@@ -126,10 +126,20 @@ const (
 // op is one planned request.
 type op struct {
 	kind     opKind
-	class    Class // recorded class
+	class    Class // recorded class; for opChunk it also picks route + format
 	s        *lsession
 	lo, hi   int32 // chunk bounds for opChunk
 	adaptive bool  // for opCreate
+}
+
+// ingestClass reports whether c is an ingest-shaped arrival (it feeds a
+// streaming session a chunk).
+func ingestClass(c Class) bool {
+	switch c {
+	case ClassPush, ClassBatch, ClassWire, ClassWireBatch, ClassAdaptive:
+		return true
+	}
+	return false
 }
 
 // plan resolves a desired class into a concrete op against current
@@ -148,7 +158,7 @@ func (d *Driver) plan(desired Class) op {
 	}
 	// An exhausted stream is sealed by whatever ingest-shaped arrival
 	// touches it next.
-	if desired == ClassPush || desired == ClassBatch || desired == ClassAdaptive {
+	if ingestClass(desired) {
 		if s := d.pickLocked(func(s *lsession) bool {
 			return !s.finished && !s.busy && s.cursor >= s.g.NumNodes()
 		}); s != nil {
@@ -157,8 +167,8 @@ func (d *Driver) plan(desired Class) op {
 		}
 	}
 
-	switch desired {
-	case ClassPush, ClassBatch, ClassAdaptive:
+	switch {
+	case ingestClass(desired):
 		wantAdaptive := desired == ClassAdaptive
 		s := d.pickLocked(func(s *lsession) bool {
 			return !s.finished && !s.busy && s.adaptive == wantAdaptive && s.cursor < s.g.NumNodes()
@@ -179,14 +189,14 @@ func (d *Driver) plan(desired Class) op {
 		// push would corrupt declared weights).
 		s.cursor = hi
 		return op{kind: opChunk, class: desired, s: s, lo: lo, hi: hi}
-	case ClassRefine:
+	case desired == ClassRefine:
 		if s := d.pickLocked(func(s *lsession) bool { return s.finished && !s.busy && s.refines < 2 }); s != nil {
 			s.busy = true
 			s.refines++
 			return op{kind: opRefine, class: ClassRefine, s: s}
 		}
 		return d.readOpLocked()
-	case ClassResult:
+	case desired == ClassResult:
 		if s := d.pickLocked(func(s *lsession) bool { return s.finished }); s != nil {
 			return op{kind: opResult, class: ClassResult, s: s}
 		}
@@ -246,48 +256,65 @@ func (d *Driver) execute(ctx context.Context, o op) Outcome {
 	case opCreate:
 		return d.doCreate(ctx, o.adaptive)
 	case opChunk:
-		path := "/v1/sessions/" + o.s.id + "/nodes"
-		if o.class == ClassBatch {
-			path = "/v1/sessions/" + o.s.id + "/batch"
-		}
-		status, err := d.doNDJSON(ctx, path, o.s.g, o.lo, o.hi)
+		err := d.doChunk(ctx, o)
 		d.unlease(o.s)
-		return outcomeOf(status, err)
+		return outcomeOf(err)
 	case opFinish:
-		status, _, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions/"+o.s.id+"/finish", map[string]any{})
+		_, err := d.cl.Finish(ctx, o.s.id)
 		d.mu.Lock()
 		o.s.busy = false
-		if err == nil && status < 300 {
+		if err == nil {
 			o.s.finished = true
 			d.totals.Finished++
 		}
 		d.mu.Unlock()
-		return outcomeOf(status, err)
+		return outcomeOf(err)
 	case opRefine:
-		status, _, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions/"+o.s.id+"/refine", map[string]any{"passes": 1})
+		err := d.cl.Refine(ctx, o.s.id, 1, 0)
 		d.unlease(o.s)
-		return outcomeOf(status, err)
+		return outcomeOf(err)
 	case opStatus:
-		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions/"+o.s.id, nil)
-		return outcomeOf(status, err)
+		_, err := d.cl.Status(ctx, o.s.id)
+		return outcomeOf(err)
 	case opList:
-		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions", nil)
-		return outcomeOf(status, err)
+		_, err := d.cl.List(ctx)
+		return outcomeOf(err)
 	case opResult:
-		status, _, err := d.doJSON(ctx, http.MethodGet, "/v1/sessions/"+o.s.id+"/result?version=best", nil)
-		return outcomeOf(status, err)
+		_, err := d.cl.Result(ctx, o.s.id, "best")
+		return outcomeOf(err)
 	case opDelete:
-		status, _, err := d.doJSON(ctx, http.MethodDelete, "/v1/sessions/"+o.s.id, nil)
+		err := d.cl.Delete(ctx, o.s.id)
 		d.mu.Lock()
 		o.s.busy = false
-		if err == nil && status < 300 {
+		if err == nil {
 			d.removeLocked(o.s)
 			d.totals.Deleted++
 		}
 		d.mu.Unlock()
-		return outcomeOf(status, err)
+		return outcomeOf(err)
 	}
 	return OutcomeError
+}
+
+// doChunk streams nodes [lo, hi) of the session's graph through the
+// route and wire format the class names, draining the assignment
+// stream — latency therefore covers the full round trip.
+func (d *Driver) doChunk(ctx context.Context, o op) error {
+	nodes := make([]client.Node, 0, o.hi-o.lo)
+	for u := o.lo; u < o.hi; u++ {
+		nodes = append(nodes, client.Node{U: u, Adj: o.s.g.Neighbors(u)})
+	}
+	cl := d.cl
+	if o.class == ClassWire || o.class == ClassWireBatch {
+		cl = d.clBin
+	}
+	var err error
+	if o.class == ClassBatch || o.class == ClassWireBatch {
+		_, err = cl.PushBatch(ctx, o.s.id, nodes)
+	} else {
+		_, err = cl.Push(ctx, o.s.id, nodes)
+	}
+	return err
 }
 
 func (d *Driver) unlease(s *lsession) {
@@ -314,30 +341,25 @@ func (d *Driver) doCreate(ctx context.Context, adaptive bool) Outcome {
 	seed := d.p.Seed + uint64(d.created)
 	d.mu.Unlock()
 
-	spec := map[string]any{
-		"k":      d.p.K,
-		"record": d.p.Record,
-		"seed":   seed,
-	}
-	if d.p.Threads > 0 {
-		spec["threads"] = d.p.Threads
+	spec := client.Spec{
+		K:       d.p.K,
+		Record:  d.p.Record,
+		Seed:    seed,
+		Threads: d.p.Threads,
 	}
 	if adaptive {
-		spec["adaptive"] = true
+		spec.Adaptive = true
 	} else {
-		spec["n"] = g.NumNodes()
-		spec["m"] = g.NumEdges()
-		spec["total_node_weight"] = g.TotalNodeWeight()
-		spec["total_edge_weight"] = g.TotalEdgeWeight()
+		spec.N = g.NumNodes()
+		spec.M = g.NumEdges()
+		spec.TotalNodeWeight = g.TotalNodeWeight()
+		spec.TotalEdgeWeight = g.TotalEdgeWeight()
 	}
-	status, body, err := d.doJSON(ctx, http.MethodPost, "/v1/sessions", spec)
-	if err != nil || status >= 300 {
-		return outcomeOf(status, err)
+	created, err := d.cl.Create(ctx, spec)
+	if err != nil {
+		return outcomeOf(err)
 	}
-	var created struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+	if created.ID == "" {
 		return OutcomeError
 	}
 	d.mu.Lock()
@@ -347,84 +369,19 @@ func (d *Driver) doCreate(ctx context.Context, adaptive bool) Outcome {
 	return OutcomeOK
 }
 
-// doJSON runs one JSON request, returning the status and (for 2xx) the
-// body. Non-2xx bodies are drained and discarded so connections reuse.
-func (d *Driver) doJSON(ctx context.Context, method, path string, body any) (int, []byte, error) {
-	var rd io.Reader
-	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return 0, nil, err
-		}
-		rd = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, d.base+path, rd)
-	if err != nil {
-		return 0, nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil, nil
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, nil, err
-	}
-	return resp.StatusCode, raw, nil
-}
-
-// doNDJSON streams nodes [lo, hi) of g as NDJSON push lines and drains
-// the assignment stream. Latency therefore covers the full round trip:
-// upload, assignment, and the streamed response.
-func (d *Driver) doNDJSON(ctx context.Context, path string, g *graph.Graph, lo, hi int32) (int, error) {
-	var buf bytes.Buffer
-	buf.Grow(int(hi-lo) * 48)
-	for u := lo; u < hi; u++ {
-		buf.WriteString(`{"u":`)
-		buf.Write(strconv.AppendInt(nil, int64(u), 10))
-		buf.WriteString(`,"adj":[`)
-		for i, v := range g.Neighbors(u) {
-			if i > 0 {
-				buf.WriteByte(',')
-			}
-			buf.Write(strconv.AppendInt(nil, int64(v), 10))
-		}
-		buf.WriteString("]}\n")
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, &buf)
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, err
-	}
-	return resp.StatusCode, nil
-}
-
 // outcomeOf classifies a completed request: transport failures and 5xx
-// are hard errors, 4xx are rejections (driver racing churn), the rest
-// are fine.
-func outcomeOf(status int, err error) Outcome {
-	switch {
-	case err != nil || status >= 500:
-		return OutcomeError
-	case status >= 400:
-		return OutcomeRejected
-	default:
+// are hard errors, 4xx (and in-band stream rejections, which are the
+// driver racing churn) are rejections, the rest are fine.
+func outcomeOf(err error) Outcome {
+	if err == nil {
 		return OutcomeOK
 	}
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		if ce.Status >= 500 {
+			return OutcomeError
+		}
+		return OutcomeRejected
+	}
+	return OutcomeError
 }

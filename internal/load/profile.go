@@ -1,8 +1,9 @@
 // Package load is the open-loop production load harness for omsd: a
 // fixed arrival schedule (intended-start timestamps, so coordinated
 // omission cannot hide server stalls) drives a weighted mix of traffic
-// classes — NDJSON push streams, /batch group pushes, adaptive
-// (open-ended) sessions, refine kicks, and status/result reads — over a
+// classes — NDJSON push streams, /batch group pushes, binary wire-v2
+// ingest (wire / wirebatch), adaptive (open-ended) sessions, refine
+// kicks, and status/result reads — over a
 // churning population of live sessions whose adjacency is generated
 // deterministically from a seed. Per-class latency lands in the same
 // lock-free service.Histogram the daemon uses, and a run emits
@@ -86,12 +87,14 @@ func DefaultProfile() Profile {
 		Threads:      2,
 		Record:       true,
 		Mix: map[Class]int{
-			ClassPush:     40,
-			ClassBatch:    20,
-			ClassAdaptive: 15,
-			ClassStatus:   10,
-			ClassResult:   5,
-			ClassRefine:   10,
+			ClassPush:      30,
+			ClassBatch:     15,
+			ClassWire:      10,
+			ClassWireBatch: 5,
+			ClassAdaptive:  15,
+			ClassStatus:    10,
+			ClassResult:    5,
+			ClassRefine:    10,
 		},
 		Seed:           1,
 		MaxInflight:    256,
@@ -261,7 +264,7 @@ func parseMix(s string) (map[Class]int, error) {
 		}
 		c := Class(strings.TrimSpace(name))
 		if !schedulable[c] {
-			return nil, fmt.Errorf("mix entry %q: unknown or lifecycle class (schedulable: push, batch, adaptive, refine, status, result)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown or lifecycle class (schedulable: push, batch, wire, wirebatch, adaptive, refine, status, result)", part)
 		}
 		w, err := strconv.Atoi(strings.TrimSpace(wstr))
 		if err != nil || w < 0 {

@@ -20,30 +20,35 @@ import (
 type Class string
 
 const (
-	ClassCreate   Class = "create"
-	ClassPush     Class = "push"
-	ClassBatch    Class = "batch"
-	ClassAdaptive Class = "adaptive"
-	ClassFinish   Class = "finish"
-	ClassRefine   Class = "refine"
-	ClassStatus   Class = "status"
-	ClassResult   Class = "result"
-	ClassDelete   Class = "delete"
+	ClassCreate    Class = "create"
+	ClassPush      Class = "push"
+	ClassBatch     Class = "batch"
+	ClassWire      Class = "wire"      // binary-frame /nodes ingest
+	ClassWireBatch Class = "wirebatch" // binary-frame /batch ingest
+	ClassAdaptive  Class = "adaptive"
+	ClassFinish    Class = "finish"
+	ClassRefine    Class = "refine"
+	ClassStatus    Class = "status"
+	ClassResult    Class = "result"
+	ClassDelete    Class = "delete"
 )
 
 // Classes lists every class in report order.
 var Classes = []Class{
-	ClassCreate, ClassPush, ClassBatch, ClassAdaptive, ClassFinish,
-	ClassRefine, ClassStatus, ClassResult, ClassDelete,
+	ClassCreate, ClassPush, ClassBatch, ClassWire, ClassWireBatch,
+	ClassAdaptive, ClassFinish, ClassRefine, ClassStatus, ClassResult,
+	ClassDelete,
 }
 
 var schedulable = map[Class]bool{
-	ClassPush:     true,
-	ClassBatch:    true,
-	ClassAdaptive: true,
-	ClassRefine:   true,
-	ClassStatus:   true,
-	ClassResult:   true,
+	ClassPush:      true,
+	ClassBatch:     true,
+	ClassWire:      true,
+	ClassWireBatch: true,
+	ClassAdaptive:  true,
+	ClassRefine:    true,
+	ClassStatus:    true,
+	ClassResult:    true,
 }
 
 // MetricName is the class's client-side latency series:

@@ -25,6 +25,9 @@ type conformanceCase struct {
 	wantStatus int
 	wantCode   string // "" for success rows (no error body)
 	wantCT     string // response Content-Type prefix, "" skips the check
+	// contentType, when set, is sent as the request Content-Type —
+	// the ingest rows use it to pin media-type negotiation.
+	contentType string
 }
 
 // conformanceFixture holds the prepared session states every row picks
@@ -90,63 +93,68 @@ func conformanceTable() []conformanceCase {
 
 	node99 := `{"u":99,"adj":[]}` + "\n"
 	overBudget := `{"u":0,"adj":[1,2,3]}` + "\n" // 3 entries > 2m = 2
+	garbageFrame := "\x01\x02\x03"               // truncated mid-header: never a valid frame
 
 	return []conformanceCase{
 		// POST /v1/sessions — create-time rejections.
-		{"create/bad-json", "POST", "POST /v1/sessions", id("/v1/sessions"), "{nope", http.StatusBadRequest, "bad_request", ""},
-		{"create/no-target", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4}`, http.StatusBadRequest, "bad_request", ""},
-		{"create/k-and-topology", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"topology":"2:2"}`, http.StatusBadRequest, "bad_request", ""},
-		{"create/bad-scorer", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"scorer":"quantum"}`, http.StatusBadRequest, "bad_request", ""},
-		{"create/ok", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"m":3,"k":2}`, http.StatusCreated, "", ""},
+		{"create/bad-json", "POST", "POST /v1/sessions", id("/v1/sessions"), "{nope", http.StatusBadRequest, "bad_request", "", ""},
+		{"create/no-target", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4}`, http.StatusBadRequest, "bad_request", "", ""},
+		{"create/k-and-topology", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"topology":"2:2"}`, http.StatusBadRequest, "bad_request", "", ""},
+		{"create/bad-scorer", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"k":2,"scorer":"quantum"}`, http.StatusBadRequest, "bad_request", "", ""},
+		{"create/ok", "POST", "POST /v1/sessions", id("/v1/sessions"), `{"n":4,"m":3,"k":2}`, http.StatusCreated, "", "", ""},
 
 		// GET /v1/sessions — listing has no error classes.
-		{"list/ok", "GET", "GET /v1/sessions", id("/v1/sessions"), "", http.StatusOK, "", ""},
+		{"list/ok", "GET", "GET /v1/sessions", id("/v1/sessions"), "", http.StatusOK, "", "", ""},
 
 		// GET /v1/sessions/{id} — dead vs unknown ids.
-		{"status/unknown", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"status/deleted", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", ""},
-		{"status/ok", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", live), "", http.StatusOK, "", ""},
+		{"status/unknown", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"status/deleted", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", "", ""},
+		{"status/ok", "GET", "GET /v1/sessions/{id}", withID("/v1/sessions/%s", live), "", http.StatusOK, "", "", ""},
 
 		// POST /v1/sessions/{id}/nodes — every push failure class.
-		{"nodes/unknown", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", unknown), node99, http.StatusNotFound, "session_not_found", ""},
-		{"nodes/deleted", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", deleted), node99, http.StatusGone, "session_gone", ""},
-		{"nodes/finished", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", finished), node99, http.StatusConflict, "session_finished", ""},
-		{"nodes/out-of-range", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", ""},
-		{"nodes/over-budget", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", ""},
+		{"nodes/unknown", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", unknown), node99, http.StatusNotFound, "session_not_found", "", ""},
+		{"nodes/deleted", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", deleted), node99, http.StatusGone, "session_gone", "", ""},
+		{"nodes/finished", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", finished), node99, http.StatusConflict, "session_finished", "", ""},
+		{"nodes/out-of-range", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", "", ""},
+		{"nodes/over-budget", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", "", ""},
+		{"nodes/unsupported-media", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), node99, http.StatusUnsupportedMediaType, "unsupported_media_type", "", "application/xml"},
+		{"nodes/malformed-frame", "POST", "POST /v1/sessions/{id}/nodes", withID("/v1/sessions/%s/nodes", live), garbageFrame, http.StatusBadRequest, "malformed_frame", "", "application/x-oms-frame"},
 
 		// POST /v1/sessions/{id}/batch — the batch is atomic, so the
 		// same classes apply to the whole group.
-		{"batch/unknown", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", unknown), node99, http.StatusNotFound, "session_not_found", ""},
-		{"batch/deleted", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", deleted), node99, http.StatusGone, "session_gone", ""},
-		{"batch/finished", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", finished), node99, http.StatusConflict, "session_finished", ""},
-		{"batch/out-of-range", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", ""},
-		{"batch/over-budget", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", ""},
+		{"batch/unknown", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", unknown), node99, http.StatusNotFound, "session_not_found", "", ""},
+		{"batch/deleted", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", deleted), node99, http.StatusGone, "session_gone", "", ""},
+		{"batch/finished", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", finished), node99, http.StatusConflict, "session_finished", "", ""},
+		{"batch/out-of-range", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnprocessableEntity, "node_out_of_range", "", ""},
+		{"batch/over-budget", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), overBudget, http.StatusRequestEntityTooLarge, "edge_budget_exceeded", "", ""},
+		{"batch/unsupported-media", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), node99, http.StatusUnsupportedMediaType, "unsupported_media_type", "", "application/xml"},
+		{"batch/malformed-frame", "POST", "POST /v1/sessions/{id}/batch", withID("/v1/sessions/%s/batch", live), garbageFrame, http.StatusBadRequest, "malformed_frame", "", "application/x-oms-frame"},
 
 		// POST /v1/sessions/{id}/finish.
-		{"finish/unknown", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"finish/deleted", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", deleted), "", http.StatusGone, "session_gone", ""},
+		{"finish/unknown", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"finish/deleted", "POST", "POST /v1/sessions/{id}/finish", withID("/v1/sessions/%s/finish", deleted), "", http.StatusGone, "session_gone", "", ""},
 
 		// POST /v1/sessions/{id}/refine.
-		{"refine/unknown", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"refine/deleted", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", deleted), "", http.StatusGone, "session_gone", ""},
-		{"refine/not-finished", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", live), "", http.StatusConflict, "session_not_finished", ""},
-		{"refine/no-stream", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusConflict, "stream_not_retained", ""},
-		{"refine/bad-json", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "{nope", http.StatusBadRequest, "bad_request", ""},
+		{"refine/unknown", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"refine/deleted", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", deleted), "", http.StatusGone, "session_gone", "", ""},
+		{"refine/not-finished", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", live), "", http.StatusConflict, "session_not_finished", "", ""},
+		{"refine/no-stream", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusConflict, "stream_not_retained", "", ""},
+		{"refine/bad-json", "POST", "POST /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "{nope", http.StatusBadRequest, "bad_request", "", ""},
 
 		// GET /v1/sessions/{id}/refine.
-		{"refine-status/unknown", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"refine-status/never-refined", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusNotFound, "refine_not_found", ""},
+		{"refine-status/unknown", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"refine-status/never-refined", "GET", "GET /v1/sessions/{id}/refine", withID("/v1/sessions/%s/refine", finished), "", http.StatusNotFound, "refine_not_found", "", ""},
 
 		// GET /v1/sessions/{id}/result.
-		{"result/unknown", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"result/not-finished", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", live), "", http.StatusConflict, "session_not_finished", ""},
-		{"result/no-such-version", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=99", finished), "", http.StatusNotFound, "version_not_found", ""},
-		{"result/bad-selector", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=soon", finished), "", http.StatusBadRequest, "bad_request", ""},
-		{"result/ok", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", finished), "", http.StatusOK, "", ""},
+		{"result/unknown", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"result/not-finished", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", live), "", http.StatusConflict, "session_not_finished", "", ""},
+		{"result/no-such-version", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=99", finished), "", http.StatusNotFound, "version_not_found", "", ""},
+		{"result/bad-selector", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result?version=soon", finished), "", http.StatusBadRequest, "bad_request", "", ""},
+		{"result/ok", "GET", "GET /v1/sessions/{id}/result", withID("/v1/sessions/%s/result", finished), "", http.StatusOK, "", "", ""},
 
 		// DELETE /v1/sessions/{id}.
-		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", ""},
-		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", ""},
+		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
+		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", "", ""},
 
 		// Operational endpoints. The metrics row pins the Prometheus text
 		// exposition content type; readyz distinguishes a started daemon
@@ -179,6 +187,9 @@ func TestHTTPConformance(t *testing.T) {
 			req, err := http.NewRequest(tc.method, tc.url(f), body)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if tc.contentType != "" {
+				req.Header.Set("Content-Type", tc.contentType)
 			}
 			resp, err := http.DefaultClient.Do(req)
 			if err != nil {

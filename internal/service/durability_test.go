@@ -30,6 +30,14 @@ func (l *faultLog) AppendNode(u, w int32, adj, ew []int32) error {
 	return nil
 }
 
+func (l *faultLog) AppendNodeFrame(frame []byte) error {
+	if l.failAppend {
+		return errDisk
+	}
+	l.appended++
+	return nil
+}
+
 func (l *faultLog) AppendBatch(nodes []PushNode, blocks []int32) error {
 	if l.failAppend {
 		return errDisk

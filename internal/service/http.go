@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +10,7 @@ import (
 
 	"oms"
 	"oms/internal/refine"
+	"oms/internal/wire"
 )
 
 // ingestChunkSize is how many NDJSON nodes the server groups into one
@@ -76,37 +76,99 @@ func NewServer(mgr *Manager) http.Handler {
 	return mux
 }
 
-// Route is one registered API endpoint. The table is exported so the
-// conformance suite can assert it exercises every route the server
-// mounts — a route added here without a conformance row fails the
-// test, not just review. Name, when set, is the route's latency
-// histogram suffix (omsd_http_<name>_seconds); health and metrics
-// endpoints stay unnamed so scraping never skews the API latency
-// distributions.
+// Route is one registered API endpoint — the single source of truth
+// for the versioned API spec. The table is exported so the conformance
+// suite can assert it exercises every route the server mounts (a route
+// added here without a conformance row fails the test, not just
+// review), and SpecMarkdown renders it into the README's route table
+// (a docs test keeps the two in sync). Name, when set, is the route's
+// latency histogram suffix (omsd_http_<name>_seconds); health and
+// metrics endpoints stay unnamed so scraping never skews the API
+// latency distributions.
 type Route struct {
 	Method  string
 	Pattern string
 	Name    string
+	// Doc is the one-line description the rendered spec shows.
+	Doc string
+	// Accepts lists the request media types the route negotiates (nil:
+	// the route takes no body or ignores its type).
+	Accepts []string
+	// Produces lists the response media types the route can answer
+	// with, success bodies first (errors are always application/json).
+	Produces []string
+	// Errors lists the stable machine-readable error codes (the "code"
+	// field of the uniform error body) the route can answer.
+	Errors  []string
 	handler func(*Manager) http.HandlerFunc
+}
+
+// Media type spellings used by the spec table.
+const (
+	mtJSON   = "application/json"
+	mtNDJSON = "application/x-ndjson"
+	mtFrame  = wire.MediaType
+	mtText   = "text/plain"
+)
+
+// ingestErrors is the error-class set the two ingest routes share.
+var ingestErrors = []string{
+	"session_not_found", "session_gone", "session_finished",
+	"node_out_of_range", "edge_budget_exceeded",
+	"unsupported_media_type", "malformed_frame", "durability_failure",
 }
 
 // Routes returns the full endpoint table NewServer mounts.
 func Routes() []Route {
 	return []Route{
-		{"POST", "/v1/sessions", "create", handleCreate},
-		{"GET", "/v1/sessions", "list", handleList},
-		{"GET", "/v1/sessions/{id}", "status", handleStatus},
-		{"POST", "/v1/sessions/{id}/nodes", "push", handleNodes},
-		{"POST", "/v1/sessions/{id}/batch", "batch", handleBatch},
-		{"POST", "/v1/sessions/{id}/finish", "finish", handleFinish},
-		{"POST", "/v1/sessions/{id}/refine", "refine", handleRefine},
-		{"GET", "/v1/sessions/{id}/refine", "refine_status", handleRefineStatus},
-		{"GET", "/v1/sessions/{id}/result", "result", handleResult},
-		{"DELETE", "/v1/sessions/{id}", "delete", handleDelete},
-		{"GET", "/v1/healthz", "", handleHealthz},
-		{"GET", "/v1/readyz", "", handleReadyz},
-		{"GET", "/healthz", "", handleHealthz},
-		{"GET", "/metrics", "", handleMetrics},
+		{Method: "POST", Pattern: "/v1/sessions", Name: "create", handler: handleCreate,
+			Doc:     "create a push session (`n`, `m`, `k` **or** `topology`/`distances`, `scorer`, `epsilon`, `seed`, `record`, `threads`, `ttl_seconds`, ...); `n: 0` opens an adaptive session",
+			Accepts: []string{mtJSON}, Produces: []string{mtJSON},
+			Errors: []string{"bad_request", "session_limit"}},
+		{Method: "GET", Pattern: "/v1/sessions", Name: "list", handler: handleList,
+			Doc: "list live sessions", Produces: []string{mtJSON}},
+		{Method: "GET", Pattern: "/v1/sessions/{id}", Name: "status", handler: handleStatus,
+			Doc:      "one session's status (`assigned` resume point; adaptive estimates)",
+			Produces: []string{mtJSON},
+			Errors:   []string{"session_not_found", "session_gone"}},
+		{Method: "POST", Pattern: "/v1/sessions/{id}/nodes", Name: "push", handler: handleNodes,
+			Doc:     "stream node ingest; assignments stream back per chunk in the negotiated format",
+			Accepts: []string{mtFrame, mtNDJSON}, Produces: []string{mtFrame, mtNDJSON},
+			Errors: ingestErrors},
+		{Method: "POST", Pattern: "/v1/sessions/{id}/batch", Name: "batch", handler: handleBatch,
+			Doc:     "batch ingest: large atomic groups, assigned in parallel (`threads`), one WAL frame per group",
+			Accepts: []string{mtFrame, mtNDJSON}, Produces: []string{mtFrame, mtNDJSON},
+			Errors: ingestErrors},
+		{Method: "POST", Pattern: "/v1/sessions/{id}/finish", Name: "finish", handler: handleFinish,
+			Doc:      "seal the session; with `record` the summary includes edge cut and imbalance",
+			Produces: []string{mtJSON},
+			Errors:   []string{"session_not_found", "session_gone", "durability_failure"}},
+		{Method: "POST", Pattern: "/v1/sessions/{id}/refine", Name: "refine", handler: handleRefine,
+			Doc:     "queue background restream refinement (`passes`, `threads`)",
+			Accepts: []string{mtJSON}, Produces: []string{mtJSON},
+			Errors: []string{"bad_request", "session_not_found", "session_gone",
+				"session_not_finished", "stream_not_retained", "refine_active"}},
+		{Method: "GET", Pattern: "/v1/sessions/{id}/refine", Name: "refine_status", handler: handleRefineStatus,
+			Doc:      "refinement job status and version ledger",
+			Produces: []string{mtJSON},
+			Errors:   []string{"session_not_found", "session_gone", "refine_not_found"}},
+		{Method: "GET", Pattern: "/v1/sessions/{id}/result", Name: "result", handler: handleResult,
+			Doc:      "assignment vector; `?version=N\\|latest\\|best` selects a refined version; `Accept: application/x-oms-frame` returns the binary result frame",
+			Produces: []string{mtJSON, mtFrame},
+			Errors: []string{"session_not_found", "session_gone", "session_not_finished",
+				"version_not_found", "bad_request"}},
+		{Method: "DELETE", Pattern: "/v1/sessions/{id}", Name: "delete", handler: handleDelete,
+			Doc:    "drop the session (later reads answer `410 Gone`, unknown ids `404`)",
+			Errors: []string{"session_not_found", "session_gone"}},
+		{Method: "GET", Pattern: "/v1/healthz", handler: handleHealthz,
+			Doc: "liveness", Produces: []string{mtText}},
+		{Method: "GET", Pattern: "/v1/readyz", handler: handleReadyz,
+			Doc: "readiness: 503 until WAL recovery completes", Produces: []string{mtText},
+			Errors: []string{"not_ready"}},
+		{Method: "GET", Pattern: "/healthz", handler: handleHealthz,
+			Doc: "liveness (unversioned alias)", Produces: []string{mtText}},
+		{Method: "GET", Pattern: "/metrics", handler: handleMetrics,
+			Doc: "counter registry, Prometheus text format", Produces: []string{"text/plain; version=0.0.4"}},
 	}
 }
 
@@ -254,6 +316,18 @@ func handleResult(mgr *Manager) http.HandlerFunc {
 			writeError(w, statusOf(err), err)
 			return
 		}
+		if acceptBinary(r, false) {
+			// Accept: application/x-oms-frame — the whole result as one
+			// TypeResult frame instead of the JSON document.
+			payload := wire.AppendResultPayload(nil, wire.Result{
+				Version: res.Version, Pass: res.Pass, EdgeCut: res.EdgeCut,
+				K: res.K, Lmax: res.Lmax, Parts: res.Parts,
+			})
+			w.Header().Set("Content-Type", wire.MediaType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(wire.AppendFrame(nil, payload))
+			return
+		}
 		body := map[string]any{
 			"id": s.ID, "version": res.Version, "pass": res.Pass,
 			"k": res.K, "lmax": res.Lmax, "parts": res.Parts,
@@ -305,103 +379,6 @@ func handleMetrics(mgr *Manager) http.HandlerFunc {
 	}
 }
 
-// Assignment is one NDJSON response line of the ingest stream.
-type Assignment struct {
-	U int32 `json:"u"`
-	B int32 `json:"b"`
-}
-
-// ingestError is the terminal NDJSON line after a rejected node.
-type ingestError struct {
-	Error string `json:"error"`
-}
-
-// ingest streams NDJSON PushNode lines from the request body into the
-// session in chunks and streams the per-node assignments back after
-// each chunk — the client sees its nodes' permanent blocks while it is
-// still uploading the rest of the graph. Full-duplex mode keeps the
-// request body readable after the first response flush (without it,
-// HTTP/1.x servers cut the body off once headers go out); clients
-// uploading very large streams in a single POST must read the response
-// concurrently, as curl and browsers do.
-//
-// With batch set (the /batch endpoint) the lines are grouped into
-// larger atomic batches instead: each is assigned across the session's
-// parallel workers and group-committed to the WAL as one frame, and a
-// rejected batch applies none of its nodes.
-func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request, batch bool) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	rc := http.NewResponseController(w)
-	_ = rc.EnableFullDuplex() // best effort; HTTP/2 is duplex already
-	enc := json.NewEncoder(w)
-
-	chunkSize := ingestChunkSize
-	if batch {
-		chunkSize = batchChunkSize
-	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
-	chunk := make([]PushNode, 0, chunkSize)
-
-	wrote := false
-	flush := func() bool {
-		if len(chunk) == 0 {
-			return true
-		}
-		var blocks []int32
-		var err error
-		if batch {
-			blocks, err = s.IngestBatch(r.Context(), mgr.Pool(), chunk)
-		} else {
-			blocks, err = s.Ingest(r.Context(), mgr.Pool(), chunk)
-		}
-		if err != nil && !wrote && len(blocks) == 0 {
-			// Nothing committed yet: report the rejection as a distinct
-			// status (finished -> 409, out-of-range -> 422, edge budget
-			// -> 413) instead of a 200 with an NDJSON error line.
-			writeError(w, statusOf(err), err)
-			return false
-		}
-		for i, b := range blocks {
-			_ = enc.Encode(Assignment{U: chunk[i].U, B: b})
-			wrote = true
-		}
-		if err != nil {
-			_ = enc.Encode(ingestError{Error: err.Error()})
-			return false
-		}
-		chunk = chunk[:0]
-		_ = rc.Flush()
-		return true
-	}
-
-	chunkBytes := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var nd PushNode
-		if err := json.Unmarshal(line, &nd); err != nil {
-			_ = enc.Encode(ingestError{Error: fmt.Sprintf("bad node line %.120q: %v", line, err)})
-			return
-		}
-		chunk = append(chunk, nd)
-		chunkBytes += len(line)
-		if len(chunk) >= chunkSize || chunkBytes >= chunkByteBudget {
-			if !flush() {
-				return
-			}
-			chunkBytes = 0
-		}
-	}
-	if err := sc.Err(); err != nil {
-		_ = enc.Encode(ingestError{Error: fmt.Sprintf("read body: %v", err)})
-		return
-	}
-	flush()
-}
-
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoVersion):
@@ -418,6 +395,8 @@ func statusOf(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, oms.ErrEdgeBudget):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrUnsupportedMedia):
+		return http.StatusUnsupportedMediaType
 	case errors.Is(err, ErrDurability):
 		return http.StatusInternalServerError
 	default:
@@ -452,6 +431,10 @@ func errCode(err error) string {
 		return "node_out_of_range"
 	case errors.Is(err, oms.ErrEdgeBudget):
 		return "edge_budget_exceeded"
+	case errors.Is(err, ErrUnsupportedMedia):
+		return "unsupported_media_type"
+	case errors.Is(err, wire.ErrMalformed):
+		return "malformed_frame"
 	case errors.Is(err, ErrDurability):
 		return "durability_failure"
 	default:

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+
+	"oms/internal/wire"
+)
+
+// ErrUnsupportedMedia reports a request Content-Type the ingest routes
+// do not speak; the HTTP layer answers 415 unsupported_media_type.
+var ErrUnsupportedMedia = errors.New("service: unsupported media type")
+
+// requestBinary decides the ingest wire format from the request
+// Content-Type: the binary frame protocol for wire.MediaType, NDJSON
+// for the JSON-ish types (plus the types generic tools send when the
+// caller sets none — curl posts x-www-form-urlencoded by default), and
+// an ErrUnsupportedMedia for anything genuinely alien.
+func requestBinary(r *http.Request) (bool, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false, fmt.Errorf("%w: %q", ErrUnsupportedMedia, ct)
+	}
+	switch mt {
+	case wire.MediaType:
+		return true, nil
+	case "application/x-ndjson", "application/jsonlines", "application/json",
+		"application/octet-stream", "application/x-www-form-urlencoded":
+		return false, nil
+	}
+	if strings.HasPrefix(mt, "text/") {
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: %q (want %s or application/x-ndjson)", ErrUnsupportedMedia, ct, wire.MediaType)
+}
+
+// acceptBinary decides the response format: an explicit Accept wins,
+// otherwise the reply mirrors the request format.
+func acceptBinary(r *http.Request, def bool) bool {
+	acc := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(acc, "oms-frame"):
+		return true
+	case strings.Contains(acc, "ndjson"), strings.Contains(acc, "json"):
+		return false
+	}
+	return def
+}
+
+// Assignment is one NDJSON response line of the ingest stream.
+type Assignment struct {
+	U int32 `json:"u"`
+	B int32 `json:"b"`
+}
+
+// ingestError is the terminal NDJSON line after a rejected node.
+type ingestError struct {
+	Error string `json:"error"`
+}
+
+// replier streams per-chunk assignments (and at most one terminal
+// error) back to the ingest client in its negotiated format.
+type replier interface {
+	// assignments reports blocks[i] as the assignment of chunk[i].
+	assignments(chunk []PushNode, blocks []int32) // len(blocks) <= len(chunk)
+	// errLine terminates the stream with an in-band error record.
+	errLine(msg string)
+}
+
+// jsonReplier streams NDJSON assignment lines.
+type jsonReplier struct {
+	enc *json.Encoder
+}
+
+func (rp *jsonReplier) assignments(chunk []PushNode, blocks []int32) {
+	for i, b := range blocks {
+		_ = rp.enc.Encode(Assignment{U: chunk[i].U, B: b})
+	}
+}
+
+func (rp *jsonReplier) errLine(msg string) {
+	_ = rp.enc.Encode(ingestError{Error: msg})
+}
+
+// wireReplier streams binary frames: one TypeAssign frame per chunk,
+// a terminal TypeError frame on failure. Scratch buffers are reused
+// across chunks, so the steady path writes without allocating.
+type wireReplier struct {
+	w   io.Writer
+	us  []int32
+	pay []byte
+	fr  []byte
+}
+
+func (rp *wireReplier) assignments(chunk []PushNode, blocks []int32) {
+	if len(blocks) == 0 {
+		return
+	}
+	rp.us = rp.us[:0]
+	for i := range blocks {
+		rp.us = append(rp.us, chunk[i].U)
+	}
+	rp.pay = wire.AppendAssignPayload(rp.pay[:0], rp.us, blocks)
+	rp.fr = wire.AppendFrame(rp.fr[:0], rp.pay)
+	_, _ = rp.w.Write(rp.fr)
+}
+
+func (rp *wireReplier) errLine(msg string) {
+	rp.pay = wire.AppendErrorPayload(rp.pay[:0], msg)
+	rp.fr = wire.AppendFrame(rp.fr[:0], rp.pay)
+	_, _ = rp.w.Write(rp.fr)
+}
+
+// wireIngest is the pooled per-request state of a binary ingest: the
+// frame reader (with its decode arena), the chunk being assembled, and
+// the reply scratch. Pooling it makes the steady-state binary push path
+// allocation-free — the buffers warm up to the request's working set
+// and are reused by the next request.
+type wireIngest struct {
+	rd  *wire.Reader
+	rep wireReplier
+}
+
+var wireIngestPool = sync.Pool{
+	New: func() any {
+		return &wireIngest{rd: wire.NewReader(nil)}
+	},
+}
+
+// ingestState is the format-independent half of an ingest request:
+// chunk assembly, the flush-to-session protocol, and error reporting in
+// the negotiated reply format.
+type ingestState struct {
+	mgr   *Manager
+	s     *Session
+	batch bool
+	w     http.ResponseWriter
+	rc    *http.ResponseController
+	r     *http.Request
+	rep   replier
+
+	chunk      []PushNode
+	chunkBytes int
+	wrote      bool
+}
+
+// flush hands the assembled chunk to the session and streams the
+// assignments back; it reports whether ingest may continue.
+func (st *ingestState) flush() bool {
+	if len(st.chunk) == 0 {
+		return true
+	}
+	var blocks []int32
+	var err error
+	if st.batch {
+		blocks, err = st.s.IngestBatch(st.r.Context(), st.mgr.Pool(), st.chunk)
+	} else {
+		blocks, err = st.s.Ingest(st.r.Context(), st.mgr.Pool(), st.chunk)
+	}
+	if err != nil && !st.wrote && len(blocks) == 0 {
+		// Nothing committed yet: report the rejection as a distinct
+		// status (finished -> 409, out-of-range -> 422, edge budget
+		// -> 413) instead of a 200 with an in-stream error record.
+		writeError(st.w, statusOf(err), err)
+		return false
+	}
+	if len(blocks) > 0 {
+		st.rep.assignments(st.chunk, blocks)
+		st.wrote = true
+	}
+	if err != nil {
+		st.rep.errLine(err.Error())
+		return false
+	}
+	st.chunk = st.chunk[:0]
+	st.chunkBytes = 0
+	_ = st.rc.Flush()
+	return true
+}
+
+// fail reports an ingest-side (parse or read) failure: as a proper
+// error status while nothing has been written, in-band afterwards.
+func (st *ingestState) fail(err error) {
+	if !st.wrote {
+		writeError(st.w, statusOf(err), err)
+		return
+	}
+	st.rep.errLine(err.Error())
+}
+
+// ingest streams the request body into the session in chunks and
+// streams the per-node assignments back after each chunk — the client
+// sees its nodes' permanent blocks while it is still uploading the rest
+// of the graph. The body is either wire v2 binary frames
+// (Content-Type: application/x-oms-frame) or NDJSON PushNode lines;
+// both feed one decode-validate-log path, and the reply format follows
+// the request format unless Accept overrides it. Full-duplex mode keeps
+// the request body readable after the first response flush (without it,
+// HTTP/1.x servers cut the body off once headers go out); clients
+// uploading very large streams in a single POST must read the response
+// concurrently, as curl and browsers do.
+//
+// With batch set (the /batch endpoint) the chunks are larger atomic
+// batches instead: each is assigned across the session's parallel
+// workers and group-committed to the WAL as one frame, and a rejected
+// batch applies none of its nodes.
+func ingest(mgr *Manager, s *Session, w http.ResponseWriter, r *http.Request, batch bool) {
+	binReq, err := requestBinary(r)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	st := &ingestState{
+		mgr: mgr, s: s, batch: batch,
+		w: w, rc: http.NewResponseController(w), r: r,
+	}
+	_ = st.rc.EnableFullDuplex() // best effort; HTTP/2 is duplex already
+	if binReq {
+		ingestWire(st, acceptBinary(r, true))
+	} else {
+		ingestNDJSON(st, acceptBinary(r, false))
+	}
+}
+
+// ingestWire is the binary ingest loop: validated once per frame (CRC +
+// record decode into the pooled arena), pushed to the engine from the
+// arena's buffers, and logged from the verbatim frame bytes — zero
+// heap allocations per node once the pooled buffers are warm.
+func ingestWire(st *ingestState, binReply bool) {
+	wi := wireIngestPool.Get().(*wireIngest)
+	defer func() {
+		wi.rd.Reset(nil)
+		wireIngestPool.Put(wi)
+	}()
+	wi.rd.Reset(st.r.Body)
+	wi.rd.MaxPayload = maxNodeLine
+
+	if binReply {
+		wi.rep.w = st.w
+		st.rep = &wi.rep
+		st.w.Header().Set("Content-Type", wire.MediaType)
+	} else {
+		st.rep = &jsonReplier{enc: json.NewEncoder(st.w)}
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+
+	chunkSize := ingestChunkSize
+	if st.batch {
+		chunkSize = batchChunkSize
+	}
+	if cap(st.chunk) < chunkSize {
+		st.chunk = make([]PushNode, 0, chunkSize)
+	}
+	for {
+		nd, frame, err := wi.rd.NextNode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, wire.ErrMalformed) {
+				st.fail(fmt.Errorf("%w (at node %d of the request)", err, len(st.chunk)))
+			} else {
+				st.fail(fmt.Errorf("read body: %w", err))
+			}
+			return
+		}
+		st.chunk = append(st.chunk, PushNode{U: nd.U, W: nd.W, Adj: nd.Adj, EW: nd.EW, Frame: frame})
+		st.chunkBytes += len(frame)
+		if len(st.chunk) >= chunkSize || st.chunkBytes >= chunkByteBudget {
+			if !st.flush() {
+				return
+			}
+			// The flush blocked until the worker consumed every frame
+			// and adjacency slice, so the arena can host the next chunk.
+			wi.rd.Arena.Reset()
+		}
+	}
+	if st.flush() {
+		wi.rd.Arena.Reset()
+	}
+}
+
+// ingestNDJSON is the JSON ingest shim: each line is decoded once and
+// immediately re-encoded as its canonical wire frame, so the WAL append
+// path is the same verbatim-frame path binary ingest uses — the log
+// bytes are identical no matter which format carried the stream.
+func ingestNDJSON(st *ingestState, binReply bool) {
+	if binReply {
+		st.rep = &wireReplier{w: st.w}
+		st.w.Header().Set("Content-Type", wire.MediaType)
+	} else {
+		st.rep = &jsonReplier{enc: json.NewEncoder(st.w)}
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+
+	chunkSize := ingestChunkSize
+	if st.batch {
+		chunkSize = batchChunkSize
+	}
+	sc := bufio.NewScanner(st.r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
+	st.chunk = make([]PushNode, 0, chunkSize)
+	var frames []byte
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var nd PushNode
+		if err := json.Unmarshal(line, &nd); err != nil {
+			st.fail(fmt.Errorf("bad node line %.120q: %v", line, err))
+			return
+		}
+		// Canonicalize exactly as a binary client would encode the same
+		// node (zero weight is one, an empty edge-weight list is none),
+		// so both formats log byte-identical records.
+		w := nd.W
+		if w == 0 {
+			w = 1
+		}
+		if len(nd.EW) == 0 {
+			nd.EW = nil
+		}
+		from := len(frames)
+		frames = wire.AppendNodeFrame(frames, nd.U, w, nd.Adj, nd.EW)
+		nd.Frame = frames[from:len(frames):len(frames)]
+		st.chunk = append(st.chunk, nd)
+		st.chunkBytes += len(line)
+		if len(st.chunk) >= chunkSize || st.chunkBytes >= chunkByteBudget {
+			if !st.flush() {
+				return
+			}
+			frames = frames[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		st.fail(fmt.Errorf("read body: %v", err))
+		return
+	}
+	st.flush()
+}

@@ -19,6 +19,13 @@ type PushNode struct {
 	W   int32   `json:"w,omitempty"`
 	Adj []int32 `json:"adj"`
 	EW  []int32 `json:"ew,omitempty"`
+	// Frame, when set, is the node's canonical wire v2 frame exactly as
+	// it was validated at the ingest boundary (both the binary path and
+	// the NDJSON shim fill it). The WAL appends it verbatim — the bytes
+	// the client sent are the bytes the log holds, no re-marshal. The
+	// slice may alias a per-request arena: it is valid only until the
+	// ingest job is acknowledged.
+	Frame []byte `json:"-"`
 }
 
 // jobKind discriminates the work items flowing through a session queue.
@@ -316,7 +323,16 @@ func (s *Session) run(j job) {
 			// state, and replay is idempotent anyway, so duplicates
 			// would only bloat the log.
 			if s.log != nil && s.eng.Assigned() > before {
-				if lerr := s.log.AppendNode(nd.U, w, nd.Adj, nd.EW); lerr != nil {
+				var lerr error
+				if nd.Frame != nil {
+					// The validated request bytes are the log record:
+					// append them verbatim instead of re-encoding the
+					// adjacency the decoder just walked.
+					lerr = s.log.AppendNodeFrame(nd.Frame)
+				} else {
+					lerr = s.log.AppendNode(nd.U, w, nd.Adj, nd.EW)
+				}
+				if lerr != nil {
 					err = s.walFailure("append", lerr)
 					break
 				}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpecMarkdown renders the Routes() table — the API's single source of
+// truth — as the markdown route table embedded in the README between
+// the `<!-- routes:begin -->` / `<!-- routes:end -->` markers. A docs
+// test regenerates this and diffs it against the README, so the two
+// cannot drift: change the table here, paste the rendered block there.
+func SpecMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| Endpoint | Request | Response | Error codes | Meaning |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, rt := range Routes() {
+		fmt.Fprintf(&b, "| `%s %s` | %s | %s | %s | %s |\n",
+			rt.Method, rt.Pattern,
+			mediaCell(rt.Accepts, "—"),
+			mediaCell(rt.Produces, "—"),
+			errorsCell(rt.Errors),
+			rt.Doc)
+	}
+	return b.String()
+}
+
+func mediaCell(types []string, empty string) string {
+	if len(types) == 0 {
+		return empty
+	}
+	quoted := make([]string, len(types))
+	for i, t := range types {
+		quoted[i] = "`" + t + "`"
+	}
+	return strings.Join(quoted, " \\| ")
+}
+
+func errorsCell(codes []string) string {
+	if len(codes) == 0 {
+		return "—"
+	}
+	quoted := make([]string, len(codes))
+	for i, c := range codes {
+		quoted[i] = "`" + c + "`"
+	}
+	return strings.Join(quoted, " ")
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSpecComplete: every route carries enough metadata to render a
+// meaningful spec row — a handler added without its contract documented
+// fails here, not in review.
+func TestSpecComplete(t *testing.T) {
+	for _, rt := range Routes() {
+		if rt.Doc == "" {
+			t.Errorf("%s %s: no Doc line", rt.Method, rt.Pattern)
+		}
+		if rt.Method != "DELETE" && len(rt.Produces) == 0 {
+			t.Errorf("%s %s: no Produces media types", rt.Method, rt.Pattern)
+		}
+	}
+}
+
+// TestREADMERouteTableInSync: the README's route table between the
+// routes:begin/routes:end markers is exactly SpecMarkdown() — the
+// Routes() table is the single source of truth, and the rendered copy
+// cannot drift from it.
+func TestREADMERouteTableInSync(t *testing.T) {
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	const begin, end = "<!-- routes:begin -->\n", "<!-- routes:end -->"
+	i := strings.Index(readme, begin)
+	if i < 0 {
+		t.Fatal("README.md: routes:begin marker missing")
+	}
+	j := strings.Index(readme[i:], end)
+	if j < 0 {
+		t.Fatal("README.md: routes:end marker missing")
+	}
+	got := readme[i+len(begin) : i+j]
+	want := SpecMarkdown()
+	if got != want {
+		t.Fatalf("README route table is stale; regenerate it from SpecMarkdown().\n-- want --\n%s\n-- got --\n%s", want, got)
+	}
+}

@@ -56,6 +56,13 @@ type SessionLog interface {
 	// Flush returns; fsync durability is batched per the store's sync
 	// interval.
 	AppendNode(u, w int32, adj, ew []int32) error
+	// AppendNodeFrame logs one accepted push from its already-encoded
+	// wire frame (header + payload, as validated at the HTTP boundary),
+	// verbatim — the zero-copy half of the log-before-ack path. The
+	// frame must be a valid wire.TypeNode frame; implementations may
+	// append it without re-verifying. Durability semantics match
+	// AppendNode.
+	AppendNodeFrame(frame []byte) error
 	// AppendBatch group-commits one accepted ingest batch together with
 	// the blocks the engine assigned: one frame (one checksum) for the
 	// whole group, so recovery resurrects the batch all-or-nothing and

@@ -13,6 +13,7 @@ import (
 
 	"oms"
 	"oms/internal/service"
+	"oms/internal/wire"
 )
 
 // Options configures a Store.
@@ -231,6 +232,7 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 		return 0, false, 0, err
 	}
 	r := bufio.NewReaderSize(f, 256<<10)
+	var arena wire.Arena
 	for {
 		payload, size, err := readFrame(r)
 		if err == io.EOF || err == errTornFrame {
@@ -245,12 +247,29 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 				return nodes, sealed, validEnd, nil
 			}
 			nodes++
+		case wire.TypeNode:
+			arena.Reset()
+			if _, err := wire.DecodeNodeInto(&arena, payload); err != nil {
+				return nodes, sealed, validEnd, nil
+			}
+			nodes++
 		case recBatch:
 			entries, err := decodeBatchPayload(payload[1:])
 			if err != nil {
 				return nodes, sealed, validEnd, nil
 			}
 			nodes += int64(len(entries))
+		case wire.TypeBatch:
+			arena.Reset()
+			count := int64(0)
+			err := wire.ForEachBatchNode(&arena, payload, func(wire.Node, int32) error {
+				count++
+				return nil
+			})
+			if err != nil {
+				return nodes, sealed, validEnd, nil
+			}
+			nodes += count
 		case recStats:
 			if _, err := decodeStatsPayload(payload[1:]); err != nil {
 				return nodes, sealed, validEnd, nil
@@ -286,6 +305,7 @@ func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 256<<10)
+	var arena wire.Arena
 	seen := int64(0)
 	for seen < total {
 		payload, _, err := readFrame(r)
@@ -321,6 +341,19 @@ func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int
 			if err := fn(u, w, adj, ew, -1); err != nil {
 				return err
 			}
+		case wire.TypeNode:
+			seen++
+			if seen <= skip {
+				continue
+			}
+			arena.Reset()
+			nd, err := wire.DecodeNodeInto(&arena, payload)
+			if err != nil {
+				return err
+			}
+			if err := fn(nd.U, nd.W, nd.Adj, nd.EW, -1); err != nil {
+				return err
+			}
 		case recBatch:
 			entries, err := decodeBatchPayload(payload[1:])
 			if err != nil {
@@ -334,6 +367,18 @@ func replayLog(path string, skip, total int64, fn func(u, w int32, adj, ew []int
 				if err := fn(e.u, e.w, e.adj, e.ew, e.block); err != nil {
 					return err
 				}
+			}
+		case wire.TypeBatch:
+			arena.Reset()
+			err := wire.ForEachBatchNode(&arena, payload, func(nd wire.Node, block int32) error {
+				seen++
+				if seen <= skip {
+					return nil
+				}
+				return fn(nd.U, nd.W, nd.Adj, nd.EW, block)
+			})
+			if err != nil {
+				return err
 			}
 		}
 	}

@@ -41,9 +41,15 @@ import (
 
 	"oms"
 	"oms/internal/service"
+	"oms/internal/wire"
 )
 
-// Record types discriminating log frames.
+// Record types discriminating log frames. recNode and recBatch are the
+// legacy v1 encodings (fixed-width little-endian fields), still decoded
+// so logs written before the wire v2 codec recover; every new write
+// uses the wire package's varint records (wire.TypeNode,
+// wire.TypeBatch), which are byte-identical to what the binary ingest
+// API carries — a validated request frame appends verbatim.
 const (
 	recNode = 1 // one accepted push: u, vwgt, adjacency, edge weights
 	recSeal = 2 // the session finished; nothing follows
@@ -69,12 +75,13 @@ const (
 // maxFramePayload bounds one frame's payload during recovery scans; a
 // larger declared length is treated as corruption. It comfortably
 // exceeds any node the service accepts (the HTTP layer caps one node
-// line at 16 MiB of JSON).
-const maxFramePayload = 1 << 28
+// line at 16 MiB of JSON). The WAL and the wire protocol share one
+// frame format, so the bounds must agree.
+const maxFramePayload = wire.MaxFramePayload
 
 // frameHeaderSize is the per-frame overhead: payload length + CRC32,
 // both little-endian uint32.
-const frameHeaderSize = 8
+const frameHeaderSize = wire.FrameHeaderSize
 
 var errTornFrame = errors.New("wal: torn or corrupt frame")
 
@@ -264,10 +271,35 @@ func (l *Log) AppendNode(u, w int32, adj, ew []int32) error {
 		return fmt.Errorf("wal: append to sealed log")
 	}
 	t0 := time.Now()
-	l.buf = appendNodePayload(l.buf[:0], u, w, adj, ew)
+	l.buf = wire.AppendNodePayload(l.buf[:0], u, w, adj, ew)
 	if err := l.writeFrame(l.buf); err != nil {
 		return err
 	}
+	l.observeAppend(t0)
+	l.nodes++
+	return nil
+}
+
+// AppendNodeFrame buffers one node record from its already-encoded wire
+// frame, verbatim — the header and payload bytes the HTTP boundary
+// validated are exactly the bytes the log holds. The caller vouches for
+// the frame (service verifies the CRC and decodes the record before the
+// engine accepts the push), so nothing is re-checked or re-encoded
+// here: this is the zero-copy half of log-before-ack.
+func (l *Log) AppendNodeFrame(frame []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return fmt.Errorf("wal: append to closed log")
+	case l.sealed:
+		return fmt.Errorf("wal: append to sealed log")
+	}
+	t0 := time.Now()
+	if _, err := l.w.Write(frame); err != nil {
+		return err
+	}
+	l.dirty = true
 	l.observeAppend(t0)
 	l.nodes++
 	return nil
@@ -310,15 +342,20 @@ func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
 	if len(nodes) == 0 {
 		return nil
 	}
-	size := int64(5) // type byte + count
+	// Cheap lower bound on the encoded size (varints are at least one
+	// byte per field and per adjacency entry): a batch that cannot fit
+	// the frame bound is rejected before encoding a quarter-gigabyte
+	// payload just to measure it.
+	minSize := int64(2) + int64(len(nodes))
 	for i := range nodes {
-		size += 4 + 13 + 4*int64(len(nodes[i].Adj))
-		if nodes[i].EW != nil {
-			size += 4 * int64(len(nodes[i].EW))
+		if f := nodes[i].Frame; f != nil {
+			minSize += int64(len(f) - frameHeaderSize)
+			continue
 		}
+		minSize += 4 + int64(len(nodes[i].Adj)) + int64(len(nodes[i].EW))
 	}
-	if size > maxFramePayload {
-		return fmt.Errorf("wal: batch encodes to %d bytes, over the %d frame bound (split the batch)", size, maxFramePayload)
+	if minSize > maxFramePayload {
+		return fmt.Errorf("wal: batch encodes to at least %d bytes, over the %d frame bound (split the batch)", minSize, maxFramePayload)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -329,19 +366,26 @@ func (l *Log) AppendBatch(nodes []service.PushNode, blocks []int32) error {
 		return fmt.Errorf("wal: append to sealed log")
 	}
 	t0 := time.Now()
-	frame := append(l.buf[:0], recBatch)
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(nodes)))
+	payload := wire.AppendBatchHeader(l.buf[:0], blocks)
 	for i := range nodes {
 		nd := nodes[i]
+		if nd.Frame != nil {
+			// The request's validated node payload, copied verbatim out
+			// of its frame — the group record is the only new encoding.
+			payload = append(payload, nd.Frame[frameHeaderSize:]...)
+			continue
+		}
 		w := nd.W
 		if w == 0 {
 			w = 1
 		}
-		frame = binary.LittleEndian.AppendUint32(frame, uint32(blocks[i]))
-		frame = appendNodeBody(frame, nd.U, w, nd.Adj, nd.EW)
+		payload = wire.AppendNodePayload(payload, nd.U, w, nd.Adj, nd.EW)
 	}
-	l.buf = frame
-	if err := l.writeFrame(frame); err != nil {
+	l.buf = payload
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("wal: batch encodes to %d bytes, over the %d frame bound (split the batch)", len(payload), maxFramePayload)
+	}
+	if err := l.writeFrame(payload); err != nil {
 		return err
 	}
 	l.observeAppend(t0)

@@ -596,11 +596,12 @@ func TestOversizedBatchRejectedNotSplit(t *testing.T) {
 	}
 	lg := slog.(*Log)
 	defer lg.Close()
-	// 70 nodes sharing one 1M-entry adjacency slice: the computed frame
-	// size (~280MB) exceeds the bound without allocating it.
+	// 300 nodes sharing one 1M-entry adjacency slice: even at one byte
+	// per varint delta the frame exceeds the bound, and the size
+	// pre-check rejects it without encoding anything.
 	bigAdj := make([]int32, 1<<20)
-	nodes := make([]service.PushNode, 70)
-	blocks := make([]int32, 70)
+	nodes := make([]service.PushNode, 300)
+	blocks := make([]int32, 300)
 	for i := range nodes {
 		nodes[i] = service.PushNode{U: int32(i), W: 1, Adj: bigAdj}
 	}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireNode holds the node codec's contract on arbitrary payload
+// bytes: decoding never panics, a decodable payload re-encodes to a
+// payload that decodes to the identical node (decode→encode→decode
+// fixpoint), and the canonical re-encoding is itself a fixpoint under
+// a second round trip.
+func FuzzWireNode(f *testing.F) {
+	f.Add(AppendNodePayload(nil, 0, 1, []int32{1, 2}, nil))
+	f.Add(AppendNodePayload(nil, 7, 3, []int32{9, 2, 2, 100000}, []int32{1, 2, 3, 4}))
+	f.Add(AppendNodePayload(nil, 1<<31-1, 1, nil, nil))
+	f.Add([]byte{TypeNode})
+	f.Add([]byte{TypeNode, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var arena Arena
+		nd, err := DecodeNodeInto(&arena, payload)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error %v is not ErrMalformed", err)
+			}
+			return
+		}
+		if nd.W < 1 {
+			t.Fatalf("decoded weight %d < 1", nd.W)
+		}
+		// Re-encode canonically and decode again: the node must survive
+		// unchanged, and the canonical bytes must be a true fixpoint.
+		enc := AppendNodePayload(nil, nd.U, nd.W, nd.Adj, nd.EW)
+		var arena2 Arena
+		nd2, err := DecodeNodeInto(&arena2, enc)
+		if err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+		if nd2.U != nd.U || nd2.W != nd.W || !equalIntSlices(nd2.Adj, nd.Adj) || !equalIntSlices(nd2.EW, nd.EW) {
+			t.Fatalf("decode→encode→decode drift: %+v vs %+v", nd, nd2)
+		}
+		if enc2 := AppendNodePayload(nil, nd2.U, nd2.W, nd2.Adj, nd2.EW); !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixpoint: %x vs %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzWireFrames streams arbitrary bytes through the frame Reader:
+// never panic, never return frames whose checksum did not verify, and
+// always classify the end as either a clean EOF at a frame boundary or
+// ErrMalformed (truncation, oversized length, corruption).
+func FuzzWireFrames(f *testing.F) {
+	var good []byte
+	good = AppendFrame(good, AppendStreamHeaderPayload(nil, StreamHeader{N: 4, M: 3}))
+	good = AppendNodeFrame(good, 0, 1, []int32{1, 2}, nil)
+	good = AppendNodeFrame(good, 1, 2, []int32{0}, []int32{5})
+	f.Add(good)
+	f.Add(good[:len(good)-2]) // torn tail
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0x20
+	f.Add(corrupt)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // oversized declared length
+	f.Add(bytes.Repeat([]byte{0x01}, 9))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		frames := 0
+		for {
+			payload, frame, err := rd.NextFrame()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrMalformed) {
+					t.Fatalf("frame %d: error %v is not ErrMalformed", frames, err)
+				}
+				return
+			}
+			if len(frame) != FrameHeaderSize+len(payload) {
+				t.Fatalf("frame %d: header/payload split %d/%d", frames, len(frame), len(payload))
+			}
+			if _, err := VerifyFrame(frame); err != nil {
+				t.Fatalf("frame %d: Reader accepted a frame VerifyFrame rejects: %v", frames, err)
+			}
+			frames++
+			if frames%8 == 0 {
+				rd.Arena.Reset()
+			}
+		}
+	})
+}
+
+func equalIntSlices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

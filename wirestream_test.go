@@ -1,0 +1,40 @@
+package oms
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestWireStreamRoundTrip: a graph written as a wire-stream file and
+// partitioned through NewWireSource produces exactly the in-memory
+// result — the file is a faithful transport of the stream.
+func TestWireStreamRoundTrip(t *testing.T) {
+	g := GenDelaunay(2000, 11)
+	path := filepath.Join(t.TempDir(), "g.omsw")
+	if err := WriteWireFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewWireSource(path)
+	st, err := src.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != g.NumNodes() || st.M != g.NumEdges() {
+		t.Fatalf("stats %+v, want n=%d m=%d", st, g.NumNodes(), g.NumEdges())
+	}
+
+	want, err := PartitionGraph(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Partition(src, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want.Parts {
+		if want.Parts[u] != got.Parts[u] {
+			t.Fatalf("node %d: wire-stream part %d, in-memory part %d", u, got.Parts[u], want.Parts[u])
+		}
+	}
+}
