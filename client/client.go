@@ -170,6 +170,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	injectTrace(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -68,6 +68,7 @@ func (c *Client) ingest(ctx context.Context, id, route string, nodes []Node) ([]
 	}
 	req.Header.Set("Content-Type", ct)
 	req.Header.Set("Accept", ct)
+	injectTrace(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -179,6 +180,7 @@ func (c *Client) Result(ctx context.Context, id, version string) (Result, error)
 		return Result{}, err
 	}
 	req.Header.Set("Accept", wire.MediaType)
+	injectTrace(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return Result{}, err

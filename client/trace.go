@@ -1,0 +1,47 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"oms/internal/trace"
+)
+
+// TraceparentHeader is the W3C trace-context header every request
+// carrying a trace context sends.
+const TraceparentHeader = "traceparent"
+
+// NewTraceparent mints a fresh W3C traceparent header value and returns
+// it with its 32-hex trace id. A sampled traceparent tells the server
+// to record the request's span tree (retrievable at
+// GET /v1/traces/{traceID}); an unsampled one deterministically opts
+// the request out of the server's head sampling.
+func NewTraceparent(sampled bool) (header, traceID string) {
+	tc := trace.NewContext(sampled)
+	return tc.Traceparent(), tc.TraceID.String()
+}
+
+type traceparentKey struct{}
+
+// ContextWithTraceparent returns a context that makes every client
+// request issued under it carry the given traceparent header value —
+// Create, Push, PushBatch, Finish, Refine, Result, all of them. An
+// empty value removes propagation.
+func ContextWithTraceparent(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceparentKey{}, traceparent)
+}
+
+// traceparentFrom extracts a traceparent previously attached with
+// ContextWithTraceparent, or "".
+func traceparentFrom(ctx context.Context) string {
+	tp, _ := ctx.Value(traceparentKey{}).(string)
+	return tp
+}
+
+// injectTrace stamps the context's traceparent, if any, onto the
+// outgoing request.
+func injectTrace(ctx context.Context, req *http.Request) {
+	if tp := traceparentFrom(ctx); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
+	}
+}

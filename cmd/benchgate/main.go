@@ -200,6 +200,57 @@ func gateOffline(g *gate, oldSnap, newSnap *bench.PerfSnapshot, oldPath, newPath
 	}
 
 	g.checkWire(oldSnap.WireResults, newSnap.WireResults)
+	g.checkTracing(oldSnap.TraceResults, newSnap.TraceResults)
+}
+
+// traceAllocFloor is the tracing contract, held unconditionally within
+// every fresh snapshot: a sampled-out request's walk through the
+// recorder (Start decline + nil-safe span calls + finish) allocates
+// nothing, epsilon aside — every request on every route pays this path.
+const traceAllocFloor = 0.05
+
+// checkTracing gates the request-tracing overhead scenario: the section
+// must not silently disappear, the unsampled row must hold the
+// zero-alloc floor, and neither mode's throughput may regress against
+// the committed baseline beyond the shared speed tolerance.
+func (g *gate) checkTracing(old, fresh []bench.TracePerf) {
+	if len(fresh) == 0 {
+		g.failures = append(g.failures, "trace: fresh snapshot has no trace_results section")
+		return
+	}
+	fmt.Printf("\n%-16s %12s %12s %7s %11s  %s\n",
+		"trace mode", "rps(old)", "rps(new)", "Δrps", "allocs/op", "status")
+	oldRows := make(map[string]bench.TracePerf, len(old))
+	for _, r := range old {
+		oldRows[r.Mode] = r
+	}
+	freshModes := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		freshModes[r.Mode] = true
+		status := "ok"
+		if r.Mode == "unsampled" && r.AllocsPerOp > traceAllocFloor {
+			status = "FAIL allocs"
+			g.failures = append(g.failures, fmt.Sprintf("trace/unsampled: %.3f allocs/op breaks the zero-alloc floor (%.2f)",
+				r.AllocsPerOp, traceAllocFloor))
+		}
+		o, hasBase := oldRows[r.Mode]
+		if hasBase && o.RuntimeSec >= g.minRuntime && r.OpsPerSec < o.OpsPerSec*(1-g.speedTol) {
+			if status == "ok" {
+				status = "FAIL rps"
+			} else {
+				status += "+rps"
+			}
+			g.failures = append(g.failures, fmt.Sprintf("trace/%s: req/s %.0f -> %.0f (tol %.0f%%)",
+				r.Mode, o.OpsPerSec, r.OpsPerSec, g.speedTol*100))
+		}
+		fmt.Printf("%-16s %12.0f %12.0f %6.1f%% %11.3f  %s\n",
+			r.Mode, o.OpsPerSec, r.OpsPerSec, rel(r.OpsPerSec, o.OpsPerSec)*100, r.AllocsPerOp, status)
+	}
+	for mode := range oldRows {
+		if !freshModes[mode] {
+			g.missing("trace/" + mode)
+		}
+	}
 }
 
 // wireAllocFloor and wireSpeedupFloor are the wire-v2 contract, held

@@ -65,6 +65,7 @@ import (
 
 	"oms/internal/service"
 	"oms/internal/telemetry"
+	"oms/internal/trace"
 	"oms/internal/wal"
 )
 
@@ -95,6 +96,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	refinePasses := fs.Int("refine-passes", 1, "default restream passes when POST .../refine omits \"passes\"")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off; keep it off the public listener)")
 	logJSON := fs.Bool("log-json", false, "emit structured JSON event lines on stderr instead of prose logs")
+	traceRing := fs.Int("trace-ring", 2048, "recent traces retained for GET /v1/traces (plus a flight recorder for slow/error traces)")
+	traceSample := fs.Int("trace-sample", 16, "head-sample 1 in N requests without a traceparent header (0 = only explicit sampled traceparents)")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "traces at least this long are pinned in the flight recorder (0 = errors only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +138,20 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return int64(ms.PauseTotalNs)
 	})
 
+	// The trace recorder predates the manager for the same reason the
+	// registry does: sessions and the HTTP layer share it. -trace-sample
+	// 0 means "never spontaneously sample", which the recorder spells -1
+	// (its 0 is "use the default rate").
+	sampleEvery := *traceSample
+	if sampleEvery <= 0 {
+		sampleEvery = -1
+	}
+	tracer := trace.NewRecorder(trace.Options{
+		RingSize:      *traceRing,
+		SampleEvery:   sampleEvery,
+		SlowThreshold: *traceSlow,
+	})
+
 	var store service.Store
 	if *dataDir != "" {
 		st, err := wal.Open(*dataDir, wal.Options{
@@ -161,6 +179,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		RefinePasses:   *refinePasses,
 		Registry:       reg,
 		Events:         ev,
+		Tracer:         tracer,
 	})
 	defer mgr.Close()
 

@@ -109,9 +109,26 @@ type summary struct {
 	Histograms map[string]histoSummary `json:"histograms"`
 	Gauges     map[string]gaugeSummary `json:"gauges"`
 	Counters   map[string]ctrSummary   `json:"counters"`
-	Thresholds []slo.Result            `json:"thresholds,omitempty"`
+	Exemplars  int                     `json:"exemplars"`
+	Thresholds []thresholdResult       `json:"thresholds,omitempty"`
 	Require    []requireResult         `json:"require,omitempty"`
 	OK         bool                    `json:"ok"`
+}
+
+// thresholdResult is one threshold verdict, annotated — when the bound
+// is breached and the metric's buckets carry exemplars — with the trace
+// ids of the slowest exemplared observations, so the operator can jump
+// straight from a violated p99 to GET /v1/traces/{id}.
+type thresholdResult struct {
+	slo.Result
+	SlowTraces []slowTrace `json:"slow_traces,omitempty"`
+}
+
+// slowTrace is one exemplar reference: the trace id and the observed
+// latency (seconds) that landed it in the bucket.
+type slowTrace struct {
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
 }
 
 type histoSummary struct {
@@ -221,7 +238,15 @@ func run(ctx context.Context, cfg config) int {
 
 func fetch(client *http.Client, url string) (scrape, error) {
 	at := time.Now()
-	resp, err := client.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return scrape{}, err
+	}
+	// Ask for OpenMetrics so histogram buckets carry trace-id exemplars;
+	// a daemon that only speaks classic Prometheus text ignores this and
+	// everything below still parses.
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := client.Do(req)
 	if err != nil {
 		return scrape{}, err
 	}
@@ -355,18 +380,48 @@ func summarize(cfg config, scrapes []scrape) (*summary, error) {
 		}
 		sum.Require = append(sum.Require, r)
 	}
+	for _, fam := range last.fams {
+		for _, s := range fam.Samples {
+			if s.Exemplar != nil {
+				sum.Exemplars++
+			}
+		}
+	}
 	for _, th := range cfg.thresholds {
 		metric, value, err := resolve(th.Key, hists, scrapes)
 		if err != nil {
 			return nil, err
 		}
-		r := th.Check(metric, value)
+		r := thresholdResult{Result: th.Check(metric, value)}
 		if !r.OK {
 			sum.OK = false
+			r.SlowTraces = slowTraces(last.fams[metric], 3)
 		}
 		sum.Thresholds = append(sum.Thresholds, r)
 	}
 	return sum, nil
+}
+
+// slowTraces collects the metric's bucket exemplars, slowest first,
+// deduplicated by trace id, capped at max. Empty when the scrape was
+// classic Prometheus text or no exemplared observation landed yet.
+func slowTraces(fam promtext.Family, max int) []slowTrace {
+	var out []slowTrace
+	seen := map[string]bool{}
+	for _, s := range fam.Samples {
+		if s.Exemplar == nil {
+			continue
+		}
+		if tid := s.Exemplar.TraceID(); tid != "" && !seen[tid] {
+			seen[tid] = true
+			out = append(out, slowTrace{TraceID: tid, Seconds: s.Exemplar.Value})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
 }
 
 // aliases maps the short stage names accepted in threshold keys to the
@@ -466,6 +521,9 @@ func report(w io.Writer, sum *summary) {
 			status = "VIOLATED"
 		}
 		fmt.Fprintf(w, "threshold %-24s %s = %.4g (limit %.4g) %s\n", r.Key, r.Metric, r.Value, r.Limit, status)
+		for _, st := range r.SlowTraces {
+			fmt.Fprintf(w, "  slow trace %s (%.4gs)\n", st.TraceID, st.Seconds)
+		}
 	}
 	switch {
 	case sum.OK && sum.Partial:

@@ -305,3 +305,40 @@ func TestWaitReady(t *testing.T) {
 		t.Fatalf("exit %d, want 2 on readiness timeout", code)
 	}
 }
+
+// TestExemplarSlowTraces scrapes an OpenMetrics-negotiating endpoint
+// whose fsync histogram carries a trace-id exemplar; the breached
+// threshold must name that trace, and the summary must count exemplars.
+func TestExemplarSlowTraces(t *testing.T) {
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	reg := service.NewRegistry()
+	fsync := reg.Histogram("omsd_wal_fsync_seconds", "fsync stall")
+	fsync.ObserveExemplar(20*time.Millisecond, tid)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept"), "openmetrics") {
+			t.Errorf("scrape did not ask for openmetrics (Accept %q)", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		reg.WriteOpenMetrics(w)
+	}))
+	t.Cleanup(srv.Close)
+
+	ths, err := slo.ParseThresholds("fsync_p99_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, sum, _ := runStat(t, config{url: srv.URL, thresholds: ths})
+	if code != 1 || sum == nil {
+		t.Fatalf("exit %d, want 1 on violated threshold", code)
+	}
+	if sum.Exemplars < 1 {
+		t.Fatalf("summary counted %d exemplars, want >= 1", sum.Exemplars)
+	}
+	r := sum.Thresholds[0]
+	if r.OK || len(r.SlowTraces) == 0 {
+		t.Fatalf("violated threshold carries no slow traces: %+v", r)
+	}
+	if r.SlowTraces[0].TraceID != tid || r.SlowTraces[0].Seconds != 0.02 {
+		t.Fatalf("slow trace = %+v, want %s at 0.02s", r.SlowTraces[0], tid)
+	}
+}

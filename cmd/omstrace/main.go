@@ -1,0 +1,280 @@
+// Command omstrace inspects an omsd trace recorder: it lists the
+// recent-trace index (GET /v1/traces) or renders one trace's span tree
+// (GET /v1/traces/{id}) as an indented waterfall, with per-span offsets
+// and durations relative to the trace root.
+//
+// Examples:
+//
+//	omstrace -url http://localhost:8080                  # index, newest first
+//	omstrace -url http://localhost:8080 -min-dur 10ms    # only slow traces
+//	omstrace -url http://localhost:8080 -errors-only     # flight-recorder fodder
+//	omstrace -url http://localhost:8080 -stage wal.fsync # traces touching fsync
+//	omstrace -url http://localhost:8080 4bf92f3577b34da6a3ce929d0e0e4736
+//
+// With trace ids as arguments the filters are ignored and each trace is
+// fetched and printed in full. Exit codes: 0 ok, 1 a requested trace was
+// not found, 2 usage or network error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"oms/internal/trace"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:8080", "omsd base URL")
+		minDur     = flag.Duration("min-dur", 0, "list only traces at least this long")
+		stage      = flag.String("stage", "", "list only traces containing a span with this name (e.g. wal.fsync, refine.pass)")
+		errorsOnly = flag.Bool("errors-only", false, "list only traces that failed (error recorded or HTTP status >= 500)")
+		limit      = flag.Int("n", 20, "max traces listed")
+	)
+	flag.Parse()
+	cfg := config{
+		base:       strings.TrimRight(*url, "/"),
+		minDur:     *minDur,
+		stage:      *stage,
+		errorsOnly: *errorsOnly,
+		limit:      *limit,
+		ids:        flag.Args(),
+		stdout:     os.Stdout,
+		stderr:     os.Stderr,
+	}
+	os.Exit(run(cfg))
+}
+
+type config struct {
+	base       string
+	minDur     time.Duration
+	stage      string
+	errorsOnly bool
+	limit      int
+	ids        []string
+	client     *http.Client // nil = http.DefaultClient
+	stdout     io.Writer
+	stderr     io.Writer
+}
+
+func run(cfg config) int {
+	if cfg.base == "" {
+		fmt.Fprintln(cfg.stderr, "omstrace: need -url")
+		return 2
+	}
+	if len(cfg.ids) > 0 {
+		code := 0
+		for i, id := range cfg.ids {
+			tr, status, err := fetchTrace(cfg, id)
+			switch {
+			case err != nil:
+				fmt.Fprintln(cfg.stderr, "omstrace:", err)
+				return 2
+			case status == http.StatusNotFound:
+				fmt.Fprintf(cfg.stderr, "omstrace: trace %s not found (rotated out of the ring?)\n", id)
+				code = 1
+				continue
+			case status != http.StatusOK:
+				fmt.Fprintf(cfg.stderr, "omstrace: GET /v1/traces/%s: http %d\n", id, status)
+				return 2
+			}
+			if i > 0 {
+				fmt.Fprintln(cfg.stdout)
+			}
+			waterfall(cfg.stdout, tr)
+		}
+		return code
+	}
+	return list(cfg)
+}
+
+// list fetches the index, applies the filters, and prints one line per
+// surviving trace, newest first.
+func list(cfg config) int {
+	sums, err := fetchIndex(cfg)
+	if err != nil {
+		fmt.Fprintln(cfg.stderr, "omstrace:", err)
+		return 2
+	}
+	shown := 0
+	for _, s := range sums {
+		if cfg.limit > 0 && shown >= cfg.limit {
+			break
+		}
+		if s.Dur < cfg.minDur {
+			continue
+		}
+		if cfg.errorsOnly && s.Err == "" && s.Status < 500 {
+			continue
+		}
+		if cfg.stage != "" {
+			// Stage names live on spans, not summaries: resolve by
+			// fetching the candidate. The index is small (ring-bounded),
+			// so this stays a handful of requests.
+			tr, status, err := fetchTrace(cfg, s.ID.String())
+			if err != nil {
+				fmt.Fprintln(cfg.stderr, "omstrace:", err)
+				return 2
+			}
+			if status != http.StatusOK || !hasStage(tr, cfg.stage) {
+				continue
+			}
+		}
+		flight := ""
+		if s.Flight {
+			flight = "  [flight]"
+		}
+		fmt.Fprintf(cfg.stdout, "%s  %-36s status=%-3d dur=%-10s spans=%d%s\n",
+			s.ID, s.Root, s.Status, s.Dur.Round(time.Microsecond), s.Spans, flight)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(cfg.stdout, "omstrace: no traces matched")
+	}
+	return 0
+}
+
+func hasStage(tr trace.Trace, stage string) bool {
+	for _, sp := range tr.Spans {
+		if sp.Name == stage {
+			return true
+		}
+	}
+	return false
+}
+
+func fetchIndex(cfg config) ([]trace.Summary, error) {
+	body, status, err := get(cfg, cfg.base+"/v1/traces")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/traces: http %d", status)
+	}
+	var out struct {
+		Traces []trace.Summary `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("GET /v1/traces: %w", err)
+	}
+	return out.Traces, nil
+}
+
+func fetchTrace(cfg config, id string) (trace.Trace, int, error) {
+	body, status, err := get(cfg, cfg.base+"/v1/traces/"+id)
+	if err != nil || status != http.StatusOK {
+		return trace.Trace{}, status, err
+	}
+	var tr trace.Trace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return trace.Trace{}, status, fmt.Errorf("GET /v1/traces/%s: %w", id, err)
+	}
+	return tr, status, nil
+}
+
+func get(cfg config, url string) ([]byte, int, error) {
+	client := cfg.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// barWidth is the waterfall's time axis in character cells.
+const barWidth = 40
+
+// waterfall prints one trace as an indented span tree whose bars share
+// a time axis spanning [trace start, trace start+dur].
+func waterfall(w io.Writer, tr trace.Trace) {
+	header := fmt.Sprintf("trace %s  %s  dur=%s", tr.ID, tr.Root, tr.Dur.Round(time.Microsecond))
+	if tr.Status != 0 {
+		header += fmt.Sprintf("  status=%d", tr.Status)
+	}
+	if tr.Flight {
+		header += "  [flight]"
+	}
+	fmt.Fprintln(w, header)
+	if tr.Err != "" {
+		fmt.Fprintf(w, "  error: %s\n", tr.Err)
+	}
+	if len(tr.Spans) == 0 {
+		return
+	}
+
+	// Children under their parent, siblings in start order; spans whose
+	// parent never landed (ring pressure) fall back under the root.
+	root := tr.Spans[0]
+	children := map[trace.SpanID][]trace.Span{}
+	known := map[trace.SpanID]bool{root.ID: true}
+	for _, sp := range tr.Spans[1:] {
+		known[sp.ID] = true
+	}
+	for _, sp := range tr.Spans[1:] {
+		parent := sp.Parent
+		if !known[parent] {
+			parent = root.ID
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	}
+
+	var print func(sp trace.Span, depth int)
+	print = func(sp trace.Span, depth int) {
+		fmt.Fprintln(w, spanLine(tr, sp, depth))
+		for _, kid := range children[sp.ID] {
+			print(kid, depth+1)
+		}
+	}
+	print(root, 0)
+}
+
+// spanLine renders one waterfall row: indented name, bar on the shared
+// axis, then offset and duration.
+func spanLine(tr trace.Trace, sp trace.Span, depth int) string {
+	name := strings.Repeat("  ", depth) + sp.Name
+	total := tr.Dur
+	if total <= 0 {
+		total = 1
+	}
+	off := sp.Start.Sub(tr.Start)
+	if off < 0 {
+		off = 0
+	}
+	lead := int(int64(off) * barWidth / int64(total))
+	span := int(int64(sp.Dur) * barWidth / int64(total))
+	if lead >= barWidth {
+		lead = barWidth - 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	if lead+span > barWidth {
+		span = barWidth - lead
+	}
+	bar := strings.Repeat(" ", lead) + strings.Repeat("=", span) +
+		strings.Repeat(" ", barWidth-lead-span)
+	line := fmt.Sprintf("  %-24s |%s| +%-10s %s",
+		name, bar, off.Round(time.Microsecond), sp.Dur.Round(time.Microsecond))
+	if sp.Err != "" {
+		line += "  err=" + sp.Err
+	}
+	return line
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oms/internal/trace"
+)
+
+// fixtureTrace builds a three-stage request trace: root http span, with
+// queue and assign children, assign carrying an error.
+func fixtureTrace(t *testing.T) trace.Trace {
+	t.Helper()
+	id, err := trace.ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	root := trace.Span{Name: "POST /v1/sessions/{id}/nodes", ID: trace.SpanID{1}, Start: start, Dur: 10 * time.Millisecond}
+	return trace.Trace{
+		ID: id, Root: root.Name, Status: 200, Start: start, Dur: root.Dur,
+		Spans: []trace.Span{
+			root,
+			{Name: "queue", ID: trace.SpanID{2}, Parent: root.ID, Start: start.Add(time.Millisecond), Dur: 2 * time.Millisecond},
+			{Name: "assign", ID: trace.SpanID{3}, Parent: root.ID, Start: start.Add(3 * time.Millisecond), Dur: 6 * time.Millisecond, Err: "boom"},
+		},
+	}
+}
+
+func fixtureServer(t *testing.T, tr trace.Trace) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		sum := trace.Summary{ID: tr.ID, Root: tr.Root, Status: tr.Status, Start: tr.Start, Dur: tr.Dur, Spans: len(tr.Spans)}
+		json.NewEncoder(w).Encode(map[string]any{"traces": []trace.Summary{sum}})
+	})
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != tr.ID.String() {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(tr)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWaterfallPrint(t *testing.T) {
+	tr := fixtureTrace(t)
+	srv := fixtureServer(t, tr)
+	var out, errb strings.Builder
+	code := run(config{base: srv.URL, ids: []string{tr.ID.String()}, stdout: &out, stderr: &errb})
+	if code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace 4bf92f3577b34da6a3ce929d0e0e4736",
+		"POST /v1/sessions/{id}/nodes",
+		"queue", "assign", "err=boom", "status=200",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, got)
+		}
+	}
+	// Children render indented one level under the root.
+	if !strings.Contains(got, "\n    queue") {
+		t.Errorf("queue span not indented under root:\n%s", got)
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	tr := fixtureTrace(t)
+	srv := fixtureServer(t, tr)
+
+	var out strings.Builder
+	if code := run(config{base: srv.URL, limit: 20, stdout: &out, stderr: &out}); code != 0 {
+		t.Fatalf("list run = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), tr.ID.String()) {
+		t.Fatalf("index listing missing trace id:\n%s", out.String())
+	}
+
+	// min-dur above the trace's duration filters it out.
+	out.Reset()
+	if code := run(config{base: srv.URL, limit: 20, minDur: time.Second, stdout: &out, stderr: &out}); code != 0 {
+		t.Fatalf("min-dur run = %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no traces matched") {
+		t.Fatalf("min-dur filter kept the trace:\n%s", out.String())
+	}
+
+	// Stage filtering fetches the span tree: "assign" matches,
+	// "wal.fsync" does not.
+	out.Reset()
+	if code := run(config{base: srv.URL, limit: 20, stage: "assign", stdout: &out, stderr: &out}); code != 0 || !strings.Contains(out.String(), tr.ID.String()) {
+		t.Fatalf("stage=assign run = %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run(config{base: srv.URL, limit: 20, stage: "wal.fsync", stdout: &out, stderr: &out}); code != 0 || !strings.Contains(out.String(), "no traces matched") {
+		t.Fatalf("stage=wal.fsync run = %d:\n%s", code, out.String())
+	}
+
+	// errors-only: status 200, no error → filtered.
+	out.Reset()
+	if code := run(config{base: srv.URL, limit: 20, errorsOnly: true, stdout: &out, stderr: &out}); code != 0 || !strings.Contains(out.String(), "no traces matched") {
+		t.Fatalf("errors-only run = %d:\n%s", code, out.String())
+	}
+}
+
+func TestFetchUnknownTrace(t *testing.T) {
+	tr := fixtureTrace(t)
+	srv := fixtureServer(t, tr)
+	var out, errb strings.Builder
+	code := run(config{base: srv.URL, ids: []string{"ffffffffffffffffffffffffffffffff"}, stdout: &out, stderr: &errb})
+	if code != 1 {
+		t.Fatalf("run = %d (want 1 for not-found), stderr %q", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "not found") {
+		t.Fatalf("stderr %q missing not-found notice", errb.String())
+	}
+}

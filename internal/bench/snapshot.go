@@ -50,6 +50,11 @@ type PerfSnapshot struct {
 	// must stay allocation-free and at least 2x the NDJSON throughput —
 	// benchgate holds both floors.
 	WireResults []WirePerf `json:"wire_results,omitempty"`
+	// TraceResults is the request-tracing overhead scenario: the span
+	// recorder driven through a synthetic request lifecycle once per
+	// sampling fate. The unsampled row must stay allocation-free —
+	// benchgate holds that floor, since every request pays it.
+	TraceResults []TracePerf `json:"trace_results,omitempty"`
 	// Load is the service-under-traffic scenario: an omsload open-loop
 	// run against a live omsd (cmd/omsload -bench-json writes it), with
 	// client-side per-class latency percentiles. benchgate gates a
@@ -272,6 +277,11 @@ func RunPerfSnapshot(cfg Config, k int32, progress io.Writer) (*PerfSnapshot, er
 		return nil, err
 	}
 	snap.WireResults = wireRows
+	traceRows, err := runTraceScenario(reps, progress)
+	if err != nil {
+		return nil, err
+	}
+	snap.TraceResults = traceRows
 	rt := &RuntimeStats{PeakGoroutines: peak.stop()}
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)

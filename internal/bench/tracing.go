@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"oms/internal/trace"
+)
+
+// TracePerf is one request-tracing overhead row: the per-request cost
+// of the trace recorder over a synthetic request lifecycle (root start,
+// queue/assign/wal spans, finish) in one sampling mode. The unsampled
+// row is the contract benchgate holds: a request the head sampler
+// passes over must cost near-zero — no allocations beyond a small
+// epsilon — because every request on every route pays this path.
+type TracePerf struct {
+	Mode        string  `json:"mode"` // "unsampled" | "sampled"
+	Ops         int     `json:"ops"`
+	RuntimeSec  float64 `json:"runtime_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// traceOps is the per-rep request count; large enough that one-time
+// recorder setup amortizes below the alloc floor.
+const traceOps = 1 << 18
+
+// runTraceScenario measures the span recorder head to head across its
+// two request fates: sampled out (Start returns nil, every span call a
+// nil-receiver no-op — the steady-state fast path) and sampled in
+// (every request records a five-span tree through the ring). Span
+// timestamps are synthetic so the rows isolate recorder cost from
+// clock reads; runtime takes the fastest rep, heap deltas the first.
+func runTraceScenario(reps int, progress io.Writer) ([]TracePerf, error) {
+	measure := func(mode string, sampleEvery int) TracePerf {
+		row := TracePerf{Mode: mode, Ops: traceOps}
+		for rep := 0; rep < reps; rep++ {
+			rec := trace.NewRecorder(trace.Options{SampleEvery: sampleEvery})
+			t0 := time.Now()
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			w0 := time.Now()
+			for i := 0; i < traceOps; i++ {
+				a := rec.Start(trace.Context{}, false, "POST /v1/sessions/{id}/nodes", t0)
+				a.Span("queue", a.Root(), t0, time.Microsecond)
+				a.Span("assign", a.Root(), t0, 10*time.Microsecond)
+				a.Span("wal.append", a.Root(), t0, 5*time.Microsecond)
+				a.Span("wal.fsync", a.Root(), t0, 2*time.Microsecond)
+				a.Finish(200, "")
+			}
+			secs := time.Since(w0).Seconds()
+			runtime.ReadMemStats(&after)
+			if rep == 0 {
+				row.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(traceOps)
+				row.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(traceOps)
+			}
+			if rep == 0 || secs < row.RuntimeSec {
+				row.RuntimeSec = secs
+			}
+		}
+		if row.RuntimeSec > 0 {
+			row.OpsPerSec = float64(traceOps) / row.RuntimeSec
+		}
+		return row
+	}
+
+	// SampleEvery -1 never spontaneously samples: with no traceparent on
+	// the synthetic requests, Start always declines — the fast path.
+	unsampled := measure("unsampled", -1)
+	sampled := measure("sampled", 1)
+	if progress != nil {
+		fmt.Fprintf(progress, "trace unsampled: %.0f req/s, %.3f allocs/op\n", unsampled.OpsPerSec, unsampled.AllocsPerOp)
+		fmt.Fprintf(progress, "trace sampled:   %.0f req/s, %.2f allocs/op\n", sampled.OpsPerSec, sampled.AllocsPerOp)
+	}
+	return []TracePerf{unsampled, sampled}, nil
+}

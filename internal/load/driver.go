@@ -50,6 +50,7 @@ type Driver struct {
 	rng      *util.RNG
 	sessions []*lsession // live: streaming and finished
 	created  int64
+	arrivals int64 // scheduled-op counter driving TraceEvery injection
 
 	totals SessionTotals
 }
@@ -245,9 +246,28 @@ func (d *Driver) countLocked(pred func(*lsession) bool) int {
 // state, run the HTTP op, record latency from the intended start, and
 // apply the state transition.
 func (d *Driver) Do(ctx context.Context, desired Class, intended time.Time) {
+	ctx = d.maybeTrace(ctx)
 	o := d.plan(desired)
 	out := d.execute(ctx, o)
 	d.rec.Observe(o.class, time.Since(intended), out)
+}
+
+// maybeTrace stamps every TraceEvery-th scheduled arrival with a fresh
+// sampled traceparent, so a load run always leaves a known-rate trail
+// of recorded traces (and exemplars) on the server under test.
+func (d *Driver) maybeTrace(ctx context.Context) context.Context {
+	if d.p.TraceEvery <= 0 {
+		return ctx
+	}
+	d.mu.Lock()
+	d.arrivals++
+	inject := d.arrivals%int64(d.p.TraceEvery) == 0
+	d.mu.Unlock()
+	if !inject {
+		return ctx
+	}
+	tp, _ := client.NewTraceparent(true)
+	return client.ContextWithTraceparent(ctx, tp)
 }
 
 // execute runs the op's HTTP request and applies its state transition.

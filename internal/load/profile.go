@@ -61,6 +61,12 @@ type Profile struct {
 	RequestTimeout time.Duration
 	Drain          time.Duration
 
+	// TraceEvery injects a sampled W3C traceparent on every Nth
+	// scheduled arrival, forcing the server to record that request's
+	// span tree regardless of its own head-sampling rate. 0 disables
+	// injection (requests still get traced at the server's rate).
+	TraceEvery int
+
 	// Thresholds bound the client-side histograms (push_p99_ms<5
 	// grammar over class aliases). StatThresholds is carried for the
 	// operator's convenience: the server-side bounds a concurrent
@@ -101,6 +107,7 @@ func DefaultProfile() Profile {
 		SampleEvery:    time.Second,
 		RequestTimeout: 10 * time.Second,
 		Drain:          5 * time.Second,
+		TraceEvery:     64,
 	}
 }
 
@@ -231,6 +238,10 @@ func (p *Profile) set(key, val string) error {
 		return err
 	case "SAMPLE_EVERY":
 		return dur(&p.SampleEvery)
+	case "TRACE_EVERY":
+		v, err := i64()
+		p.TraceEvery = int(v)
+		return err
 	case "REQUEST_TIMEOUT":
 		return dur(&p.RequestTimeout)
 	case "DRAIN":
@@ -296,6 +307,8 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("profile %s: MAX_INFLIGHT must be >= 1", p.Name)
 	case p.SampleEvery <= 0 || p.RequestTimeout <= 0:
 		return fmt.Errorf("profile %s: SAMPLE_EVERY and REQUEST_TIMEOUT must be positive", p.Name)
+	case p.TraceEvery < 0:
+		return fmt.Errorf("profile %s: TRACE_EVERY must be >= 0", p.Name)
 	}
 	total := 0
 	for c, w := range p.Mix {

@@ -22,11 +22,31 @@ import (
 )
 
 // Sample is one sample line: the full series name (including any
-// _bucket/_sum/_count suffix), its labels, and the value.
+// _bucket/_sum/_count suffix), its labels, and the value. Exemplar is
+// non-nil when the line carried an OpenMetrics exemplar suffix.
 type Sample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *Exemplar
+}
+
+// Exemplar is one OpenMetrics exemplar: the labels that link a bucket
+// to a concrete observation (our exporter emits trace_id), the observed
+// value, and an optional unix-seconds timestamp.
+type Exemplar struct {
 	Labels map[string]string
 	Value  float64
+	Ts     float64
+	HasTs  bool
+}
+
+// TraceID returns the exemplar's trace_id label, or "".
+func (e *Exemplar) TraceID() string {
+	if e == nil {
+		return ""
+	}
+	return e.Labels["trace_id"]
 }
 
 // Family is one metric family: the metadata from its # HELP / # TYPE
@@ -154,7 +174,11 @@ func unescapeHelp(s string) string {
 	return b.String()
 }
 
-// parseSample parses one sample line: name[{labels}] value [timestamp].
+// parseSample parses one sample line: name[{labels}] value [timestamp],
+// optionally followed by an OpenMetrics exemplar suffix
+// " # {labels} value [timestamp]". Quoted label values are consumed
+// before the split, so a '#' inside a value cannot be mistaken for the
+// exemplar separator.
 func parseSample(line string) (Sample, error) {
 	s := Sample{}
 	i := 0
@@ -174,6 +198,14 @@ func parseSample(line string) (Sample, error) {
 		s.Labels = labels
 		rest = tail
 	}
+	if before, exPart, found := strings.Cut(rest, " # "); found {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("sample line %q: %w", line, err)
+		}
+		s.Exemplar = ex
+		rest = before
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return s, fmt.Errorf("sample line %q has %d value fields, want value [timestamp]", line, len(fields))
@@ -184,6 +216,34 @@ func parseSample(line string) (Sample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the part after the exemplar separator:
+// {labels} value [timestamp].
+func parseExemplar(s string) (*Exemplar, error) {
+	s = strings.TrimLeft(s, " \t")
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("exemplar %q does not start with a label block", s)
+	}
+	labels, tail, err := parseLabels(s)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar %q has %d value fields, want value [timestamp]", s, len(fields))
+	}
+	ex := &Exemplar{Labels: labels}
+	if ex.Value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("exemplar %q: bad value: %w", s, err)
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("exemplar %q: bad timestamp: %w", s, err)
+		}
+		ex.HasTs = true
+	}
+	return ex, nil
 }
 
 // parseLabels parses a {k="v",...} block from the front of s and

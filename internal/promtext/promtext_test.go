@@ -134,3 +134,82 @@ func TestAsHistogramErrors(t *testing.T) {
 		t.Error("AsHistogram with decreasing cumulative counts did not error")
 	}
 }
+
+const openMetricsDoc = `# HELP lat_seconds request latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.05"} 24 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.043 1712345678.500
+lat_seconds_bucket{le="0.1"} 33
+lat_seconds_bucket{le="+Inf"} 144 # {trace_id="00f067aa0ba902b700f067aa0ba902b7"} 9.1
+lat_seconds_sum 53.42
+lat_seconds_count 144
+# EOF
+`
+
+// TestParseOpenMetricsExemplars: the OpenMetrics dialect — exemplar
+// suffixes on bucket lines and the trailing # EOF — parses with the
+// exemplars attached to their samples, and the plain fields agree with
+// the classic parse.
+func TestParseOpenMetricsExemplars(t *testing.T) {
+	fams, err := Parse(strings.NewReader(openMetricsDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	f := fams[0]
+	h, err := f.AsHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 144 || h.Sum != 53.42 {
+		t.Fatalf("histogram count/sum = %d/%v", h.Count, h.Sum)
+	}
+	var got []*Exemplar
+	for _, s := range f.Samples {
+		if s.Exemplar != nil {
+			got = append(got, s.Exemplar)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d exemplars, want 2", len(got))
+	}
+	first := got[0]
+	if first.TraceID() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("first exemplar trace id %q", first.TraceID())
+	}
+	if first.Value != 0.043 || !first.HasTs || first.Ts != 1712345678.500 {
+		t.Fatalf("first exemplar value/ts = %v/%v (hasTs %v)", first.Value, first.Ts, first.HasTs)
+	}
+	second := got[1]
+	if second.TraceID() != "00f067aa0ba902b700f067aa0ba902b7" || second.HasTs {
+		t.Fatalf("second exemplar = %+v", second)
+	}
+}
+
+// TestParseExemplarErrors: malformed exemplar suffixes fail loudly.
+func TestParseExemplarErrors(t *testing.T) {
+	for _, doc := range []string{
+		"x_bucket{le=\"1\"} 3 # 0.5\n",                   // no label block
+		"x_bucket{le=\"1\"} 3 # {trace_id=\"a\"}\n",      // no value
+		"x_bucket{le=\"1\"} 3 # {trace_id=\"a\"} nan2\n", // bad value
+		"x_bucket{le=\"1\"} 3 # {trace_id=\"a\"} 1 2 3\n",
+	} {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("doc %q parsed, want error", doc)
+		}
+	}
+}
+
+// TestParseHashInsideLabelValue: a '#' inside a quoted label value is
+// data, not an exemplar separator.
+func TestParseHashInsideLabelValue(t *testing.T) {
+	fams, err := Parse(strings.NewReader("weird{path=\"/a # b\"} 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams[0].Samples[0]
+	if s.Labels["path"] != "/a # b" || s.Value != 1 || s.Exemplar != nil {
+		t.Fatalf("sample = %+v", s)
+	}
+}

@@ -71,6 +71,10 @@ type Job struct {
 	ID      string // session id; one active job per id
 	Passes  int
 	Threads int
+	// TraceID is the hex trace id of the request that submitted the job,
+	// empty when that request was not sampled. Carried through Status so
+	// a refine job's progress can be joined back to its trigger's trace.
+	TraceID string
 	Run     func(ctx context.Context, pass func(int)) error
 }
 
@@ -82,6 +86,7 @@ type Status struct {
 	Passes     int    `json:"passes"`
 	PassesDone int    `json:"passes_done"`
 	Threads    int    `json:"threads"`
+	TraceID    string `json:"trace_id,omitempty"`
 	Error      string `json:"error,omitempty"`
 }
 
@@ -102,6 +107,7 @@ func (t *task) status() Status {
 		Passes:     t.job.Passes,
 		PassesDone: t.passesDone,
 		Threads:    t.job.Threads,
+		TraceID:    t.job.TraceID,
 	}
 	if t.err != nil {
 		st.Error = t.err.Error()

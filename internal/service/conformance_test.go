@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"oms/internal/trace"
 )
 
 // conformanceCase is one row of the endpoint × error-class table: a
@@ -38,11 +40,15 @@ type conformanceFixture struct {
 	liveID      string // declared n=4 m=1, nothing pushed
 	finishedID  string // declared, sealed
 	deletedID   string // was live, deleted (tombstoned)
+	traceID     string // one retained trace (seeded via a sampled traceparent)
 }
 
 func newConformanceFixture(t *testing.T) *conformanceFixture {
 	t.Helper()
-	mgr, srv := newTestServer(t, Config{})
+	// SampleEvery -1 disables spontaneous sampling: only the request
+	// that explicitly carries a sampled traceparent below records a
+	// trace, so the other rows stay deterministic.
+	mgr, srv := newTestServer(t, Config{Tracer: trace.NewRecorder(trace.Options{SampleEvery: -1})})
 	f := &conformanceFixture{srvURL: srv.URL}
 
 	mk := func(spec CreateSpec) string {
@@ -64,6 +70,33 @@ func newConformanceFixture(t *testing.T) *conformanceFixture {
 	f.deletedID = mk(CreateSpec{N: 4, M: 3, K: 2})
 	if err := mgr.Delete(f.deletedID); err != nil {
 		t.Fatal(err)
+	}
+
+	// Seed one retained trace for the trace/ok row: a request carrying
+	// a sampled traceparent is recorded under that trace id. The trace
+	// publishes when the middleware finishes, which can trail the
+	// response by a scheduler tick — poll briefly until it lands.
+	tc := trace.NewContext(true)
+	req, err := http.NewRequest("GET", srv.URL+"/v1/sessions", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, tc.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	f.traceID = tc.TraceID.String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := mgr.Tracer().Get(tc.TraceID); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("seeded trace never published")
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// A second server whose manager is never marked ready: readyz must
@@ -167,6 +200,19 @@ func conformanceTable() []conformanceCase {
 			wantStatus: http.StatusServiceUnavailable, wantCode: "not_ready"},
 		{name: "metrics/ok", method: "GET", route: "GET /metrics", url: id("/metrics"),
 			wantStatus: http.StatusOK, wantCT: "text/plain; version=0.0.4"},
+
+		// GET /v1/traces and /v1/traces/{id} — the span-tree surface.
+		{name: "traces/ok", method: "GET", route: "GET /v1/traces", url: id("/v1/traces"),
+			wantStatus: http.StatusOK, wantCT: "application/json"},
+		{name: "trace/ok", method: "GET", route: "GET /v1/traces/{id}",
+			url:        withID("/v1/traces/%s", func(f *conformanceFixture) string { return f.traceID }),
+			wantStatus: http.StatusOK, wantCT: "application/json"},
+		{name: "trace/bad-id", method: "GET", route: "GET /v1/traces/{id}",
+			url:        id("/v1/traces/not-a-trace-id"),
+			wantStatus: http.StatusBadRequest, wantCode: "bad_request"},
+		{name: "trace/unknown", method: "GET", route: "GET /v1/traces/{id}",
+			url:        id("/v1/traces/ffffffffffffffffffffffffffffffff"),
+			wantStatus: http.StatusNotFound, wantCode: "trace_not_found"},
 	}
 }
 

@@ -57,6 +57,18 @@ type Histogram struct {
 	help   string
 	shards []histoShard
 	mask   uint32
+	// exemplars holds one trace link per bucket (last writer wins),
+	// published with atomic pointers so attaching stays lock-free and
+	// the classic text exposition pays nothing for them.
+	exemplars [histoAllBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar links a bucket to a recent trace whose observation landed
+// in it — the OpenMetrics bridge from "p99 is bad" to "this request".
+type exemplar struct {
+	traceID string
+	value   float64 // observed seconds
+	ts      time.Time
 }
 
 func newHistogram(name, help string) *Histogram {
@@ -89,6 +101,43 @@ func (h *Histogram) Observe(d time.Duration) {
 	sh := &h.shards[rand.Uint32()&h.mask]
 	sh.counts[bucketIndex(ns)].Add(1)
 	sh.sumNanos.Add(ns)
+}
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// links the observation's bucket to that trace. The empty-id path is
+// exactly Observe — the sampled-out fast path stays allocation-free.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID != "" {
+		h.AttachExemplar(d, traceID)
+	}
+}
+
+// AttachExemplar links traceID to the bucket d falls in without
+// recording an observation — for stages whose histogram is observed
+// elsewhere (the WAL store hooks) where no trace context exists.
+func (h *Histogram) AttachExemplar(d time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.exemplars[bucketIndex(ns)].Store(&exemplar{traceID: traceID, value: float64(ns) / 1e9, ts: time.Now()})
+}
+
+// BucketExemplar returns bucket b's current exemplar, if any (b indexes
+// BucketBounds order; the last bucket is +Inf).
+func (h *Histogram) BucketExemplar(b int) (traceID string, value float64, ts time.Time, ok bool) {
+	if b < 0 || b >= histoAllBuckets {
+		return "", 0, time.Time{}, false
+	}
+	e := h.exemplars[b].Load()
+	if e == nil {
+		return "", 0, time.Time{}, false
+	}
+	return e.traceID, e.value, e.ts, true
 }
 
 // Name returns the histogram's registered name.
@@ -180,6 +229,17 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 // writeText emits the histogram in Prometheus text exposition format:
 // cumulative _bucket series with le labels, then _sum and _count.
 func (h *Histogram) writeText(w io.Writer) error {
+	return h.writeExposition(w, false)
+}
+
+// writeOpenMetrics emits the same family with OpenMetrics exemplars:
+// buckets holding a trace link gain a "# {trace_id=...} value ts"
+// suffix. Classic scrapes never see this path.
+func (h *Histogram) writeOpenMetrics(w io.Writer) error {
+	return h.writeExposition(w, true)
+}
+
+func (h *Histogram) writeExposition(w io.Writer, exemplars bool) error {
 	if h.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.name, escapeHelp(h.help)); err != nil {
 			return err
@@ -189,15 +249,27 @@ func (h *Histogram) writeText(w io.Writer) error {
 		return err
 	}
 	s := h.Snapshot()
+	suffix := func(b int) string {
+		if !exemplars {
+			return ""
+		}
+		tid, v, ts, ok := h.BucketExemplar(b)
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=%q} %s %s", tid,
+			strconv.FormatFloat(v, 'g', -1, 64),
+			strconv.FormatFloat(float64(ts.UnixNano())/1e9, 'f', 3, 64))
+	}
 	var cum uint64
 	for b := 0; b < histoBuckets; b++ {
 		cum += s.Buckets[b]
 		le := strconv.FormatFloat(float64(int64(1)<<(histoMinExp+b))/1e9, 'g', -1, 64)
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", h.name, le, cum, suffix(b)); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, s.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", h.name, s.Count, suffix(histoAllBuckets-1)); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(s.SumSec, 'g', -1, 64)); err != nil {

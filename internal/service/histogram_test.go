@@ -283,3 +283,77 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestRegistryOpenMetricsRoundTrip: WriteOpenMetrics carries bucket
+// exemplars that promtext parses back with the attached trace id, ends
+// with # EOF, and agrees with the classic exposition on every count —
+// while WriteText stays byte-identical to a registry without exemplars
+// (classic scrapes must never see the suffixes).
+func TestRegistryOpenMetricsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("om_ops_total", "ops").Add(3)
+	h := reg.Histogram("om_lat_seconds", "latency")
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	h.Observe(2 * time.Millisecond)
+	h.ObserveExemplar(5*time.Millisecond, tid)
+
+	var classic bytes.Buffer
+	if err := reg.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(classic.Bytes(), []byte("trace_id")) || bytes.Contains(classic.Bytes(), []byte("# EOF")) {
+		t.Fatalf("classic exposition leaked OpenMetrics syntax:\n%s", classic.String())
+	}
+
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(om.Bytes(), []byte("# EOF\n")) {
+		t.Fatalf("OpenMetrics exposition does not end with # EOF:\n%s", om.String())
+	}
+	fams, err := promtext.Parse(bytes.NewReader(om.Bytes()))
+	if err != nil {
+		t.Fatalf("OpenMetrics output does not parse: %v\n%s", err, om.String())
+	}
+	var hist *promtext.Family
+	for i := range fams {
+		if fams[i].Name == "om_lat_seconds" {
+			hist = &fams[i]
+		}
+	}
+	if hist == nil {
+		t.Fatalf("histogram family missing:\n%s", om.String())
+	}
+	ph, err := hist.AsHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Count != 2 {
+		t.Fatalf("parsed count %d, want 2", ph.Count)
+	}
+	var found *promtext.Exemplar
+	for _, s := range hist.Samples {
+		if s.Exemplar != nil {
+			if found != nil {
+				t.Fatalf("more than one exemplar:\n%s", om.String())
+			}
+			found = s.Exemplar
+		}
+	}
+	if found == nil {
+		t.Fatalf("no exemplar parsed back:\n%s", om.String())
+	}
+	if found.TraceID() != tid {
+		t.Fatalf("exemplar trace id %q, want %q", found.TraceID(), tid)
+	}
+	if math.Abs(found.Value-0.005) > 1e-9 || !found.HasTs {
+		t.Fatalf("exemplar value/ts = %v (hasTs %v)", found.Value, found.HasTs)
+	}
+	// The exemplar sits on the bucket its observation landed in.
+	tidDur := 5 * time.Millisecond
+	gotID, gotV, _, ok := h.BucketExemplar(bucketIndex(tidDur.Nanoseconds()))
+	if !ok || gotID != tid || math.Abs(gotV-0.005) > 1e-9 {
+		t.Fatalf("BucketExemplar = %q/%v/%v, want %q/0.005/true", gotID, gotV, ok, tid)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"oms"
 	"oms/internal/refine"
+	"oms/internal/trace"
 	"oms/internal/wire"
 )
 
@@ -61,19 +63,82 @@ func NewServer(mgr *Manager) http.Handler {
 	reg := mgr.Registry()
 	for _, rt := range Routes() {
 		h := rt.handler(mgr)
+		var hist *Histogram
 		if rt.Name != "" {
-			hist := reg.Histogram("omsd_http_"+rt.Name+"_seconds",
+			hist = reg.Histogram("omsd_http_"+rt.Name+"_seconds",
 				"request latency of "+rt.Method+" "+rt.Pattern)
-			inner := h
-			h = func(w http.ResponseWriter, r *http.Request) {
-				t0 := time.Now()
-				inner(w, r)
-				hist.Observe(time.Since(t0))
-			}
 		}
-		mux.HandleFunc(rt.Method+" "+rt.Pattern, h)
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, withTrace(mgr.Tracer(), rt.Method+" "+rt.Pattern, hist, h))
 	}
 	return mux
+}
+
+// statusWriter captures the response status code for the trace record.
+// Unwrap keeps http.ResponseController working through the wrapper —
+// the ingest handlers rely on Flush and EnableFullDuplex resolving to
+// the real writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// withTrace is the per-route observability middleware: it parses an
+// incoming W3C traceparent, makes the head-sampling decision, opens
+// the request's root span, and observes the route histogram (with a
+// trace-id exemplar when sampled). The sampled-out path wraps nothing
+// and allocates nothing beyond the unavoidable clock reads — recorded
+// tracing must stay invisible to benchgate's alloc floor.
+func withTrace(rec *trace.Recorder, name string, hist *Histogram, inner http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		var a *trace.Active
+		if rec != nil {
+			var parent trace.Context
+			var hasParent bool
+			if tp := r.Header.Get(trace.Header); tp != "" {
+				if c, err := trace.ParseTraceparent(tp); err == nil {
+					parent, hasParent = c, true
+				}
+			}
+			a = rec.Start(parent, hasParent, name, t0)
+		}
+		if a == nil {
+			inner(w, r)
+			if hist != nil {
+				hist.Observe(time.Since(t0))
+			}
+			return
+		}
+		// Echo the trace id back so even a spontaneously-sampled caller
+		// (no traceparent sent) learns which trace to fetch.
+		w.Header().Set(trace.Header, a.Context().Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		inner(sw, r.WithContext(trace.WithActive(r.Context(), a)))
+		if hist != nil {
+			hist.ObserveExemplar(time.Since(t0), a.TraceIDString())
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		a.Finish(status, "")
+	}
 }
 
 // Route is one registered API endpoint — the single source of truth
@@ -162,13 +227,21 @@ func Routes() []Route {
 			Errors: []string{"session_not_found", "session_gone"}},
 		{Method: "GET", Pattern: "/v1/healthz", handler: handleHealthz,
 			Doc: "liveness", Produces: []string{mtText}},
+		{Method: "GET", Pattern: "/v1/traces", handler: handleTraces,
+			Doc:      "recent trace index, newest first (flight-recorder retentions included)",
+			Produces: []string{mtJSON}},
+		{Method: "GET", Pattern: "/v1/traces/{id}", handler: handleTrace,
+			Doc:      "one trace's full span tree by 32-hex trace id",
+			Produces: []string{mtJSON},
+			Errors:   []string{"bad_request", "trace_not_found"}},
 		{Method: "GET", Pattern: "/v1/readyz", handler: handleReadyz,
 			Doc: "readiness: 503 until WAL recovery completes", Produces: []string{mtText},
 			Errors: []string{"not_ready"}},
 		{Method: "GET", Pattern: "/healthz", handler: handleHealthz,
 			Doc: "liveness (unversioned alias)", Produces: []string{mtText}},
 		{Method: "GET", Pattern: "/metrics", handler: handleMetrics,
-			Doc: "counter registry, Prometheus text format", Produces: []string{"text/plain; version=0.0.4"}},
+			Doc:      "counter registry, Prometheus text format (`Accept: application/openmetrics-text` adds trace exemplars)",
+			Produces: []string{"text/plain; version=0.0.4", "application/openmetrics-text"}},
 	}
 }
 
@@ -179,6 +252,7 @@ func handleCreate(mgr *Manager) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad create body: %w", err))
 			return
 		}
+		spec.TraceID = trace.FromContext(r.Context()).TraceIDString()
 		s, err := mgr.Create(spec)
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -280,6 +354,7 @@ func handleRefine(mgr *Manager) http.HandlerFunc {
 				return
 			}
 		}
+		spec.TraceCtx = trace.FromContext(r.Context()).Context()
 		info, err := mgr.Refine(r.PathValue("id"), spec)
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -374,14 +449,48 @@ func handleReadyz(mgr *Manager) http.HandlerFunc {
 
 func handleMetrics(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Negotiate OpenMetrics only on request: existing Prometheus
+		// scrapes keep the classic 0.0.4 exposition byte-compatible.
+		if strings.Contains(r.Header.Get("Accept"), "openmetrics") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = mgr.Registry().WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = mgr.Registry().WriteText(w)
 	}
 }
 
+func handleTraces(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ts := mgr.Tracer().Traces()
+		if ts == nil {
+			ts = []trace.Summary{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": ts})
+	}
+}
+
+func handleTrace(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		raw := r.PathValue("id")
+		id, err := trace.ParseTraceID(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q (want 32 hex digits)", raw))
+			return
+		}
+		tr, ok := mgr.Tracer().Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrNoTrace, raw))
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+	}
+}
+
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoVersion):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoVersion), errors.Is(err, ErrNoTrace):
 		return http.StatusNotFound
 	case errors.Is(err, ErrGone):
 		return http.StatusGone
@@ -415,6 +524,8 @@ func errCode(err error) string {
 		return "version_not_found"
 	case errors.Is(err, ErrNoRefine):
 		return "refine_not_found"
+	case errors.Is(err, ErrNoTrace):
+		return "trace_not_found"
 	case errors.Is(err, ErrGone):
 		return "session_gone"
 	case errors.Is(err, ErrNotFinished):

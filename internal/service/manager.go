@@ -15,6 +15,7 @@ import (
 	"oms"
 	"oms/internal/refine"
 	"oms/internal/telemetry"
+	"oms/internal/trace"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -40,6 +41,9 @@ var (
 	// because the session's stream was never retained: no durable log
 	// (-data-dir) and no record:true buffer (409).
 	ErrNoStream = errors.New("service: session stream not retained (refinement needs -data-dir or record:true)")
+	// ErrNoTrace reports a trace id the recorder does not hold (404):
+	// never sampled, or already overwritten in the ring.
+	ErrNoTrace = errors.New("service: no such trace")
 )
 
 func errGone(id string) error {
@@ -99,6 +103,10 @@ type CreateSpec struct {
 	Threads int `json:"threads,omitempty"`
 	// TTLSeconds overrides the server's idle-eviction TTL.
 	TTLSeconds int `json:"ttl_seconds,omitempty"`
+	// TraceID is the hex trace id of the sampled create request, set by
+	// the HTTP layer (never by clients) and excluded from the persisted
+	// spec — a recovered session's creation trace is long gone.
+	TraceID string `json:"-"`
 }
 
 func parseScorer(s string) (oms.Scorer, error) {
@@ -221,6 +229,9 @@ type Config struct {
 	// Events receives structured session-lifecycle events (created,
 	// recovered, sealed, evicted, refined, faulted); nil disables them.
 	Events *telemetry.Logger
+	// Tracer records request-scoped span trees; nil disables tracing
+	// (every per-request trace handle is then nil, the no-op path).
+	Tracer *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -297,6 +308,7 @@ type Manager struct {
 	reg     *Registry
 	m       *serviceMetrics
 	ev      *telemetry.Logger
+	tracer  *trace.Recorder
 	pool    *Pool
 	refiner *refine.Runner
 
@@ -389,6 +401,7 @@ func NewManager(cfg Config) *Manager {
 		reg:         reg,
 		m:           newServiceMetrics(reg),
 		ev:          cfg.Events,
+		tracer:      cfg.Tracer,
 		pool:        NewPool(cfg.Workers),
 		tombs:       make(map[string]struct{}),
 		janitorQuit: make(chan struct{}),
@@ -404,9 +417,14 @@ func NewManager(cfg Config) *Manager {
 			case refine.StateCanceled:
 				mgr.m.refineCanceled.Inc()
 			}
-			mgr.ev.Emit(telemetry.EventRefineDone, map[string]any{
-				"session": id, "state": final.String(),
-			})
+			fields := map[string]any{"session": id, "state": final.String()}
+			// Hooks run outside the runner lock, so the status read here
+			// cannot deadlock; it recovers the submitting request's trace
+			// id so refine_done events join back to their trigger.
+			if st, ok := mgr.refiner.Status(id); ok && st.TraceID != "" {
+				fields["trace_id"] = st.TraceID
+			}
+			mgr.ev.Emit(telemetry.EventRefineDone, fields)
 		},
 		Pass: func(string, int) { mgr.m.refinePasses.Inc() },
 	})
@@ -439,6 +457,10 @@ func (mg *Manager) Ready() bool { return mg.ready.Load() }
 
 // Registry exposes the counter registry (the /metrics endpoint).
 func (mg *Manager) Registry() *Registry { return mg.reg }
+
+// Tracer exposes the span recorder (nil when tracing is disabled; every
+// trace API is nil-safe).
+func (mg *Manager) Tracer() *trace.Recorder { return mg.tracer }
 
 // Pool exposes the worker pool sessions are driven by.
 func (mg *Manager) Pool() *Pool { return mg.pool }
@@ -623,9 +645,13 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	if spec.Adaptive {
 		mg.m.adaptiveSessions.Inc()
 	}
-	mg.ev.Emit(telemetry.EventSessionCreated, map[string]any{
+	fields := map[string]any{
 		"session": s.ID, "k": s.K(), "n": spec.N, "adaptive": spec.Adaptive,
-	})
+	}
+	if spec.TraceID != "" {
+		fields["trace_id"] = spec.TraceID
+	}
+	mg.ev.Emit(telemetry.EventSessionCreated, fields)
 	return s, nil
 }
 
@@ -963,6 +989,11 @@ const maxRefinePasses = 64
 type RefineSpec struct {
 	Passes  int `json:"passes,omitempty"`
 	Threads int `json:"threads,omitempty"`
+	// TraceCtx is the submitting request's trace context, set by the
+	// HTTP layer (never parsed from the body). A sampled submit makes
+	// the background job record its passes as a second span tree under
+	// the same trace id, merged by GET /v1/traces/{id}.
+	TraceCtx trace.Context `json:"-"`
 }
 
 // RefineInfo is the refine status payload: the job snapshot plus the
@@ -1031,90 +1062,114 @@ func (mg *Manager) Refine(id string, spec RefineSpec) (RefineInfo, error) {
 	// finished first), so exporting its state needs no queue trip.
 	state := s.eng.ExportState()
 
+	// A sampled submit opens a second trace record under the request's
+	// id: the root "refine" span covers queue wait plus all passes (it
+	// starts now, at submission), and each published pass becomes a
+	// child span. Unsampled submits get the nil no-op handle.
+	ta := mg.tracer.Start(spec.TraceCtx, true, "refine", time.Now())
+	var passStart time.Time
+	runInner := func(ctx context.Context, pass func(int)) error {
+		passStart = time.Now() // queue wait ends; pass spans start here
+		// Measure the starting point once per job, so "best" can
+		// compare refined versions against the one-pass result even
+		// for sessions that never recorded.
+		if s.OnePassCut() == nil {
+			cut0, err := refine.EdgeCut(src, state.Parts)
+			if err != nil {
+				return err
+			}
+			// Persist the baseline (parts-free version 0) before any
+			// refined version exists: "best" must keep comparing
+			// against the one-pass result after a crash, even for
+			// sessions that never recorded.
+			if s.log != nil {
+				if err := s.log.SaveVersion(RefinedVersion{Version: 0, Pass: 0, EdgeCut: cut0}); err != nil {
+					s.m.walErrors.Inc()
+					return fmt.Errorf("persist one-pass cut: %w", err)
+				}
+			}
+			s.setOnePassCut(cut0)
+		}
+		// Refinement ratchets: a second job (or one resumed after a
+		// crash) continues from the newest published version rather
+		// than re-deriving it from the one-pass state — versions
+		// store only the assignment, so its tree loads are rebuilt
+		// with one replay of the stream. Pass numbers stay
+		// cumulative across jobs for the same reason: the ledger
+		// reads as one trajectory of restream depth.
+		start := state
+		basePass := int32(0)
+		if latest := s.latestVersion(); latest != nil {
+			seed := latest.Parts
+			if seed == nil {
+				// Recovered versions keep only metadata in memory;
+				// the assignment reloads from its durable file.
+				loaded, err := s.log.LoadVersion(latest.Version)
+				if err != nil {
+					return fmt.Errorf("reload version %d: %w", latest.Version, err)
+				}
+				seed = loaded.Parts
+			}
+			st, err := refine.StateFromAssignment(cfg, src, seed)
+			if err != nil {
+				return err
+			}
+			start = st
+			basePass = latest.Pass
+		}
+		return refine.Restream(ctx, cfg, start, src, passes, func(pr refine.PassResult) error {
+			if s.closed.Load() {
+				// The session died under the job (delete, eviction,
+				// fault): that ends the job as canceled, not failed —
+				// nothing went wrong with the refinement itself.
+				return fmt.Errorf("%w: session %s gone", context.Canceled, id)
+			}
+			v := RefinedVersion{
+				Version: s.nextVersion(),
+				Pass:    basePass + int32(pr.Pass),
+				EdgeCut: pr.EdgeCut,
+				Parts:   pr.Parts,
+			}
+			// Durable before visible: a version a client can read
+			// must survive a crash (no store keeps them in memory
+			// only, like everything else without -data-dir).
+			if s.log != nil {
+				if err := s.log.SaveVersion(v); err != nil {
+					s.m.walErrors.Inc()
+					return fmt.Errorf("persist version %d: %w", v.Version, err)
+				}
+			}
+			s.addVersion(v)
+			// A published pass is server activity on the session:
+			// refresh the TTL so a long refinement (or a client that
+			// stopped polling) does not lose the session under the
+			// janitor while work is still landing.
+			s.touch(s.now())
+			s.m.refineVersions.Inc()
+			pass(pr.Pass)
+			if ta != nil {
+				now := time.Now()
+				ta.Span("refine.pass", ta.Root(), passStart, now.Sub(passStart))
+				passStart = now
+			}
+			return nil
+		})
+	}
 	job := refine.Job{
 		ID:      id,
 		Passes:  passes,
 		Threads: threads,
+		TraceID: ta.TraceIDString(),
 		Run: func(ctx context.Context, pass func(int)) error {
-			// Measure the starting point once per job, so "best" can
-			// compare refined versions against the one-pass result even
-			// for sessions that never recorded.
-			if s.OnePassCut() == nil {
-				cut0, err := refine.EdgeCut(src, state.Parts)
+			err := runInner(ctx, pass)
+			if ta != nil {
+				msg := ""
 				if err != nil {
-					return err
+					msg = err.Error()
 				}
-				// Persist the baseline (parts-free version 0) before any
-				// refined version exists: "best" must keep comparing
-				// against the one-pass result after a crash, even for
-				// sessions that never recorded.
-				if s.log != nil {
-					if err := s.log.SaveVersion(RefinedVersion{Version: 0, Pass: 0, EdgeCut: cut0}); err != nil {
-						s.m.walErrors.Inc()
-						return fmt.Errorf("persist one-pass cut: %w", err)
-					}
-				}
-				s.setOnePassCut(cut0)
+				ta.Finish(0, msg)
 			}
-			// Refinement ratchets: a second job (or one resumed after a
-			// crash) continues from the newest published version rather
-			// than re-deriving it from the one-pass state — versions
-			// store only the assignment, so its tree loads are rebuilt
-			// with one replay of the stream. Pass numbers stay
-			// cumulative across jobs for the same reason: the ledger
-			// reads as one trajectory of restream depth.
-			start := state
-			basePass := int32(0)
-			if latest := s.latestVersion(); latest != nil {
-				seed := latest.Parts
-				if seed == nil {
-					// Recovered versions keep only metadata in memory;
-					// the assignment reloads from its durable file.
-					loaded, err := s.log.LoadVersion(latest.Version)
-					if err != nil {
-						return fmt.Errorf("reload version %d: %w", latest.Version, err)
-					}
-					seed = loaded.Parts
-				}
-				st, err := refine.StateFromAssignment(cfg, src, seed)
-				if err != nil {
-					return err
-				}
-				start = st
-				basePass = latest.Pass
-			}
-			return refine.Restream(ctx, cfg, start, src, passes, func(pr refine.PassResult) error {
-				if s.closed.Load() {
-					// The session died under the job (delete, eviction,
-					// fault): that ends the job as canceled, not failed —
-					// nothing went wrong with the refinement itself.
-					return fmt.Errorf("%w: session %s gone", context.Canceled, id)
-				}
-				v := RefinedVersion{
-					Version: s.nextVersion(),
-					Pass:    basePass + int32(pr.Pass),
-					EdgeCut: pr.EdgeCut,
-					Parts:   pr.Parts,
-				}
-				// Durable before visible: a version a client can read
-				// must survive a crash (no store keeps them in memory
-				// only, like everything else without -data-dir).
-				if s.log != nil {
-					if err := s.log.SaveVersion(v); err != nil {
-						s.m.walErrors.Inc()
-						return fmt.Errorf("persist version %d: %w", v.Version, err)
-					}
-				}
-				s.addVersion(v)
-				// A published pass is server activity on the session:
-				// refresh the TTL so a long refinement (or a client that
-				// stopped polling) does not lose the session under the
-				// janitor while work is still landing.
-				s.touch(s.now())
-				s.m.refineVersions.Inc()
-				pass(pr.Pass)
-				return nil
-			})
+			return err
 		},
 	}
 	// The active gauge rises before Submit: a fast worker (or a racing

@@ -214,6 +214,30 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
+// WriteOpenMetrics writes the registry in OpenMetrics text format:
+// identical families, but histogram buckets carry trace-id exemplars
+// and the exposition ends with the mandatory "# EOF" marker. /metrics
+// negotiates into this only when the scraper asks for openmetrics, so
+// classic Prometheus scrapes are byte-compatible with before.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]metric(nil), r.order...)
+	r.mu.Unlock()
+	for _, m := range order {
+		var err error
+		if h, ok := m.(*Histogram); ok {
+			err = h.writeOpenMetrics(w)
+		} else {
+			err = m.writeText(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
 // serviceMetrics bundles the counters the session subsystem maintains.
 type serviceMetrics struct {
 	sessionsCreated  *Counter

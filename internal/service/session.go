@@ -10,6 +10,7 @@ import (
 
 	"oms"
 	"oms/internal/telemetry"
+	"oms/internal/trace"
 )
 
 // PushNode is one node of an ingest chunk: id, weight (0 means 1), the
@@ -51,6 +52,13 @@ type job struct {
 	// at into the queue-wait histogram (backpressure as a distribution,
 	// not just a stall counter).
 	at time.Time
+	// tr is the submitting request's in-flight trace (nil on the
+	// sampled-out path — every use is nil-safe), and wallAt the real-
+	// clock enqueue instant its queue-wait span starts at. Spans use the
+	// wall clock, not s.now: an injected test clock would break span
+	// containment, and traces describe real time anyway.
+	tr     *trace.Active
+	wallAt time.Time
 }
 
 // jobResult carries a processed job's outcome back to the enqueuer.
@@ -210,14 +218,18 @@ func (s *Session) enqueue(ctx context.Context, p *Pool, j job) error {
 // retry would be acknowledged without ever reaching the log. The only
 // honest response is to kill the session — the chunk fails, new work is
 // rejected, and the janitor eventually collects it.
-func (s *Session) walFailure(op string, err error) error {
+func (s *Session) walFailure(op string, err error, traceID string) error {
 	s.m.walErrors.Inc()
 	s.closed.Store(true)
-	s.ev.Emit(telemetry.EventSessionFault, map[string]any{
+	fields := map[string]any{
 		"session": s.ID,
 		"op":      op,
 		"error":   err.Error(),
-	})
+	}
+	if traceID != "" {
+		fields["trace_id"] = traceID
+	}
+	s.ev.Emit(telemetry.EventSessionFault, fields)
 	return fmt.Errorf("%w: session %s wal %s (session closed): %w", ErrDurability, s.ID, op, err)
 }
 
@@ -260,7 +272,11 @@ func (s *Session) IngestBatch(ctx context.Context, p *Pool, nodes []PushNode) ([
 
 func (s *Session) ingestJob(ctx context.Context, p *Pool, kind jobKind, nodes []PushNode) ([]int32, error) {
 	done := make(chan jobResult, 1)
-	if err := s.enqueue(ctx, p, job{kind: kind, nodes: nodes, done: done}); err != nil {
+	j := job{kind: kind, nodes: nodes, done: done}
+	if j.tr = trace.FromContext(ctx); j.tr != nil {
+		j.wallAt = time.Now()
+	}
+	if err := s.enqueue(ctx, p, j); err != nil {
 		return nil, err
 	}
 	select {
@@ -274,7 +290,11 @@ func (s *Session) ingestJob(ctx context.Context, p *Pool, kind jobKind, nodes []
 // Finish queues the sealing job and waits for the summary.
 func (s *Session) Finish(ctx context.Context, p *Pool) (*Summary, error) {
 	done := make(chan jobResult, 1)
-	if err := s.enqueue(ctx, p, job{kind: jobFinish, done: done}); err != nil {
+	j := job{kind: jobFinish, done: done}
+	if j.tr = trace.FromContext(ctx); j.tr != nil {
+		j.wallAt = time.Now()
+	}
+	if err := s.enqueue(ctx, p, j); err != nil {
 		return nil, err
 	}
 	select {
@@ -291,8 +311,15 @@ func (s *Session) Finish(ctx context.Context, p *Pool) (*Summary, error) {
 // run executes one queued job on the worker that currently owns the
 // session. All engine access happens here, serialized by the pool.
 func (s *Session) run(j job) {
+	// traced gates every span-side clock read: the untraced path pays
+	// nothing beyond the nil checks.
+	traced := j.tr != nil
+	tid := j.tr.TraceIDString()
 	if !j.at.IsZero() {
-		s.m.queueWait.Observe(s.now().Sub(j.at))
+		s.m.queueWait.ObserveExemplar(s.now().Sub(j.at), tid)
+	}
+	if traced && !j.wallAt.IsZero() {
+		j.tr.Span("queue", j.tr.Root(), j.wallAt, time.Since(j.wallAt))
 	}
 	switch j.kind {
 	case jobChunk:
@@ -303,7 +330,8 @@ func (s *Session) run(j job) {
 		}
 		blocks := make([]int32, 0, len(j.nodes))
 		var err error
-		var assignDur time.Duration
+		var assignDur, walDur time.Duration
+		var assignStart, walStart time.Time
 		for _, nd := range j.nodes {
 			w := nd.W
 			if w == 0 {
@@ -311,6 +339,9 @@ func (s *Session) run(j job) {
 			}
 			before := s.eng.Assigned()
 			var b int32
+			if traced && assignStart.IsZero() {
+				assignStart = time.Now()
+			}
 			t0 := s.now()
 			b, err = s.eng.Push(nd.U, w, nd.Adj, nd.EW)
 			assignDur += s.now().Sub(t0)
@@ -323,6 +354,13 @@ func (s *Session) run(j job) {
 			// state, and replay is idempotent anyway, so duplicates
 			// would only bloat the log.
 			if s.log != nil && s.eng.Assigned() > before {
+				var wt time.Time
+				if traced {
+					wt = time.Now()
+					if walStart.IsZero() {
+						walStart = wt
+					}
+				}
 				var lerr error
 				if nd.Frame != nil {
 					// The validated request bytes are the log record:
@@ -332,8 +370,11 @@ func (s *Session) run(j job) {
 				} else {
 					lerr = s.log.AppendNode(nd.U, w, nd.Adj, nd.EW)
 				}
+				if traced {
+					walDur += time.Since(wt)
+				}
 				if lerr != nil {
-					err = s.walFailure("append", lerr)
+					err = s.walFailure("append", lerr, tid)
 					break
 				}
 				s.m.walRecords.Inc()
@@ -345,7 +386,7 @@ func (s *Session) run(j job) {
 		}
 		if err == nil {
 			if lerr := s.maybeLogStats(); lerr != nil {
-				err = s.walFailure("append", lerr)
+				err = s.walFailure("append", lerr, tid)
 				blocks = nil
 			}
 		}
@@ -354,20 +395,39 @@ func (s *Session) run(j job) {
 			// rejection, whose earlier nodes were accepted and are about
 			// to be acknowledged: after any ack a process crash loses
 			// nothing, an OS crash at most the batched-fsync window.
-			if lerr := s.log.Flush(); lerr != nil {
-				err = s.walFailure("flush", lerr)
+			var ft time.Time
+			if traced {
+				ft = time.Now()
+			}
+			lerr := s.log.Flush()
+			if traced {
+				fd := time.Since(ft)
+				j.tr.Span("wal.fsync", j.tr.Root(), ft, fd)
+				s.m.walFsync.AttachExemplar(fd, tid)
+			}
+			if lerr != nil {
+				err = s.walFailure("flush", lerr, tid)
 				blocks = nil
 			}
 		}
 		if err == nil {
-			s.maybeSnapshot()
+			s.snapshotSpan(j)
 		}
 		s.settleGrowth()
 		s.m.chunksIngested.Inc()
-		s.m.assign.Observe(assignDur)
+		s.m.assign.ObserveExemplar(assignDur, tid)
+		if traced {
+			if !assignStart.IsZero() {
+				j.tr.Span("assign", j.tr.Root(), assignStart, assignDur)
+			}
+			if !walStart.IsZero() {
+				j.tr.Span("wal.append", j.tr.Root(), walStart, walDur)
+				s.m.walAppend.AttachExemplar(walDur, tid)
+			}
+		}
 		j.done <- jobResult{blocks: blocks, err: err}
 	case jobBatch:
-		j.done <- s.runBatch(j.nodes)
+		j.done <- s.runBatch(j)
 	case jobFinish:
 		if s.finished.Load() {
 			// Retry-safe like ingest: a client that lost the finish
@@ -386,7 +446,7 @@ func (s *Session) run(j job) {
 			// seal failure must not ack a finish the store cannot
 			// reproduce — it kills the session like any WAL fault.
 			if lerr := s.log.Seal(); lerr != nil {
-				j.done <- jobResult{err: s.walFailure("seal", lerr)}
+				j.done <- jobResult{err: s.walFailure("seal", lerr, tid)}
 				return
 			}
 		}
@@ -398,11 +458,11 @@ func (s *Session) run(j job) {
 		if s.eng.Adaptive() && !s.spec.Record && s.replay != nil {
 			src, rerr := s.replay()
 			if rerr != nil {
-				j.done <- jobResult{err: s.walFailure("replay", rerr)}
+				j.done <- jobResult{err: s.walFailure("replay", rerr, tid)}
 				return
 			}
 			if res, err = s.eng.ReconcilePass(src); err != nil {
-				j.done <- jobResult{err: s.walFailure("reconcile", err)}
+				j.done <- jobResult{err: s.walFailure("reconcile", err, tid)}
 				return
 			}
 		}
@@ -419,6 +479,9 @@ func (s *Session) run(j job) {
 		if s.summary.EdgeCut != nil {
 			fields["edge_cut"] = *s.summary.EdgeCut
 		}
+		if tid != "" {
+			fields["trace_id"] = tid
+		}
 		s.ev.Emit(telemetry.EventSessionSealed, fields)
 		j.done <- jobResult{result: res}
 	}
@@ -428,7 +491,10 @@ func (s *Session) run(j job) {
 // weights, fan the batch out over the engine's parallel assignment
 // workers, then group-commit it to the WAL as a single frame carrying
 // the assigned blocks — logged before the ack, like every push.
-func (s *Session) runBatch(nodes []PushNode) jobResult {
+func (s *Session) runBatch(j job) jobResult {
+	nodes := j.nodes
+	traced := j.tr != nil
+	tid := j.tr.TraceIDString()
 	if err := s.chargeGrowth(nodes); err != nil {
 		s.m.pushErrors.Inc()
 		return jobResult{err: err}
@@ -442,9 +508,17 @@ func (s *Session) runBatch(nodes []PushNode) jobResult {
 		batch[i] = oms.Node{U: nodes[i].U, W: nodes[i].W, Adj: nodes[i].Adj, EW: nodes[i].EW}
 	}
 	before := s.eng.Assigned()
+	var at time.Time
+	if traced {
+		at = time.Now()
+	}
 	t0 := s.now()
 	blocks, err := s.eng.PushBatch(batch)
-	s.m.assign.Observe(s.now().Sub(t0))
+	assignDur := s.now().Sub(t0)
+	s.m.assign.ObserveExemplar(assignDur, tid)
+	if traced {
+		j.tr.Span("assign", j.tr.Root(), at, time.Since(at))
+	}
 	if err != nil {
 		// Batches are atomic: a rejection applied nothing and logged
 		// nothing, so there is nothing to flush either.
@@ -456,18 +530,38 @@ func (s *Session) runBatch(nodes []PushNode) jobResult {
 		// One frame, one flush for the whole group. A batch with no
 		// fresh assignments (an idempotent client retry) skips the log
 		// entirely — replaying it would change nothing.
-		if lerr := s.log.AppendBatch(nodes, blocks); lerr != nil {
-			return jobResult{err: s.walFailure("append", lerr)}
+		var wt time.Time
+		if traced {
+			wt = time.Now()
 		}
-		if lerr := s.maybeLogStats(); lerr != nil {
-			return jobResult{err: s.walFailure("append", lerr)}
+		lerr := s.log.AppendBatch(nodes, blocks)
+		if lerr == nil {
+			lerr = s.maybeLogStats()
 		}
-		if lerr := s.log.Flush(); lerr != nil {
-			return jobResult{err: s.walFailure("flush", lerr)}
+		if traced {
+			wd := time.Since(wt)
+			j.tr.Span("wal.append", j.tr.Root(), wt, wd)
+			s.m.walAppend.AttachExemplar(wd, tid)
+		}
+		if lerr != nil {
+			return jobResult{err: s.walFailure("append", lerr, tid)}
+		}
+		var ft time.Time
+		if traced {
+			ft = time.Now()
+		}
+		lerr = s.log.Flush()
+		if traced {
+			fd := time.Since(ft)
+			j.tr.Span("wal.fsync", j.tr.Root(), ft, fd)
+			s.m.walFsync.AttachExemplar(fd, tid)
+		}
+		if lerr != nil {
+			return jobResult{err: s.walFailure("flush", lerr, tid)}
 		}
 		s.m.walRecords.Add(int64(fresh))
 		s.sinceSnap += fresh
-		s.maybeSnapshot()
+		s.snapshotSpan(j)
 	}
 	for i := range nodes {
 		s.m.edgesIngested.Add(int64(len(nodes[i].Adj)))
@@ -580,18 +674,32 @@ func (s *Session) maybeLogStats() error {
 }
 
 // maybeSnapshot checkpoints the engine when enough fresh records have
-// accumulated since the last checkpoint. Failures are non-fatal: replay
-// covers the gap. Record sessions never checkpoint (their replay buffer
-// cannot be restored from one).
-func (s *Session) maybeSnapshot() {
+// accumulated since the last checkpoint, reporting whether it wrote
+// one. Failures are non-fatal: replay covers the gap. Record sessions
+// never checkpoint (their replay buffer cannot be restored from one).
+func (s *Session) maybeSnapshot() bool {
 	if s.log == nil || s.snapEvery <= 0 || s.sinceSnap < s.snapEvery || s.spec.Record {
-		return
+		return false
 	}
 	if serr := s.log.Snapshot(s.eng.ExportState()); serr != nil {
 		s.m.walErrors.Inc()
-	} else {
-		s.m.walSnapshots.Inc()
-		s.sinceSnap = 0
+		return false
+	}
+	s.m.walSnapshots.Inc()
+	s.sinceSnap = 0
+	return true
+}
+
+// snapshotSpan runs maybeSnapshot, recording a checkpoint span on the
+// job's trace when one was actually written.
+func (s *Session) snapshotSpan(j job) {
+	if j.tr == nil {
+		s.maybeSnapshot()
+		return
+	}
+	t0 := time.Now()
+	if s.maybeSnapshot() {
+		j.tr.Span("checkpoint", j.tr.Root(), t0, time.Since(t0))
 	}
 }
 
