@@ -18,12 +18,15 @@ import (
 	"strings"
 )
 
-// Client talks to one omsd server. The zero value is not usable; use
-// New. A Client is safe for concurrent use.
+// Client talks to one omsd server — or, with WithCluster, to a sharded
+// omsd cluster, routing each request to the session's owner node. The
+// zero value is not usable; use New. A Client is safe for concurrent
+// use.
 type Client struct {
 	base   string
 	hc     *http.Client
 	binary bool
+	router *router // nil outside cluster mode
 }
 
 // Option configures a Client.
@@ -153,37 +156,44 @@ func (c *Client) Delete(ctx context.Context, id string) error {
 }
 
 // doJSON runs one JSON request/response cycle, mapping non-2xx to a
-// typed *Error.
+// typed *Error. In cluster mode the request is routed to the owning
+// node and retried through failover (see route); the body is marshaled
+// once so every attempt replays identical bytes.
 func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	return c.route(ctx, sessionIDFromPath(path), method != http.MethodGet, func(base string) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	injectTrace(ctx, req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return apiError(resp)
-	}
-	if out == nil {
-		_, err := io.Copy(io.Discard, resp.Body)
-		return err
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		injectTrace(ctx, req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return apiError(resp)
+		}
+		if out == nil {
+			_, err := io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // apiError decodes the uniform {"error","code"} body into an *Error.

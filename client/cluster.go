@@ -1,0 +1,237 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"oms/internal/ring"
+)
+
+// Routing knobs. The retry budget is sized to cover a full failover:
+// probe-based death detection (FailThreshold x ProbeInterval at the
+// server's defaults) plus replica promotion, with room to spare on a
+// loaded machine.
+const (
+	routeBudget  = 15 * time.Second
+	routeBackoff = 150 * time.Millisecond
+	tableTTL     = 2 * time.Second
+)
+
+// WithCluster points the Client at a multi-node omsd cluster. targets
+// are base URLs of any subset of the members (one is enough; more seed
+// URLs survive more failures). The client fetches the routing table
+// from GET /v1/cluster, rebuilds the server's consistent-hash ring, and
+// sends each session-keyed request directly to the session's owner;
+// unkeyed requests (create, list) round-robin over live members.
+//
+// Routing also arms failover retries: requests that fail in ways that
+// indicate a stale table or a mid-failover window — connection refused,
+// a wrong_node redirect, 503 while a node recovers, or 404
+// session_not_found while a replica is being promoted — are retried
+// against a refreshed table for up to routeBudget. Mutations are only
+// retried when the failed attempt provably never reached a server
+// (a dial error), so a lost-response commit is never replayed.
+func WithCluster(targets ...string) Option {
+	return func(c *Client) {
+		r := &router{}
+		for _, t := range targets {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				r.seeds = append(r.seeds, t)
+			}
+		}
+		if len(r.seeds) == 0 {
+			return
+		}
+		c.base = r.seeds[0]
+		c.router = r
+	}
+}
+
+// router caches one fetch of the cluster routing table: the rebuilt
+// ring plus the live members' base URLs. It is nil on non-cluster
+// clients; all methods are safe for concurrent use.
+type router struct {
+	seeds []string
+
+	mu      sync.Mutex
+	ring    *ring.Ring        // nil until fetched, or when the table says enabled:false
+	addrs   map[string]string // live member id -> base URL
+	order   []string          // live member ids, sorted (round-robin domain)
+	fetched time.Time
+	rr      int
+}
+
+// tableDoc mirrors the subset of the GET /v1/cluster document routing
+// needs (internal/cluster.TableDoc is the producer).
+type tableDoc struct {
+	Enabled bool `json:"enabled"`
+	Vnodes  int  `json:"vnodes"`
+	Members []struct {
+		ID    string `json:"id"`
+		Addr  string `json:"addr"`
+		Alive bool   `json:"alive"`
+	} `json:"members"`
+}
+
+// baseFor picks the base URL for one attempt: the ring owner's address
+// for a session-keyed request, a round-robin pick otherwise. A missing
+// or stale table is refreshed first; if no member can serve the table
+// the seeds themselves are rotated through.
+func (r *router) baseFor(ctx context.Context, hc *http.Client, id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if time.Since(r.fetched) > tableTTL {
+		r.refreshLocked(ctx, hc)
+	}
+	if id != "" && r.ring != nil {
+		if addr := r.addrs[r.ring.Owner(id)]; addr != "" {
+			return addr
+		}
+	}
+	if len(r.order) > 0 {
+		r.rr++
+		return r.addrs[r.order[r.rr%len(r.order)]]
+	}
+	r.rr++
+	return r.seeds[r.rr%len(r.seeds)]
+}
+
+// invalidate drops the cached table so the next attempt refetches it —
+// called after a routing-shaped failure.
+func (r *router) invalidate() {
+	r.mu.Lock()
+	r.fetched = time.Time{}
+	r.mu.Unlock()
+}
+
+// refreshLocked refetches the routing table from the first seed that
+// answers. On total failure the stale cache (possibly empty) stands and
+// the caller falls back to seed rotation.
+func (r *router) refreshLocked(ctx context.Context, hc *http.Client) {
+	for i := 0; i < len(r.seeds); i++ {
+		seed := r.seeds[(r.rr+i)%len(r.seeds)]
+		doc, err := fetchTable(ctx, hc, seed)
+		if err != nil {
+			continue
+		}
+		r.fetched = time.Now()
+		r.addrs = map[string]string{}
+		r.order = nil
+		if !doc.Enabled {
+			// Single-node server: no ring, route everything at the seed.
+			r.ring = nil
+			r.addrs[""] = seed
+			r.order = []string{""}
+			return
+		}
+		var live []string
+		for _, m := range doc.Members {
+			if m.Alive && m.Addr != "" {
+				live = append(live, m.ID)
+				r.addrs[m.ID] = strings.TrimRight(m.Addr, "/")
+			}
+		}
+		r.ring = ring.NewRing(live, doc.Vnodes)
+		r.order = r.ring.Nodes()
+		return
+	}
+}
+
+func fetchTable(ctx context.Context, hc *http.Client, base string) (*tableDoc, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("oms: %s/v1/cluster: %s", base, resp.Status)
+	}
+	var doc tableDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// route runs fn against the right base URL for the request, retrying
+// routing-shaped failures through table refreshes. id is the session
+// the request is keyed on ("" for unkeyed), mutating guards the retry
+// policy: a mutation is only retried when the attempt provably never
+// reached a server.
+func (c *Client) route(ctx context.Context, id string, mutating bool, fn func(base string) error) error {
+	if c.router == nil {
+		return fn(c.base)
+	}
+	deadline := time.Now().Add(routeBudget)
+	for {
+		err := fn(c.router.baseFor(ctx, c.hc, id))
+		if err == nil || !retryable(err, mutating) || ctx.Err() != nil || time.Now().After(deadline) {
+			return err
+		}
+		c.router.invalidate()
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(routeBackoff):
+		}
+	}
+}
+
+// retryable classifies one failed attempt. Typed API errors retry only
+// in the failover window: session_not_found while the replica promotes,
+// 503 while a rejoining node recovers, and wrong_node hints from a
+// stale table. Transport errors retry freely on reads; on mutations
+// only a dial failure is safe — anything later may have committed
+// server-side with the response lost, and replaying an ingest would
+// corrupt the session's stream.
+func retryable(err error, mutating bool) bool {
+	var ae *Error
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Status == http.StatusNotFound && ae.Code == "session_not_found":
+			return true
+		case ae.Status == http.StatusServiceUnavailable:
+			return true
+		case ae.Status == http.StatusTemporaryRedirect || ae.Code == "wrong_node":
+			return true
+		}
+		return false
+	}
+	if !mutating {
+		return true
+	}
+	return isDialError(err)
+}
+
+// isDialError reports whether err happened while connecting — before a
+// single request byte reached a server.
+func isDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// sessionIDFromPath extracts the session id a /v1 path is keyed on, or
+// "" for unkeyed paths (create, list, /v1/cluster).
+func sessionIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

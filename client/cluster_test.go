@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oms/internal/ring"
+)
+
+// tableHandler serves a two-member routing table naming the given
+// addresses, plus a status endpoint that records hits.
+func clusterStub(t *testing.T, self string, hits *atomic.Int64) (*httptest.Server, func(peers map[string]string)) {
+	t.Helper()
+	var table atomic.Value // map[string]string id -> addr
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		peers, _ := table.Load().(map[string]string)
+		doc := map[string]any{"enabled": true, "self": self, "vnodes": 64}
+		var members []map[string]any
+		for id, addr := range peers {
+			members = append(members, map[string]any{"id": id, "addr": addr, "alive": true})
+		}
+		doc["members"] = members
+		json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprintf(w, `{"id":%q,"assigned":0}`, r.PathValue("id"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, func(peers map[string]string) { table.Store(peers) }
+}
+
+// TestClusterRoutingKeyed: session-keyed requests go straight to the
+// ring owner's node, computed from the fetched table — the same ring
+// the server builds.
+func TestClusterRoutingKeyed(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	srvA, setA := clusterStub(t, "n1", &hitsA)
+	srvB, setB := clusterStub(t, "n2", &hitsB)
+	peers := map[string]string{"n1": srvA.URL, "n2": srvB.URL}
+	setA(peers)
+	setB(peers)
+
+	rg := ring.NewRing([]string{"n1", "n2"}, 64)
+	ids := map[string]string{} // node -> a session id it owns
+	for i := 0; len(ids) < 2; i++ {
+		id := fmt.Sprintf("s%d-%08x", i, i)
+		ids[rg.Owner(id)] = id
+	}
+
+	cl := New(srvA.URL, WithCluster(srvA.URL))
+	ctx := context.Background()
+	if _, err := cl.Status(ctx, ids["n1"]); err != nil {
+		t.Fatal(err)
+	}
+	if hitsA.Load() != 1 || hitsB.Load() != 0 {
+		t.Fatalf("n1-owned id hit A=%d B=%d, want 1/0", hitsA.Load(), hitsB.Load())
+	}
+	if _, err := cl.Status(ctx, ids["n2"]); err != nil {
+		t.Fatal(err)
+	}
+	if hitsB.Load() != 1 {
+		t.Fatalf("n2-owned id did not reach node B (A=%d B=%d)", hitsA.Load(), hitsB.Load())
+	}
+}
+
+// TestClusterFailoverRetry: a 404 session_not_found retries through
+// table refreshes until the replica finishes promoting — the client
+// rides out the failover window instead of surfacing it.
+func TestClusterFailoverRetry(t *testing.T) {
+	var promoted atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"enabled":true,"self":"n1","vnodes":64,"members":[{"id":"n1","addr":%q,"alive":true}]}`, "http://"+r.Host)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !promoted.Load() {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"no such session","code":"session_not_found"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"s0-0","assigned":7}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	time.AfterFunc(300*time.Millisecond, func() { promoted.Store(true) })
+
+	cl := New(srv.URL, WithCluster(srv.URL))
+	st, err := cl.Status(context.Background(), "s0-0")
+	if err != nil {
+		t.Fatalf("status did not ride out the failover window: %v", err)
+	}
+	if st.Assigned != 7 {
+		t.Fatalf("assigned = %d, want 7", st.Assigned)
+	}
+}
+
+// TestClusterDeadSeed: with the first seed down, the table refresh
+// falls through to the next seed and requests still route.
+func TestClusterDeadSeed(t *testing.T) {
+	var hits atomic.Int64
+	srv, set := clusterStub(t, "n1", &hits)
+	set(map[string]string{"n1": srv.URL})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	cl := New(dead, WithCluster(dead, srv.URL))
+	if _, err := cl.Status(context.Background(), "s0-0"); err != nil {
+		t.Fatalf("status via surviving seed: %v", err)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("request never reached the live node")
+	}
+}
+
+func TestRetryablePolicy(t *testing.T) {
+	cases := []struct {
+		err      error
+		mutating bool
+		want     bool
+	}{
+		{&Error{Status: 404, Code: "session_not_found"}, true, true},
+		{&Error{Status: 404, Code: "session_not_found"}, false, true},
+		{&Error{Status: 410, Code: "session_gone"}, false, false},
+		{&Error{Status: 503, Code: "not_ready"}, true, true},
+		{&Error{Status: 409, Code: "wrong_node"}, true, true},
+		{&Error{Message: "mid-stream rejection"}, true, false}, // in-band: ingest began
+		{&net.OpError{Op: "dial", Err: fmt.Errorf("refused")}, true, true},
+		{&net.OpError{Op: "read", Err: fmt.Errorf("reset")}, true, false}, // may have committed
+		{&net.OpError{Op: "read", Err: fmt.Errorf("reset")}, false, true},
+	}
+	for i, c := range cases {
+		if got := retryable(c.err, c.mutating); got != c.want {
+			t.Errorf("case %d (%v, mutating=%v): retryable=%v, want %v", i, c.err, c.mutating, got, c.want)
+		}
+	}
+}
+
+func TestSessionIDFromPath(t *testing.T) {
+	cases := map[string]string{
+		"/v1/sessions":                     "",
+		"/v1/sessions/s1-ab":               "s1-ab",
+		"/v1/sessions/s1-ab/nodes":         "s1-ab",
+		"/v1/sessions/s1-ab/result?v=best": "s1-ab",
+		"/v1/cluster":                      "",
+	}
+	for path, want := range cases {
+		if got := sessionIDFromPath(path); got != want {
+			t.Errorf("sessionIDFromPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -42,6 +42,13 @@ func (c *Client) PushBatch(ctx context.Context, id string, nodes []Node) ([]Assi
 	return c.ingest(ctx, id, "batch", nodes)
 }
 
+// ingest encodes the nodes once and streams them to the session's
+// node. In cluster mode the request is routed to the owner and retried
+// through failover — but only on failures that provably never delivered
+// a byte (dial errors) or were rejected before ingest began (404/503/
+// wrong_node): once a server may have consumed part of the stream, a
+// replay would re-assign nodes, so mid-stream breaks surface to the
+// caller, who resumes from the session's authoritative assigned count.
 func (c *Client) ingest(ctx context.Context, id, route string, nodes []Node) ([]Assignment, error) {
 	var body bytes.Buffer
 	var ct string
@@ -61,26 +68,32 @@ func (c *Client) ingest(ctx context.Context, id, route string, nodes []Node) ([]
 			}
 		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		fmt.Sprintf("%s/v1/sessions/%s/%s", c.base, id, route), &body)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", ct)
-	req.Header.Set("Accept", ct)
-	injectTrace(ctx, req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return nil, apiError(resp)
-	}
-	if c.binary {
-		return readWireAssignments(resp.Body, len(nodes))
-	}
-	return readJSONAssignments(resp.Body, len(nodes))
+	var out []Assignment
+	err := c.route(ctx, id, true, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			fmt.Sprintf("%s/v1/sessions/%s/%s", base, id, route), bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ct)
+		req.Header.Set("Accept", ct)
+		injectTrace(ctx, req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return apiError(resp)
+		}
+		if c.binary {
+			out, err = readWireAssignments(resp.Body, len(nodes))
+		} else {
+			out, err = readJSONAssignments(resp.Body, len(nodes))
+		}
+		return err
+	})
+	return out, err
 }
 
 // appendCanonicalFrame encodes nd exactly as the server's NDJSON shim
@@ -166,43 +179,48 @@ func readJSONAssignments(r io.Reader, hint int) ([]Assignment, error) {
 // partition, "N", "latest", or "best" for refined versions. With
 // WithBinary the transfer is one binary result frame instead of JSON.
 func (c *Client) Result(ctx context.Context, id, version string) (Result, error) {
-	url := c.base + "/v1/sessions/" + id + "/result"
+	path := "/v1/sessions/" + id + "/result"
 	if version != "" {
-		url += "?version=" + version
+		path += "?version=" + version
 	}
 	if !c.binary {
 		var out Result
-		err := c.doJSON(ctx, http.MethodGet, url[len(c.base):], nil, &out)
+		err := c.doJSON(ctx, http.MethodGet, path, nil, &out)
 		return out, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return Result{}, err
-	}
-	req.Header.Set("Accept", wire.MediaType)
-	injectTrace(ctx, req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return Result{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return Result{}, apiError(resp)
-	}
-	rd := wire.NewReader(resp.Body)
-	payload, _, err := rd.NextFrame()
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
+	var out Result
+	err := c.route(ctx, id, false, func(base string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return err
 		}
-		return Result{}, err
-	}
-	wres, err := wire.DecodeResultPayload(payload)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		ID: id, Version: wres.Version, Pass: wres.Pass, K: wres.K,
-		Lmax: wres.Lmax, EdgeCut: wres.EdgeCut, Parts: wres.Parts,
-	}, nil
+		req.Header.Set("Accept", wire.MediaType)
+		injectTrace(ctx, req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return apiError(resp)
+		}
+		rd := wire.NewReader(resp.Body)
+		payload, _, err := rd.NextFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		wres, err := wire.DecodeResultPayload(payload)
+		if err != nil {
+			return err
+		}
+		out = Result{
+			ID: id, Version: wres.Version, Pass: wres.Pass, K: wres.K,
+			Lmax: wres.Lmax, EdgeCut: wres.EdgeCut, Parts: wres.Parts,
+		}
+		return nil
+	})
+	return out, err
 }

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oms/client"
+	"oms/internal/ring"
+)
+
+// buildDaemon compiles the real omsd binary for subprocess tests —
+// failover needs SIGKILL semantics, which an in-process run() cannot
+// give (graceful cancel runs the shutdown path a dying node never gets).
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "omsd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/omsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemonProc is one omsd subprocess with its captured stderr.
+type daemonProc struct {
+	id   string
+	url  string
+	cmd  *exec.Cmd
+	logs *bytes.Buffer
+}
+
+func startDaemonProc(t *testing.T, bin, id, hostport string, args ...string) *daemonProc {
+	t.Helper()
+	p := &daemonProc{id: id, url: "http://" + hostport, logs: &bytes.Buffer{}}
+	p.cmd = exec.Command(bin, append([]string{"-addr", hostport}, args...)...)
+	p.cmd.Stdout = p.logs
+	p.cmd.Stderr = p.logs
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("--- %s log ---\n%s", p.id, p.logs.String())
+		}
+	})
+	return p
+}
+
+// kill SIGKILLs the daemon — the abrupt death failover is about.
+func (p *daemonProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+func waitReadyz(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready (%v)", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// freePorts reserves n distinct loopback ports and releases them just
+// before the daemons bind.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// chainNodes builds nodes [lo, hi) of the test's path graph: node u
+// declares one edge back to u-1, so both runs stream identical bytes.
+func chainNodes(lo, hi int32) []client.Node {
+	nodes := make([]client.Node, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		var adj []int32
+		if u > 0 {
+			adj = []int32{u - 1}
+		}
+		nodes = append(nodes, client.Node{U: u, Adj: adj})
+	}
+	return nodes
+}
+
+// TestClusterFailoverByteIdentical is the cluster-mode acceptance test:
+// a 3-node cluster serves a session, its owner is SIGKILLed mid-stream,
+// and the WAL-shipped replica promotes on the follower — the resumed
+// assignment stream must be byte-identical to a single-node control run
+// of the same spec and stream, through to the final result vector.
+// Deterministic one-pass assignment makes the log the session: if
+// replication shipped the log faithfully, the promoted session cannot
+// be distinguished from one that never moved.
+func TestClusterFailoverByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := buildDaemon(t)
+	ctx := context.Background()
+
+	addrs := freePorts(t, 4)
+	ids := []string{"n1", "n2", "n3"}
+	peers := ""
+	for i, id := range ids {
+		if i > 0 {
+			peers += ","
+		}
+		peers += id + "=http://" + addrs[i]
+	}
+	procs := map[string]*daemonProc{}
+	urls := make([]string, len(ids))
+	for i, id := range ids {
+		procs[id] = startDaemonProc(t, bin, id, addrs[i],
+			"-data-dir", t.TempDir(), "-wal-sync", "1ms",
+			"-node-id", id, "-cluster-peers", peers,
+			"-repl-ack", "sync", "-peer-probe", "100ms", "-peer-fail", "2")
+		urls[i] = procs[id].url
+	}
+	control := startDaemonProc(t, bin, "control", addrs[3],
+		"-data-dir", t.TempDir(), "-wal-sync", "1ms")
+	for _, p := range procs {
+		waitReadyz(t, p.url)
+	}
+	waitReadyz(t, control.url)
+
+	// Same spec both sides; the explicit seed makes assignment a pure
+	// function of (spec, stream), independent of the session id.
+	spec := client.Spec{N: 4000, M: 3999, K: 4, Seed: 12345}
+	cc := client.New(urls[0], client.WithCluster(urls...))
+	ctl := client.New(control.url)
+	created, err := cc.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	ctlCreated, err := ctl.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid := ctlCreated.ID
+
+	push := func(c *client.Client, sid string, lo, hi int32) []client.Assignment {
+		t.Helper()
+		as, err := c.Push(ctx, sid, chainNodes(lo, hi))
+		if err != nil {
+			t.Fatalf("push [%d,%d): %v", lo, hi, err)
+		}
+		return as
+	}
+	a1 := push(cc, id, 0, 2000)
+	c1 := push(ctl, cid, 0, 2000)
+	if len(a1) != 2000 || len(c1) != 2000 {
+		t.Fatalf("first half acked %d/%d assignments, want 2000", len(a1), len(c1))
+	}
+	for i := range a1 {
+		if a1[i] != c1[i] {
+			t.Fatalf("pre-kill divergence at %d: cluster %+v, control %+v", i, a1[i], c1[i])
+		}
+	}
+
+	// Resolve the session's owner from the served routing table — the
+	// client-visible contract, not test-internal knowledge.
+	var table struct {
+		Vnodes  int `json:"vnodes"`
+		Members []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+		} `json:"members"`
+	}
+	resp, err := http.Get(urls[0] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var alive []string
+	for _, m := range table.Members {
+		if m.Alive {
+			alive = append(alive, m.ID)
+		}
+	}
+	owner := ring.NewRing(alive, table.Vnodes).Owner(id)
+	if procs[owner] == nil {
+		t.Fatalf("owner %q is not a cluster member", owner)
+	}
+
+	// SIGKILL the owner mid-stream: a push is in flight when it dies.
+	pushErr := make(chan error, 1)
+	go func() {
+		_, err := cc.Push(ctx, id, chainNodes(2000, 3000))
+		pushErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	procs[owner].kill(t)
+	if err := <-pushErr; err != nil {
+		t.Logf("mid-kill push surfaced: %v (resuming from authoritative count)", err)
+	}
+
+	// The routed client rides out detection + promotion; the promoted
+	// session's assigned count is the authoritative resume point — with
+	// sync acks it can only be what the replica durably holds.
+	st, err := cc.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("status after failover: %v", err)
+	}
+	resume := st.Assigned
+	if resume < 2000 || resume > 3000 {
+		t.Fatalf("promoted session resumed at %d, want within [2000,3000]", resume)
+	}
+	t.Logf("owner %s killed; promoted session resumes at node %d", owner, resume)
+
+	// Catch the control session up to the resume point, then compare
+	// the resumed assignment streams element for element.
+	if resume > 2000 {
+		push(ctl, cid, 2000, resume)
+	}
+	a2 := push(cc, id, resume, 4000)
+	c2 := push(ctl, cid, resume, 4000)
+	if len(a2) != len(c2) {
+		t.Fatalf("resumed streams acked %d vs %d assignments", len(a2), len(c2))
+	}
+	for i := range a2 {
+		if a2[i] != c2[i] {
+			t.Fatalf("resumed stream diverged at %d: cluster %+v, control %+v", i, a2[i], c2[i])
+		}
+	}
+
+	// Full-vector check: finish both and the result parts must match —
+	// the promoted run is indistinguishable end to end.
+	if _, err := cc.Finish(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Finish(ctx, cid); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Result(ctx, id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlRes, err := ctl.Result(ctx, cid, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != len(ctlRes.Parts) {
+		t.Fatalf("result covers %d nodes, control %d", len(res.Parts), len(ctlRes.Parts))
+	}
+	for u := range res.Parts {
+		if res.Parts[u] != ctlRes.Parts[u] {
+			t.Fatalf("node %d: failover run assigned %d, control %d", u, res.Parts[u], ctlRes.Parts[u])
+		}
+	}
+}

@@ -59,15 +59,38 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"oms/internal/cluster"
 	"oms/internal/service"
 	"oms/internal/telemetry"
 	"oms/internal/trace"
 	"oms/internal/wal"
 )
+
+// parsePeers parses -cluster-peers: "n1=http://a:8080,n2=http://b:8080".
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("omsd: -cluster-peers entry %q is not id=url", part)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("omsd: cluster mode requires a -cluster-peers list")
+	}
+	return peers, nil
+}
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], nil); err != nil {
@@ -99,6 +122,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	traceRing := fs.Int("trace-ring", 2048, "recent traces retained for GET /v1/traces (plus a flight recorder for slow/error traces)")
 	traceSample := fs.Int("trace-sample", 16, "head-sample 1 in N requests without a traceparent header (0 = only explicit sampled traceparents)")
 	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "traces at least this long are pinned in the flight recorder (0 = errors only)")
+	nodeID := fs.String("node-id", "", "this node's id in cluster mode (requires -cluster-peers and -data-dir); empty runs single-node")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated id=http://host:port cluster member list, including this node")
+	replAck := fs.String("repl-ack", "async", "replication ack mode: async (ack after local durability) or sync (ack after the follower confirms)")
+	replAckTimeout := fs.Duration("repl-ack-timeout", 2*time.Second, "sync-mode bound on waiting for a follower ack before degrading that flush to async")
+	peerProbe := fs.Duration("peer-probe", 500*time.Millisecond, "cluster peer health-probe interval")
+	peerFail := fs.Int("peer-fail", 3, "consecutive failed probes before a peer is declared dead and its sessions fail over")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,6 +182,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	})
 
 	var store service.Store
+	var walStore *wal.Store
 	if *dataDir != "" {
 		st, err := wal.Open(*dataDir, wal.Options{
 			SyncInterval:  *walSync,
@@ -162,7 +192,48 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		if err != nil {
 			return fmt.Errorf("omsd: open data dir: %w", err)
 		}
-		store = st
+		store, walStore = st, st
+	}
+
+	// Cluster mode: the node decorates the store (WAL shipping to each
+	// session's follower), routes misrouted sessions (ClusterView), and
+	// receives replication streams (the /v1/replica handler).
+	var node *cluster.Node
+	var clusterView service.ClusterView
+	var replicaHandler http.Handler
+	if *nodeID != "" {
+		if walStore == nil {
+			return errors.New("omsd: cluster mode requires -data-dir (replication ships the WAL)")
+		}
+		peers, err := parsePeers(*clusterPeers)
+		if err != nil {
+			return err
+		}
+		replicas, err := wal.Open(filepath.Join(*dataDir, "replica"), wal.Options{SyncInterval: *walSync})
+		if err != nil {
+			return fmt.Errorf("omsd: open replica dir: %w", err)
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			Self:          *nodeID,
+			Peers:         peers,
+			Store:         walStore,
+			Replicas:      replicas,
+			AckMode:       *replAck,
+			AckTimeout:    *replAckTimeout,
+			ProbeInterval: *peerProbe,
+			FailThreshold: *peerFail,
+			Registry:      reg,
+			Tracer:        tracer,
+			Logf:          infof,
+		})
+		if err != nil {
+			return fmt.Errorf("omsd: %w", err)
+		}
+		defer node.Close()
+		store, clusterView, replicaHandler = node, node, node
+		infof("omsd cluster mode: node %s of %d peers, %s acks", *nodeID, len(peers), *replAck)
+	} else if *clusterPeers != "" {
+		return errors.New("omsd: -cluster-peers requires -node-id")
 	}
 
 	mgr := service.NewManager(service.Config{
@@ -180,8 +251,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Registry:       reg,
 		Events:         ev,
 		Tracer:         tracer,
+		Cluster:        clusterView,
+		Replica:        replicaHandler,
 	})
 	defer mgr.Close()
+	if node != nil {
+		node.Bind(mgr)
+	}
 
 	recovered := 0
 	if store != nil {

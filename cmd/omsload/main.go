@@ -11,6 +11,8 @@
 //	omsload -url http://localhost:7600 -profile profiles/heavy_10k.env \
 //	        -thresholds 'push_p99_ms<5,batch_p99_ms<10'
 //	omsload -url http://localhost:7600 -wait-ready 15s -wait-only   # readiness gate only
+//	omsload -targets http://n1:7600,http://n2:7600,http://n3:7600 \
+//	        -profile profiles/smoke_1k.env -out load/               # cluster mode
 //
 // Outputs land in -out: samples.csv (one row per sample interval) and
 // summary.json (per-class p50/p95/p99 and the threshold verdict), the
@@ -32,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +54,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, client *h
 	fs.SetOutput(stderr)
 	var (
 		url        = fs.String("url", "http://localhost:7600", "omsd base URL")
+		targets    = fs.String("targets", "", "comma-separated base URLs of a cluster's members (overrides -url; requests route to session owners and retry through failover)")
 		profile    = fs.String("profile", "", "workload profile file (profiles/*.env); empty runs the defaults")
 		out        = fs.String("out", ".", "directory for samples.csv and summary.json")
 		duration   = fs.Duration("duration", 0, "override the profile's DURATION")
@@ -87,10 +91,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, client *h
 		p.Thresholds = ths
 	}
 
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targetList = append(targetList, t)
+		}
+	}
+	if len(targetList) > 0 {
+		*url = targetList[0]
+	}
+
 	if *waitReady > 0 {
-		if err := load.WaitReady(ctx, client, *url, *waitReady); err != nil {
-			fmt.Fprintln(stderr, "omsload:", err)
-			return 2
+		ready := targetList
+		if len(ready) == 0 {
+			ready = []string{*url}
+		}
+		for _, u := range ready {
+			if err := load.WaitReady(ctx, client, u, *waitReady); err != nil {
+				fmt.Fprintln(stderr, "omsload:", err)
+				return 2
+			}
 		}
 	}
 	if *waitOnly {
@@ -105,6 +125,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, client *h
 	sum, code := load.Run(ctx, load.Config{
 		Profile: p,
 		URL:     *url,
+		Targets: targetList,
 		OutDir:  *out,
 		Client:  client,
 		Stdout:  stdout,

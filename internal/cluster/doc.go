@@ -1,0 +1,19 @@
+// Package cluster shards omsd sessions across nodes and keeps a failed
+// node's sessions serveable elsewhere, byte-identically.
+//
+// The design leans entirely on the property the WAL already proved: an
+// OMS session is a deterministic replay of its record log, so the unit
+// of replication is the log file itself. A session's owner ships its
+// on-disk WAL bytes — the same CRC-framed records the wire protocol
+// carries — to the session's ring successor over a persistent
+// connection; the follower validates and appends them verbatim; on
+// owner death the follower runs the ordinary recovery path over its
+// copy and serves the session as if it had always lived there.
+// Replication is recovery over the network.
+//
+// Placement is a consistent-hash ring over node ids with virtual nodes:
+// membership changes move only the sessions whose ring arcs changed
+// hands, and because a session's designated follower is its ring
+// successor, the node that takes over a dead owner's arc is exactly the
+// node already holding the replicas.
+package cluster

@@ -56,9 +56,15 @@ type Driver struct {
 }
 
 // NewDriver prepares the template graphs and the scheduling state.
-func NewDriver(p Profile, baseURL string, hc *http.Client, rec *Recorder) *Driver {
+// With more than one target the clients run in cluster mode: requests
+// route to each session's owner node and ride out failover windows.
+func NewDriver(p Profile, targets []string, hc *http.Client, rec *Recorder) *Driver {
 	if hc == nil {
 		hc = &http.Client{}
+	}
+	opts := []client.Option{client.WithHTTPClient(hc)}
+	if len(targets) > 1 {
+		opts = append(opts, client.WithCluster(targets...))
 	}
 	graphs := make([]*graph.Graph, graphVariants)
 	for i := range graphs {
@@ -66,8 +72,8 @@ func NewDriver(p Profile, baseURL string, hc *http.Client, rec *Recorder) *Drive
 	}
 	return &Driver{
 		p:      p,
-		cl:     client.New(baseURL, client.WithHTTPClient(hc)),
-		clBin:  client.New(baseURL, client.WithHTTPClient(hc), client.WithBinary(true)),
+		cl:     client.New(targets[0], opts...),
+		clBin:  client.New(targets[0], append(opts, client.WithBinary(true))...),
 		rec:    rec,
 		graphs: graphs,
 		rng:    util.NewRNG(p.Seed ^ 0xabcdef12345),
@@ -185,9 +191,10 @@ func (d *Driver) plan(desired Class) op {
 		s.busy = true
 		lo := s.cursor
 		hi := min(lo+d.p.ChunkNodes, s.g.NumNodes())
-		// The lease covers the chunk: advance now, never re-push nodes
-		// even if the request fails (a gap is harmless, a duplicate
-		// push would corrupt declared weights).
+		// The lease covers the chunk: advance now. A failed chunk never
+		// re-pushes nodes blindly (a duplicate push would corrupt
+		// declared weights) — doChunk resumes from the session's
+		// authoritative assigned count instead.
 		s.cursor = hi
 		return op{kind: opChunk, class: desired, s: s, lo: lo, hi: hi}
 	case desired == ClassRefine:
@@ -319,22 +326,70 @@ func (d *Driver) execute(ctx context.Context, o op) Outcome {
 // doChunk streams nodes [lo, hi) of the session's graph through the
 // route and wire format the class names, draining the assignment
 // stream — latency therefore covers the full round trip.
+//
+// A transport break mid-stream (the chunk's node died, the connection
+// reset) leaves the accepted prefix ambiguous: re-pushing the whole
+// chunk would double-assign nodes, skipping it would leave a permanent
+// gap. The session's assigned count is the exact resume point — the
+// driver pushes u equal to stream position, contiguously — so doChunk
+// resynchronizes from Status and resumes from there. A session whose
+// state cannot be re-established is abandoned (stream ends where it
+// is; the lifecycle finishes and churns it out).
 func (d *Driver) doChunk(ctx context.Context, o op) error {
-	nodes := make([]client.Node, 0, o.hi-o.lo)
-	for u := o.lo; u < o.hi; u++ {
-		nodes = append(nodes, client.Node{U: u, Adj: o.s.g.Neighbors(u)})
-	}
 	cl := d.cl
 	if o.class == ClassWire || o.class == ClassWireBatch {
 		cl = d.clBin
 	}
-	var err error
-	if o.class == ClassBatch || o.class == ClassWireBatch {
-		_, err = cl.PushBatch(ctx, o.s.id, nodes)
-	} else {
-		_, err = cl.Push(ctx, o.s.id, nodes)
+	batch := o.class == ClassBatch || o.class == ClassWireBatch
+	err := d.pushRange(ctx, cl, batch, o.s, o.lo, o.hi)
+	for attempt := 0; err != nil && attempt < 3; attempt++ {
+		var ce *client.Error
+		if errors.As(err, &ce) {
+			// The server answered (a rejection, the driver racing its
+			// own churn): nothing in flight to resynchronize.
+			return err
+		}
+		st, serr := d.cl.Status(ctx, o.s.id)
+		if serr != nil {
+			break
+		}
+		a := st.Assigned
+		if a >= o.hi {
+			return nil // fully accepted; only the response was lost
+		}
+		if a < o.lo {
+			break // not the contiguous stream we thought: stop feeding it
+		}
+		err = d.pushRange(ctx, cl, batch, o.s, a, o.hi)
+	}
+	if err != nil {
+		d.abandon(o.s)
 	}
 	return err
+}
+
+// pushRange pushes nodes [lo, hi) of s's graph through cl.
+func (d *Driver) pushRange(ctx context.Context, cl *client.Client, batch bool, s *lsession, lo, hi int32) error {
+	nodes := make([]client.Node, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		nodes = append(nodes, client.Node{U: u, Adj: s.g.Neighbors(u)})
+	}
+	var err error
+	if batch {
+		_, err = cl.PushBatch(ctx, s.id, nodes)
+	} else {
+		_, err = cl.Push(ctx, s.id, nodes)
+	}
+	return err
+}
+
+// abandon ends a session's stream at its current position: its node
+// stayed unreachable past every retry, so no further chunk can be
+// pushed safely. The session still finishes and churns normally.
+func (d *Driver) abandon(s *lsession) {
+	d.mu.Lock()
+	s.cursor = s.g.NumNodes()
+	d.mu.Unlock()
 }
 
 func (d *Driver) unlease(s *lsession) {

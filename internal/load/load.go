@@ -6,17 +6,20 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"oms/internal/slo"
 )
 
-// Config is one omsload run: a profile against a base URL, writing
-// samples.csv + summary.json under OutDir.
+// Config is one omsload run: a profile against a base URL (or, in
+// cluster mode, a multi-endpoint target list), writing samples.csv +
+// summary.json under OutDir.
 type Config struct {
 	Profile Profile
-	URL     string // base, e.g. http://127.0.0.1:7600
+	URL     string   // base, e.g. http://127.0.0.1:7600
+	Targets []string // cluster mode: all member base URLs; overrides URL
 	OutDir  string
 	Client  *http.Client // nil = a fresh client with the profile's timeout
 	Stdout  io.Writer
@@ -49,8 +52,12 @@ func Run(ctx context.Context, cfg Config) (*Summary, int) {
 		}
 	}
 
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []string{cfg.URL}
+	}
 	rec := NewRecorder()
-	drv := NewDriver(p, cfg.URL, client, rec)
+	drv := NewDriver(p, targets, client, rec)
 	csv, err := rec.StartCSV(filepath.Join(cfg.OutDir, "samples.csv"), p.SampleEvery, drv.Live)
 	if err != nil {
 		return fail(err)
@@ -133,7 +140,7 @@ launch:
 	}
 	completed, errors, rejected := rec.Totals()
 	sum := &Summary{
-		URL:         cfg.URL,
+		URL:         strings.Join(targets, ","),
 		Profile:     p.Name,
 		DurationSec: elapsed.Seconds(),
 		Partial:     partial,

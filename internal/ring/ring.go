@@ -1,0 +1,136 @@
+// Package ring is the consistent-hash ring omsd's cluster mode places
+// sessions with. It is a leaf package — no dependencies beyond the
+// standard library — because the server (internal/cluster) and the
+// client (oms/client) must both build the identical ring from the same
+// member list: placement is a pure function of (members, vnodes), never
+// of map order or process state.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per node: enough that a
+// 3-node ring balances within a few percent over 10k sessions, small
+// enough that ring construction stays trivial.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring over node ids. Lookups are
+// read-only; membership changes build a new Ring (the Node swaps it
+// behind an atomic pointer), so concurrent readers never observe a
+// partially updated ring.
+//
+// Hashing is FNV-64a over "id#vnode" for points and over the session id
+// for lookups — a fixed function of the inputs, never of map order or
+// process state, so every node (and every client) derives the identical
+// ring from the same member list.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	vnodes int
+	nodes  []string // sorted member ids
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node ids with vnodes virtual
+// nodes each (DefaultVnodes if vnodes <= 0). Duplicate ids collapse;
+// order does not matter. An empty member list yields a ring whose
+// lookups return "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on node id so the ring
+		// stays a pure function of the member list.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hashString is FNV-64a finished with the splitmix64 avalanche: FNV is
+// stable across processes, architectures, and Go releases (unlike
+// maphash or map iteration order) but mixes short suffix-varying
+// strings poorly, and the finalizer fixes the ring-point dispersion
+// that balance depends on. Both constants are fixed forever — clients
+// rebuild the server's ring from the member list alone.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	n, _ := r.ownerIndex(key)
+	return n
+}
+
+// Successor returns the next distinct node after key's owner on the
+// ring — the session's designated replication follower. "" when the
+// ring has fewer than two nodes.
+func (r *Ring) Successor(key string) string {
+	owner, i := r.ownerIndex(key)
+	if owner == "" || len(r.nodes) < 2 {
+		return ""
+	}
+	for off := 1; off <= len(r.points); off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if p.node != owner {
+			return p.node
+		}
+	}
+	return ""
+}
+
+func (r *Ring) ownerIndex(key string) (string, int) {
+	if len(r.points) == 0 {
+		return "", -1
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, i
+}
+
+// Nodes returns the member ids, sorted. The slice is shared; callers
+// must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Vnodes returns the virtual-node count the ring was built with —
+// clients rebuild an identical ring from the routing table's member
+// list and this count.
+func (r *Ring) Vnodes() int { return r.vnodes }

@@ -1,0 +1,164 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func sessionIDs(n int) []string {
+	ids := make([]string, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%d-%08x", i, rng.Uint32())
+	}
+	return ids
+}
+
+// TestRingBalance: over 10k session ids and 5 nodes, every node's share
+// stays within a bounded factor of the mean — the virtual-node count is
+// high enough that no node is starved or doubled.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes, DefaultVnodes)
+	counts := map[string]int{}
+	ids := sessionIDs(10000)
+	for _, id := range ids {
+		counts[r.Owner(id)]++
+	}
+	mean := float64(len(ids)) / float64(len(nodes))
+	for _, n := range nodes {
+		c := counts[n]
+		if c == 0 {
+			t.Fatalf("node %s owns nothing", n)
+		}
+		if f := float64(c) / mean; f < 0.5 || f > 1.6 {
+			t.Errorf("node %s owns %d of %d sessions (%.2fx the mean) — outside [0.5, 1.6]", n, c, len(ids), f)
+		}
+	}
+}
+
+// TestRingMinimalRemapping: adding or removing one node moves strictly
+// less than 2/N of the keys — the consistent-hashing contract (the
+// expected move rate is 1/N; 2/N is the generous bound the issue sets).
+func TestRingMinimalRemapping(t *testing.T) {
+	base := []string{"n1", "n2", "n3", "n4"}
+	ids := sessionIDs(10000)
+	before := NewRing(base, DefaultVnodes)
+
+	t.Run("join", func(t *testing.T) {
+		after := NewRing(append(append([]string{}, base...), "n5"), DefaultVnodes)
+		moved := 0
+		for _, id := range ids {
+			if before.Owner(id) != after.Owner(id) {
+				moved++
+			}
+		}
+		bound := 2 * len(ids) / (len(base) + 1)
+		if moved >= bound {
+			t.Errorf("join moved %d of %d keys; want < %d (2/N)", moved, len(ids), bound)
+		}
+		// Every moved key must have moved TO the joiner — anything else
+		// is gratuitous reshuffling.
+		for _, id := range ids {
+			if b, a := before.Owner(id), after.Owner(id); b != a && a != "n5" {
+				t.Fatalf("key %s moved %s -> %s, not to the joining node", id, b, a)
+			}
+		}
+	})
+	t.Run("leave", func(t *testing.T) {
+		after := NewRing(base[:3], DefaultVnodes)
+		moved := 0
+		for _, id := range ids {
+			if before.Owner(id) != after.Owner(id) {
+				moved++
+			}
+		}
+		bound := 2 * len(ids) / len(base)
+		if moved >= bound {
+			t.Errorf("leave moved %d of %d keys; want < %d (2/N)", moved, len(ids), bound)
+		}
+		for _, id := range ids {
+			if b, a := before.Owner(id), after.Owner(id); b != a && b != "n4" {
+				t.Fatalf("key %s moved %s -> %s though its owner did not leave", id, b, a)
+			}
+		}
+	})
+}
+
+// TestRingDeterministic: the ring is a pure function of the member set —
+// member order must not matter, and the golden owners below pin the
+// hash function across processes and Go releases (a client and a server
+// built separately must derive the same ring).
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2", "n2"}, 64)
+	for _, id := range sessionIDs(2000) {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("owner of %s differs with member order: %s vs %s", id, a.Owner(id), b.Owner(id))
+		}
+		if a.Successor(id) != b.Successor(id) {
+			t.Fatalf("successor of %s differs with member order", id)
+		}
+	}
+	golden := map[string]string{
+		"s0-00000000": "n3",
+		"s1-deadbeef": "n1",
+		"s2-cafef00d": "n1",
+		"session-42":  "n3",
+	}
+	for id, want := range golden {
+		if got := a.Owner(id); got != want {
+			t.Errorf("golden owner of %q = %s, want %s (hash function changed?)", id, got, want)
+		}
+	}
+	for _, id := range sessionIDs(2000) {
+		if a.Owner(id) == a.Successor(id) {
+			t.Fatalf("successor of %s equals its owner", id)
+		}
+	}
+}
+
+// TestRingConcurrentMembershipChange (-race): readers route while a
+// writer swaps rings for every membership transition — the
+// copy-on-write contract the Node relies on.
+func TestRingConcurrentMembershipChange(t *testing.T) {
+	var cur atomic.Pointer[Ring]
+	cur.Store(NewRing([]string{"n1", "n2", "n3"}, 32))
+	ids := sessionIDs(256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := cur.Load()
+				id := ids[i%len(ids)]
+				if o := r.Owner(id); o == "" {
+					t.Error("empty owner on a populated ring")
+					return
+				}
+				r.Successor(id)
+			}
+		}()
+	}
+	members := [][]string{
+		{"n1", "n2", "n3"},
+		{"n1", "n2"},
+		{"n1", "n2", "n3", "n4"},
+		{"n2", "n3", "n4"},
+	}
+	for i := 0; i < 400; i++ {
+		cur.Store(NewRing(members[i%len(members)], 32))
+	}
+	close(stop)
+	wg.Wait()
+}

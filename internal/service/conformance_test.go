@@ -37,10 +37,33 @@ type conformanceCase struct {
 type conformanceFixture struct {
 	srvURL      string
 	notReadyURL string // second server whose manager never marked ready
+	clusterURL  string // third server with a stub ClusterView that owns nothing
 	liveID      string // declared n=4 m=1, nothing pushed
 	finishedID  string // declared, sealed
 	deletedID   string // was live, deleted (tombstoned)
 	traceID     string // one retained trace (seeded via a sampled traceparent)
+}
+
+// stubClusterView is a ClusterView whose ring places every session on a
+// peer: any session lookup on its server answers 307 to the peer's
+// address, which is exactly the wrong_node row the table needs.
+type stubClusterView struct{}
+
+func (stubClusterView) Self() string { return "n1" }
+func (stubClusterView) Owner(id string) (node, addr string) {
+	return "n2", "http://peer.invalid:7777"
+}
+func (stubClusterView) OwnsID(id string) bool { return true }
+func (stubClusterView) Table(adm AdmissionInfo) any {
+	return map[string]any{"enabled": true, "self": "n1", "admission": adm}
+}
+
+// noRedirectClient surfaces 307s instead of chasing them: the wrong_node
+// row asserts the redirect itself (Location would point at a dead peer).
+var noRedirectClient = &http.Client{
+	CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	},
 }
 
 func newConformanceFixture(t *testing.T) *conformanceFixture {
@@ -106,6 +129,11 @@ func newConformanceFixture(t *testing.T) *conformanceFixture {
 	nrSrv := httptest.NewServer(NewServer(notReady))
 	t.Cleanup(nrSrv.Close)
 	f.notReadyURL = nrSrv.URL
+
+	// A third server in cluster mode whose stub view maps every session
+	// to a peer, for the wrong_node redirect and enabled-table rows.
+	_, cSrv := newTestServer(t, Config{Cluster: stubClusterView{}})
+	f.clusterURL = cSrv.URL
 	return f
 }
 
@@ -189,6 +217,26 @@ func conformanceTable() []conformanceCase {
 		{"delete/unknown", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", unknown), "", http.StatusNotFound, "session_not_found", "", ""},
 		{"delete/deleted", "DELETE", "DELETE /v1/sessions/{id}", withID("/v1/sessions/%s", deleted), "", http.StatusGone, "session_gone", "", ""},
 
+		// Cluster surface. On a single-node server /v1/cluster reports
+		// {"enabled": false} and the internal replication routes answer
+		// 409: replication only exists between configured peers. On the
+		// stub-cluster server, a session the node does not hold redirects
+		// (307 + wrong_node + Location) to its ring owner.
+		{name: "cluster/single-node", method: "GET", route: "GET /v1/cluster", url: id("/v1/cluster"),
+			wantStatus: http.StatusOK, wantCT: "application/json"},
+		{name: "cluster/enabled", method: "GET", route: "GET /v1/cluster",
+			url:        func(f *conformanceFixture) string { return f.clusterURL + "/v1/cluster" },
+			wantStatus: http.StatusOK, wantCT: "application/json"},
+		{name: "status/wrong-node", method: "GET", route: "GET /v1/sessions/{id}",
+			url:        func(f *conformanceFixture) string { return f.clusterURL + "/v1/sessions/s0-deadbeef" },
+			wantStatus: http.StatusTemporaryRedirect, wantCode: "wrong_node"},
+		{name: "replicate/disabled", method: "POST", route: "POST /v1/replica/sessions/{id}",
+			url:        withID("/v1/replica/sessions/%s", unknown),
+			wantStatus: http.StatusConflict, wantCode: "cluster_disabled"},
+		{name: "replica-delete/disabled", method: "DELETE", route: "DELETE /v1/replica/sessions/{id}",
+			url:        withID("/v1/replica/sessions/%s", unknown),
+			wantStatus: http.StatusConflict, wantCode: "cluster_disabled"},
+
 		// Operational endpoints. The metrics row pins the Prometheus text
 		// exposition content type; readyz distinguishes a started daemon
 		// (200) from one still recovering (503 on the not-ready server).
@@ -237,7 +285,7 @@ func TestHTTPConformance(t *testing.T) {
 			if tc.contentType != "" {
 				req.Header.Set("Content-Type", tc.contentType)
 			}
-			resp, err := http.DefaultClient.Do(req)
+			resp, err := noRedirectClient.Do(req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -248,6 +296,14 @@ func TestHTTPConformance(t *testing.T) {
 			}
 			if resp.StatusCode != tc.wantStatus {
 				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if resp.StatusCode == http.StatusTemporaryRedirect {
+				if loc := resp.Header.Get("Location"); loc == "" {
+					t.Fatal("307 without a Location header")
+				}
+				if owner := resp.Header.Get("X-OMS-Owner"); owner == "" {
+					t.Fatal("wrong_node redirect without X-OMS-Owner")
+				}
 			}
 			if tc.wantCT != "" {
 				if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, tc.wantCT) {

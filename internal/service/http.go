@@ -181,6 +181,7 @@ var ingestErrors = []string{
 	"session_not_found", "session_gone", "session_finished",
 	"node_out_of_range", "edge_budget_exceeded",
 	"unsupported_media_type", "malformed_frame", "durability_failure",
+	"wrong_node",
 }
 
 // Routes returns the full endpoint table NewServer mounts.
@@ -195,7 +196,7 @@ func Routes() []Route {
 		{Method: "GET", Pattern: "/v1/sessions/{id}", Name: "status", handler: handleStatus,
 			Doc:      "one session's status (`assigned` resume point; adaptive estimates)",
 			Produces: []string{mtJSON},
-			Errors:   []string{"session_not_found", "session_gone"}},
+			Errors:   []string{"session_not_found", "session_gone", "wrong_node"}},
 		{Method: "POST", Pattern: "/v1/sessions/{id}/nodes", Name: "push", handler: handleNodes,
 			Doc:     "stream node ingest; assignments stream back per chunk in the negotiated format",
 			Accepts: []string{mtFrame, mtNDJSON}, Produces: []string{mtFrame, mtNDJSON},
@@ -207,24 +208,34 @@ func Routes() []Route {
 		{Method: "POST", Pattern: "/v1/sessions/{id}/finish", Name: "finish", handler: handleFinish,
 			Doc:      "seal the session; with `record` the summary includes edge cut and imbalance",
 			Produces: []string{mtJSON},
-			Errors:   []string{"session_not_found", "session_gone", "durability_failure"}},
+			Errors:   []string{"session_not_found", "session_gone", "durability_failure", "wrong_node"}},
 		{Method: "POST", Pattern: "/v1/sessions/{id}/refine", Name: "refine", handler: handleRefine,
 			Doc:     "queue background restream refinement (`passes`, `threads`)",
 			Accepts: []string{mtJSON}, Produces: []string{mtJSON},
 			Errors: []string{"bad_request", "session_not_found", "session_gone",
-				"session_not_finished", "stream_not_retained", "refine_active"}},
+				"session_not_finished", "stream_not_retained", "refine_active", "wrong_node"}},
 		{Method: "GET", Pattern: "/v1/sessions/{id}/refine", Name: "refine_status", handler: handleRefineStatus,
 			Doc:      "refinement job status and version ledger",
 			Produces: []string{mtJSON},
-			Errors:   []string{"session_not_found", "session_gone", "refine_not_found"}},
+			Errors:   []string{"session_not_found", "session_gone", "refine_not_found", "wrong_node"}},
 		{Method: "GET", Pattern: "/v1/sessions/{id}/result", Name: "result", handler: handleResult,
 			Doc:      "assignment vector; `?version=N\\|latest\\|best` selects a refined version; `Accept: application/x-oms-frame` returns the binary result frame",
 			Produces: []string{mtJSON, mtFrame},
 			Errors: []string{"session_not_found", "session_gone", "session_not_finished",
-				"version_not_found", "bad_request"}},
+				"version_not_found", "bad_request", "wrong_node"}},
 		{Method: "DELETE", Pattern: "/v1/sessions/{id}", Name: "delete", handler: handleDelete,
 			Doc:    "drop the session (later reads answer `410 Gone`, unknown ids `404`)",
-			Errors: []string{"session_not_found", "session_gone"}},
+			Errors: []string{"session_not_found", "session_gone", "wrong_node"}},
+		{Method: "GET", Pattern: "/v1/cluster", Name: "cluster", handler: handleCluster,
+			Doc:      "cluster routing table: members, liveness, epoch, ring parameters, this node's admission budget (single-node: `{\"enabled\": false}`)",
+			Produces: []string{mtJSON}},
+		{Method: "POST", Pattern: "/v1/replica/sessions/{id}", Name: "replicate", handler: handleReplica,
+			Doc:     "internal: WAL-shipping replication stream from a session's owner (full-duplex: verbatim log frames in, durable-offset acks back)",
+			Accepts: []string{mtFrame}, Produces: []string{mtFrame},
+			Errors: []string{"cluster_disabled"}},
+		{Method: "DELETE", Pattern: "/v1/replica/sessions/{id}", Name: "replica_delete", handler: handleReplica,
+			Doc:    "internal: GC propagation — the owner deleted the session, drop its replica",
+			Errors: []string{"cluster_disabled"}},
 		{Method: "GET", Pattern: "/v1/healthz", handler: handleHealthz,
 			Doc: "liveness", Produces: []string{mtText}},
 		{Method: "GET", Pattern: "/v1/traces", handler: handleTraces,
@@ -275,7 +286,7 @@ func handleStatus(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		// assigned tells a reconnecting client exactly where to resume
@@ -310,7 +321,7 @@ func handleNodes(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		ingest(mgr, s, w, r, false)
@@ -321,7 +332,7 @@ func handleBatch(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		ingest(mgr, s, w, r, true)
@@ -332,7 +343,7 @@ func handleFinish(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		sum, err := s.Finish(r.Context(), mgr.Pool())
@@ -357,7 +368,7 @@ func handleRefine(mgr *Manager) http.HandlerFunc {
 		spec.TraceCtx = trace.FromContext(r.Context()).Context()
 		info, err := mgr.Refine(r.PathValue("id"), spec)
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, info)
@@ -368,7 +379,7 @@ func handleRefineStatus(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		info, ok, err := mgr.RefineStatus(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		if !ok {
@@ -383,7 +394,7 @@ func handleResult(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, err := mgr.Get(r.PathValue("id"))
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		res, err := s.ResultVersion(r.URL.Query().Get("version"))
@@ -417,11 +428,69 @@ func handleResult(mgr *Manager) http.HandlerFunc {
 func handleDelete(mgr *Manager) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := mgr.Delete(r.PathValue("id")); err != nil {
-			writeError(w, statusOf(err), err)
+			writeSessionError(mgr, w, r, r.PathValue("id"), err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}
+}
+
+// handleCluster serves the routing table every node answers with: in
+// cluster mode the view's members/epoch/ring parameters plus this
+// node's admission budget; single-node, an explicit disabled marker
+// (the route is always mounted so clients can probe either way).
+func handleCluster(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cv := mgr.cfg.Cluster
+		if cv == nil {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"enabled": false, "admission": mgr.AdmissionSnapshot(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, cv.Table(mgr.AdmissionSnapshot()))
+	}
+}
+
+// handleReplica delegates the internal replication routes to the
+// injected cluster handler; a node not in cluster mode refuses them
+// with a stable code instead of a 404 that would read as "bad path".
+func handleReplica(mgr *Manager) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := mgr.cfg.Replica
+		if h == nil {
+			writeJSON(w, http.StatusConflict, map[string]string{
+				"error": "this node is not in cluster mode", "code": "cluster_disabled",
+			})
+			return
+		}
+		h.ServeHTTP(w, r)
+	}
+}
+
+// writeSessionError answers a session-scoped failure. In cluster mode a
+// session this node has never seen usually just lives elsewhere, so
+// ErrNotFound for an id the ring places on a peer becomes a 307 at the
+// owner with the stable wrong_node code — Go clients follow it
+// transparently (method and body preserved), and the cluster-aware
+// client refreshes its table on sight of one. Local presence always
+// wins over ring arithmetic: a session served here (however it
+// arrived — created, recovered, or promoted) never redirects away.
+func writeSessionError(mgr *Manager, w http.ResponseWriter, r *http.Request, id string, err error) {
+	if errors.Is(err, ErrNotFound) {
+		if cv := mgr.cfg.Cluster; cv != nil {
+			if node, addr := cv.Owner(id); node != cv.Self() && addr != "" {
+				w.Header().Set("Location", strings.TrimRight(addr, "/")+r.URL.RequestURI())
+				w.Header().Set("X-OMS-Owner", node)
+				writeJSON(w, http.StatusTemporaryRedirect, map[string]string{
+					"error": "session " + id + " is owned by node " + node,
+					"code":  "wrong_node",
+				})
+				return
+			}
+		}
+	}
+	writeError(w, statusOf(err), err)
 }
 
 func handleHealthz(mgr *Manager) http.HandlerFunc {

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -232,6 +233,15 @@ type Config struct {
 	// Tracer records request-scoped span trees; nil disables tracing
 	// (every per-request trace handle is then nil, the no-op path).
 	Tracer *trace.Recorder
+	// Cluster provides node identity and session placement when omsd
+	// runs in cluster mode; nil means single-node (no routing, no
+	// redirects, /v1/cluster reports disabled).
+	Cluster ClusterView
+	// Replica handles the internal replication-stream routes
+	// (/v1/replica/sessions/{id}); nil answers them cluster_disabled.
+	// Injected rather than implemented here because the replica sink is
+	// cluster machinery layered above this package.
+	Replica http.Handler
 }
 
 func (c Config) withDefaults() Config {
@@ -610,6 +620,16 @@ func (mg *Manager) Create(spec CreateSpec) (*Session, error) {
 	mg.mu.Lock()
 	mg.seq++
 	s.ID = fmt.Sprintf("s%d-%08x", mg.seq, randTag())
+	if cv := mg.cfg.Cluster; cv != nil {
+		// Rejection-sample the random tag until the ring places the id
+		// on this node, so every session is born on its owner and
+		// routing stays a pure function of the id. Expected tries ≈ the
+		// node count; the cap only matters on pathological rings, where
+		// a non-owned id still works and merely routes through 307s.
+		for try := 0; try < 64 && !cv.OwnsID(s.ID); try++ {
+			s.ID = fmt.Sprintf("s%d-%08x", mg.seq, randTag())
+		}
+	}
 	mg.mu.Unlock()
 
 	// Attach the durable log before the session becomes visible, so no

@@ -47,10 +47,16 @@ type Store interface {
 	ReplaySource(id string) (oms.Source, error)
 }
 
-// SessionLog is one session's durable record log. All calls are made
-// from the single worker that owns the session, so implementations need
-// only guard against concurrent Close from the manager.
-type SessionLog interface {
+// RecordAppender is the transport-agnostic append surface of a session
+// log: the exact sequence of records a session acknowledges, in order,
+// with Flush as the durability barrier the ack waits on. It is the
+// interface a log *decorator* implements to fan an append stream out
+// beyond the local disk — the cluster's replication wrapper, for one,
+// forwards the flushed byte range of the underlying WAL file to a
+// network follower after every Flush. Decorators compose because
+// nothing here names a file: the contract is "records in, durable
+// records out", whatever the transport.
+type RecordAppender interface {
 	// AppendNode logs one accepted push. The record must be durable
 	// against a process crash (written to the OS) once the following
 	// Flush returns; fsync durability is batched per the store's sync
@@ -77,14 +83,34 @@ type SessionLog interface {
 	// adaptation trajectory.
 	AppendStats(st oms.EstimatorState) error
 	// Flush writes buffered records through to the operating system;
-	// the service calls it once per acknowledged chunk.
+	// the service calls it once per acknowledged chunk, and it is the
+	// point a replicating decorator propagates (and, in wait-for-
+	// follower mode, waits on) the new durable prefix.
 	Flush() error
+}
+
+// LogControl is a session log's lifecycle surface: the checkpoint that
+// bounds replay, the seal that ends the record stream, and release.
+// Decorators forward all three; Seal in particular must reach a replica
+// (a sealed log is what lets a promoted follower finish the session).
+type LogControl interface {
 	// Snapshot atomically persists a checkpoint covering every record
 	// appended so far, so recovery replays only the tail after it.
+	// Checkpoints are local derived state — a replica rebuilds its own
+	// from the shipped records, so decorators need not forward them.
 	Snapshot(st oms.SessionState) error
 	// Seal marks the session finished and forces the log to stable
 	// storage. A sealed log rejects further appends.
 	Seal() error
+	// Close releases the log without removing its files.
+	Close() error
+}
+
+// VersionStore persists refined result versions alongside a session
+// log. Versions are whole-file, CRC-protected artifacts outside the
+// record stream; replication does not ship them (a promoted follower
+// re-refines if asked).
+type VersionStore interface {
 	// SaveVersion durably persists one refined result version, atomically
 	// (write-rename like a checkpoint): after a crash either the whole
 	// version is back or none of it is — a torn version must never be
@@ -95,8 +121,19 @@ type SessionLog interface {
 	// verified). The session serves cold versions through it after
 	// pruning their assignment from memory.
 	LoadVersion(version int32) (RefinedVersion, error)
-	// Close releases the log without removing its files.
-	Close() error
+}
+
+// SessionLog is one session's durable record log: the append stream,
+// its lifecycle, and the version side-store. All calls are made from
+// the single worker that owns the session, so implementations need only
+// guard against concurrent Close from the manager. The interface is a
+// composition so a decorator (replication, instrumentation) can be
+// written against the narrow surface it actually changes and embed the
+// rest.
+type SessionLog interface {
+	RecordAppender
+	LogControl
+	VersionStore
 }
 
 // RecoveredSession is one persisted session as reported by

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"oms/internal/wire"
+)
+
+// ReplicaLog is the follower half of WAL shipping: an append-only copy
+// of an owner's session log, written verbatim frame-for-frame as the
+// bytes arrive over the wire. Because the owner ships its on-disk log
+// and the follower appends exactly what it validated, the replica file
+// is byte-for-byte the owner's file up to the replicated offset — so
+// promotion is nothing but the ordinary recovery scan over a log this
+// node happens not to have written itself.
+//
+// A ReplicaLog is driven by the single replication-stream handler that
+// owns it; it is not safe for concurrent use.
+type ReplicaLog struct {
+	f      *os.File
+	arena  wire.Arena
+	size   int64 // validated byte length == next append offset
+	sealed bool
+}
+
+// OpenReplica opens (creating if needed) the replica log for session id
+// inside this store, persisting spec verbatim as the session's spec.json
+// if none exists yet. The log's valid frame prefix is scanned exactly
+// like recovery does and any torn tail — a follower crash mid-append —
+// is truncated, so Offset is always a whole-frame boundary the owner
+// can resume shipping from.
+func (st *Store) OpenReplica(id string, spec []byte) (*ReplicaLog, error) {
+	dir := filepath.Join(st.dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	specPath := filepath.Join(dir, specName)
+	if _, err := os.Stat(specPath); os.IsNotExist(err) {
+		var env specEnvelope
+		if err := json.Unmarshal(spec, &env); err != nil || env.ID != id {
+			return nil, fmt.Errorf("wal: replica spec for %s does not parse or names another session", id)
+		}
+		if err := writeFileSync(specPath, spec); err != nil {
+			return nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	_, sealed, validEnd, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validEnd {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ReplicaLog{f: f, size: validEnd, sealed: sealed}, nil
+}
+
+// Offset returns the validated, appended byte length of the replica —
+// the offset the owner should ship the next frame at. It becomes
+// durable at the next Sync; the replication handler acks only synced
+// offsets.
+func (r *ReplicaLog) Offset() int64 { return r.size }
+
+// Sealed reports whether the replica holds the terminal seal record.
+func (r *ReplicaLog) Sealed() bool { return r.sealed }
+
+// Append validates one shipped frame's payload as a well-formed log
+// record and appends the verbatim frame bytes. The frame's CRC was
+// already verified by the wire reader that produced payload; this
+// second, structural check means a frame that would poison a future
+// recovery scan is rejected at the wire instead of discovered at
+// promotion. A rejected frame leaves the file untouched — the owner
+// re-ships from the last acked offset.
+func (r *ReplicaLog) Append(payload, frame []byte) error {
+	if r.sealed {
+		return fmt.Errorf("wal: append to sealed replica")
+	}
+	_, seal, ok := validateRecord(&r.arena, payload)
+	if !ok {
+		return fmt.Errorf("wal: shipped frame is not a valid log record")
+	}
+	if _, err := r.f.Write(frame); err != nil {
+		return err
+	}
+	r.size += int64(len(frame))
+	if seal {
+		r.sealed = true
+	}
+	return nil
+}
+
+// Sync forces appended frames to stable storage; the replication
+// handler calls it before acknowledging an offset, so an acked offset
+// survives a follower crash.
+func (r *ReplicaLog) Sync() error { return r.f.Sync() }
+
+// Close releases the replica log, leaving its files in place.
+func (r *ReplicaLog) Close() error { return r.f.Close() }
+
+// ReplicaIDs lists the session ids present in this store's directory
+// without recovering them — the promotion scan walks it to decide which
+// replicas this node now owns.
+func (st *Store) ReplicaIDs() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadSpecBytes returns one session's spec.json verbatim — the bytes
+// the owner ships ahead of the log so a follower can lay down an
+// identical session directory.
+func (st *Store) ReadSpecBytes(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(st.dir, id, specName))
+}

@@ -135,6 +135,43 @@ func (st *Store) Recover() ([]service.RecoveredSession, error) {
 	return out, errors.Join(errs...)
 }
 
+// SessionDir returns the directory holding one session's persisted
+// state (spec.json, log.wal, snap, versions). The replication shipper
+// reads log.wal out of it directly: the on-disk log is the shipping
+// source, so what a follower receives is byte-for-byte what was logged.
+func (st *Store) SessionDir(id string) string {
+	return filepath.Join(st.dir, id)
+}
+
+// LogPath returns the path of one session's record log inside
+// SessionDir.
+func (st *Store) LogPath(id string) string {
+	return filepath.Join(st.dir, id, logName)
+}
+
+// RecoverSession rebuilds one session by id, exactly as Recover does for
+// every session. Cluster failover promotes a replicated session through
+// it: after the shipped log is moved into this store (AdoptFrom), the
+// promoting node recovers just that session and adopts it into its
+// manager — replication is recovery over the network.
+func (st *Store) RecoverSession(id string) (service.RecoveredSession, error) {
+	return st.recoverOne(id)
+}
+
+// AdoptFrom moves one session's directory out of another store (the
+// replica store a follower accumulated shipped logs in) into this one,
+// durably. The moved session is invisible to the manager until
+// RecoverSession + Adopt bring it live.
+func (st *Store) AdoptFrom(other *Store, id string) error {
+	if err := os.Rename(other.SessionDir(id), st.SessionDir(id)); err != nil {
+		return err
+	}
+	if err := syncDir(st.dir); err != nil {
+		return err
+	}
+	return syncDir(other.dir)
+}
+
 // recoverOne rebuilds one session directory: validate the log's frame
 // prefix, truncate any torn tail, load the newest usable snapshot, and
 // reopen the log for appends at the validated end.
@@ -178,6 +215,8 @@ func (st *Store) recoverOne(id string) (service.RecoveredSession, error) {
 	l := st.newLog(f, dir)
 	l.nodes = nodes
 	l.sealed = sealed
+	l.size = validEnd
+	l.flushed = validEnd
 
 	// A snapshot claiming more records than the durable log holds (only
 	// possible under corruption: Snapshot syncs the log first) or one
@@ -241,46 +280,63 @@ func scanLog(f *os.File) (nodes int64, sealed bool, validEnd int64, err error) {
 		if err != nil {
 			return 0, false, 0, err
 		}
-		switch payload[0] {
-		case recNode:
-			if _, _, _, _, err := decodeNodePayload(payload[1:]); err != nil {
-				return nodes, sealed, validEnd, nil
-			}
-			nodes++
-		case wire.TypeNode:
-			arena.Reset()
-			if _, err := wire.DecodeNodeInto(&arena, payload); err != nil {
-				return nodes, sealed, validEnd, nil
-			}
-			nodes++
-		case recBatch:
-			entries, err := decodeBatchPayload(payload[1:])
-			if err != nil {
-				return nodes, sealed, validEnd, nil
-			}
-			nodes += int64(len(entries))
-		case wire.TypeBatch:
-			arena.Reset()
-			count := int64(0)
-			err := wire.ForEachBatchNode(&arena, payload, func(wire.Node, int32) error {
-				count++
-				return nil
-			})
-			if err != nil {
-				return nodes, sealed, validEnd, nil
-			}
-			nodes += count
-		case recStats:
-			if _, err := decodeStatsPayload(payload[1:]); err != nil {
-				return nodes, sealed, validEnd, nil
-			}
-		case recSeal:
-			// Nothing may follow a seal; stop at it either way.
-			return nodes, true, validEnd + size, nil
-		default:
+		n, seal, ok := validateRecord(&arena, payload)
+		if !ok {
 			return nodes, sealed, validEnd, nil
 		}
+		nodes += n
+		if seal {
+			// Nothing may follow a seal; stop at it either way.
+			return nodes, true, validEnd + size, nil
+		}
 		validEnd += size
+	}
+}
+
+// validateRecord decodes one frame payload just far enough to prove it
+// is a well-formed log record, returning the node records it carries
+// and whether it is the terminal seal. ok=false means the payload is
+// not a valid record — a torn tail during a recovery scan, or a corrupt
+// shipped frame at a replica.
+func validateRecord(arena *wire.Arena, payload []byte) (nodes int64, seal, ok bool) {
+	switch payload[0] {
+	case recNode:
+		if _, _, _, _, err := decodeNodePayload(payload[1:]); err != nil {
+			return 0, false, false
+		}
+		return 1, false, true
+	case wire.TypeNode:
+		arena.Reset()
+		if _, err := wire.DecodeNodeInto(arena, payload); err != nil {
+			return 0, false, false
+		}
+		return 1, false, true
+	case recBatch:
+		entries, err := decodeBatchPayload(payload[1:])
+		if err != nil {
+			return 0, false, false
+		}
+		return int64(len(entries)), false, true
+	case wire.TypeBatch:
+		arena.Reset()
+		count := int64(0)
+		err := wire.ForEachBatchNode(arena, payload, func(wire.Node, int32) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			return 0, false, false
+		}
+		return count, false, true
+	case recStats:
+		if _, err := decodeStatsPayload(payload[1:]); err != nil {
+			return 0, false, false
+		}
+		return 0, false, true
+	case recSeal:
+		return 0, true, true
+	default:
+		return 0, false, false
 	}
 }
 

@@ -245,6 +245,15 @@ type Log struct {
 	sealed bool
 	closed bool
 
+	// size is the byte length of the log including records still in the
+	// write buffer; flushed is the prefix written through to the OS. A
+	// replication shipper reads [shippedOffset, Flushed()) off the log
+	// file, so flushed must only ever advance to whole-frame boundaries —
+	// which it does, because appends buffer whole frames and flushed is
+	// updated only after a successful buffer flush.
+	size    int64
+	flushed int64
+
 	syncEvery time.Duration
 	dirty     bool // bytes possibly not yet fsynced
 	lastSync  time.Time
@@ -300,6 +309,7 @@ func (l *Log) AppendNodeFrame(frame []byte) error {
 		return err
 	}
 	l.dirty = true
+	l.size += int64(len(frame))
 	l.observeAppend(t0)
 	l.nodes++
 	return nil
@@ -477,6 +487,7 @@ func (l *Log) writeFrame(payload []byte) error {
 		return err
 	}
 	l.dirty = true
+	l.size += frameHeaderSize + int64(len(payload))
 	return nil
 }
 
@@ -498,6 +509,7 @@ func (l *Log) flushLocked(force bool) error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	l.flushed = l.size
 	if !l.dirty {
 		return nil
 	}
@@ -539,6 +551,7 @@ func (l *Log) timedSync() {
 	if err := l.w.Flush(); err != nil {
 		return
 	}
+	l.flushed = l.size
 	if err := l.syncFile(); err != nil {
 		return
 	}
@@ -599,4 +612,15 @@ func (l *Log) Nodes() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nodes
+}
+
+// Flushed returns the byte length of the log prefix written through to
+// the operating system. It advances only on whole-frame boundaries
+// (appends buffer whole frames; Flush empties the buffer), so a reader
+// streaming [offset, Flushed()) off the log file — the replication
+// shipper — always ships complete frames.
+func (l *Log) Flushed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
 }
